@@ -1,0 +1,18 @@
+"""E1: the Fig. 3/4 worked example (per-frame C, CSUM/NSUM/TSUM).
+
+Regenerates the per-link parameters of the MPEG IBBPBBPBB stream on the
+10 Mbit/s link(0,4) of the paper's Sec. 3.1 example and asserts the
+recoverable value TSUM = 270 ms.
+"""
+
+import pytest
+
+from repro.experiments.worked_example import run_worked_example
+
+
+def test_e1_worked_example(benchmark, report):
+    result = benchmark(run_worked_example)
+    assert result.tsum == pytest.approx(0.270)  # paper's Eq. 6 value
+    assert result.demand.n_frames == 9
+    assert result.nsum > result.demand.n_frames  # I frames fragment
+    report("E1 worked example (Fig. 3/4)", result.render())

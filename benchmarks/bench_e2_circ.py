@@ -1,0 +1,13 @@
+"""E2: CIRC arithmetic (Sec. 3.3 example and conclusions table)."""
+
+import pytest
+
+from repro.experiments.worked_example import run_circ_examples
+
+
+def test_e2_circ_examples(benchmark, report):
+    result = benchmark(run_circ_examples)
+    assert result.example_switch.circ == pytest.approx(14.8e-6)
+    assert result.network_processor.circ == pytest.approx(11.1e-6)
+    assert result.gigabit_feasible_speed > 1e9  # "comfortably 1 Gbit/s"
+    report("E2 CIRC arithmetic", result.render())

@@ -1,0 +1,12 @@
+"""E3: end-to-end bounds on the Fig. 1/2 example network (Fig. 6)."""
+
+from repro.experiments.endtoend import run_endtoend_example
+
+
+def test_e3_endtoend_bounds(benchmark, report):
+    result = benchmark(run_endtoend_example)
+    assert result.analysis.schedulable
+    frames = result.analysis.result("mpeg").frames
+    # The I+P packet dominates the cycle.
+    assert frames[0].response == max(f.response for f in frames)
+    report("E3 end-to-end bounds (Figs. 1/2/6)", result.render())

@@ -1,0 +1,30 @@
+"""E4: analysis vs simulation — soundness and tightness."""
+
+from repro.experiments.validation import run_validation
+
+
+def test_e4_validation(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_validation(seeds=(0, 1, 2), duration=1.5),
+        iterations=1,
+        rounds=1,
+    )
+    assert result.all_sound, result.violations
+    assert 0 < result.mean_tightness <= 1.0
+    report("E4 analysis vs simulation", result.render())
+
+
+def test_e4b_stage_tightness(benchmark, report):
+    """Companion study: where along the route does pessimism accrue?"""
+    from repro.experiments.validation import run_stage_tightness
+
+    result = benchmark.pedantic(
+        lambda: run_stage_tightness(duration=1.5), iterations=1, rounds=1
+    )
+    assert result.sound
+    # Tightness should not improve downstream: each stage adds its own
+    # worst-case alignment that a single simulated trace cannot realise
+    # simultaneously with the upstream ones.
+    ratios = [r.tightness for r in result.rows]
+    assert ratios == sorted(ratios, reverse=True)
+    report("E4b per-stage tightness", result.render())

@@ -1,0 +1,38 @@
+"""E5: acceptance-ratio curves — GMF vs sporadic/cycle/util baselines."""
+
+from repro.experiments.acceptance import run_acceptance_sweep
+
+
+def test_e5_acceptance_sweep(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_acceptance_sweep(
+            utilizations=(0.1, 0.3, 0.5, 0.7, 0.9), trials=8
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    # The paper's motivating shape: GMF admits at least what the
+    # sporadic collapse admits, everywhere.
+    assert result.dominance_holds()
+    # And the necessary utilisation condition is an upper envelope.
+    for p in result.points:
+        assert p.accepted["gmf"] <= p.accepted["util"]
+    report("E5 acceptance ratio vs utilisation", result.render())
+
+
+def test_e5b_burstiness_sweep(benchmark, report):
+    """The mechanism behind E5: the gap vs frame-size burstiness."""
+    from repro.experiments.acceptance import run_burstiness_sweep
+
+    result = benchmark.pedantic(
+        lambda: run_burstiness_sweep(
+            burstiness_levels=(1.0, 2.0, 4.0, 8.0, 16.0), trials=8
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    assert result.gap_widens()
+    # At burstiness 1 the sporadic collapse is exact: identical verdicts.
+    first = result.points[0]
+    assert first.ratio("gmf") == first.ratio("sporadic")
+    report("E5b acceptance vs burstiness", result.render())

@@ -1,0 +1,17 @@
+"""E6: delay-vs-CIRC sweep and multiprocessor switches (conclusions)."""
+
+from repro.experiments.sensitivity import run_circ_sensitivity
+
+
+def test_e6_circ_sensitivity(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_circ_sensitivity(
+            cost_scales=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+            processor_counts=(1, 2, 4),
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    # "CIRC(N) ... heavily influences the delay": monotone growth.
+    assert result.monotone_in_circ()
+    report("E6 bound vs CIRC", result.render())

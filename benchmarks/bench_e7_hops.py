@@ -1,0 +1,15 @@
+"""E7: end-to-end bound vs hop count (Fig. 6's additive composition)."""
+
+from repro.experiments.sensitivity import run_hop_sweep
+
+
+def test_e7_hop_sweep(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_hop_sweep(switch_counts=(1, 2, 3, 4, 6, 8)),
+        iterations=1,
+        rounds=1,
+    )
+    bounds = [r.bound for r in result.rows]
+    assert bounds == sorted(bounds)  # more hops, larger bound
+    assert result.roughly_linear()
+    report("E7 bound vs hop count", result.render())

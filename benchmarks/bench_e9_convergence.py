@@ -1,0 +1,15 @@
+"""E9: convergence boundary of Eqs. 20/34/35."""
+
+from repro.experiments.convergence import run_convergence_study
+
+
+def test_e9_convergence_boundary(benchmark, report):
+    result = benchmark.pedantic(
+        run_convergence_study, iterations=1, rounds=1
+    )
+    assert result.divergence_detected_correctly()
+    assert result.bounds_monotone_in_load()
+    # The sweep actually crosses the boundary.
+    assert any(p.utilization_ok for p in result.points)
+    assert any(not p.utilization_ok for p in result.points)
+    report("E9 convergence boundary", result.render())

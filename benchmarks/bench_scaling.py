@@ -1,0 +1,65 @@
+"""Performance benchmarks: how the analysis and simulator scale.
+
+Not a paper table — engineering due diligence for an admission
+controller that must run online: analysis cost vs flow count, GMF cycle
+length and route length, plus simulator event throughput.
+"""
+
+import pytest
+
+from repro.core.holistic import holistic_analysis
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.sim.simulator import SimConfig, simulate
+from repro.util.units import mbps, ms
+from repro.workloads.generator import random_flow_set
+from repro.workloads.topologies import line_network
+
+
+def _network():
+    return line_network(3, hosts_per_switch=4, speed_bps=mbps(1000))
+
+
+@pytest.mark.parametrize("n_flows", [4, 16])
+def test_analysis_scaling_flows(benchmark, n_flows):
+    net = _network()
+    flows = random_flow_set(
+        net, n_flows=n_flows, total_utilization=0.3, seed=42
+    )
+    result = benchmark(lambda: holistic_analysis(net, flows))
+    assert result.converged
+
+
+@pytest.mark.parametrize("n_frames", [3, 30])
+def test_analysis_scaling_cycle_length(benchmark, n_frames):
+    """Cost of long GMF cycles (the O(n^2) window precomputation)."""
+    net = _network()
+    flow = Flow(
+        name="long",
+        spec=GmfSpec(
+            min_separations=(ms(10),) * n_frames,
+            deadlines=(ms(500),) * n_frames,
+            jitters=(0.0,) * n_frames,
+            payload_bits=tuple(
+                10_000 + 1_000 * (k % 7) for k in range(n_frames)
+            ),
+        ),
+        route=("h0_0", "sw0", "sw1", "sw2", "h2_0"),
+        priority=5,
+    )
+    result = benchmark(lambda: holistic_analysis(net, [flow]))
+    assert result.schedulable
+
+
+def test_simulator_event_throughput(benchmark):
+    """Events per second of wall clock for a loaded two-switch network."""
+    net = line_network(2, hosts_per_switch=2, speed_bps=mbps(100))
+    flows = random_flow_set(
+        net, n_flows=6, total_utilization=0.5, seed=7
+    )
+
+    def run():
+        return simulate(net, flows, config=SimConfig(duration=0.5))
+
+    trace = benchmark(run)
+    assert trace.count_completed() > 0

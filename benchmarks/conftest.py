@@ -1,0 +1,31 @@
+"""Benchmark configuration.
+
+Each ``bench_e*.py`` regenerates one experiment of EXPERIMENTS.md: the
+benchmark measures the computation and the captured table is printed at
+the end of the run so ``pytest benchmarks/ --benchmark-only -s`` shows
+exactly the rows the paper's worked examples / claims correspond to.
+"""
+
+import pytest
+
+_reports: list[tuple[str, str]] = []
+
+
+def record_report(name: str, text: str) -> None:
+    """Stash an experiment's rendered table for the session summary."""
+    _reports.append((name, text))
+
+
+@pytest.fixture
+def report():
+    return record_report
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _reports:
+        return
+    terminalreporter.section("experiment tables (EXPERIMENTS.md)")
+    for name, text in _reports:
+        terminalreporter.write_line(f"\n--- {name} ---")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

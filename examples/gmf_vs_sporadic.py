@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Why GMF? The admission gap against the sporadic model.
+
+The paper's introduction argues the sporadic model is a poor match for
+MPEG video: collapsing a GoP to its worst frame at its minimum
+separation wildly over-reserves.  This example makes the gap concrete:
+admit identical MPEG video flows onto one 100 Mbit/s backbone link
+under (a) the paper's GMF analysis and (b) the sporadic collapse, and
+count how many flows each admits.
+
+Run:  python examples/gmf_vs_sporadic.py
+"""
+
+from repro import holistic_analysis
+from repro.baselines import sporadic_collapse, sporadic_holistic_analysis
+from repro.core.context import AnalysisContext
+from repro.core.utilization import network_convergence_report
+from repro.util.tables import Table
+from repro.util.units import mbps, ms
+from repro.workloads.mpeg import paper_fig3_flow
+from repro.workloads.topologies import line_network
+
+net = line_network(2, hosts_per_switch=16, speed_bps=mbps(100))
+
+
+def mpeg_flow(i: int):
+    """The i-th video flow: host i at sw0 -> host i at sw1."""
+    return paper_fig3_flow(
+        route=(f"h0_{i}", "sw0", "sw1", f"h1_{i}"),
+        name=f"video{i}",
+        priority=5,
+        deadline=ms(150),
+    )
+
+
+def count_admitted(analyze) -> int:
+    """Admit identical flows until the analysis first rejects."""
+    admitted = []
+    for i in range(16):
+        tentative = admitted + [mpeg_flow(i)]
+        if analyze(tentative):
+            admitted = tentative
+        else:
+            break
+    return len(admitted)
+
+
+gmf_admitted = count_admitted(
+    lambda fs: holistic_analysis(net, fs).schedulable
+)
+sporadic_admitted = count_admitted(
+    lambda fs: sporadic_holistic_analysis(net, fs, collapse="sporadic").schedulable
+)
+
+# Show the reservation the sporadic collapse makes for one flow.
+one = mpeg_flow(0)
+collapsed = sporadic_collapse(one)
+ctx = AnalysisContext(net, [one])
+ctx_c = AnalysisContext(net, [collapsed])
+u_gmf = ctx.demand(one, "sw0", "sw1").utilization
+u_spor = ctx_c.demand(collapsed, "sw0", "sw1").utilization
+
+t = Table(["model", "per-flow backbone utilisation", "flows admitted"])
+t.add_row(["GMF (this paper)", f"{u_gmf:.4f}", gmf_admitted])
+t.add_row(["sporadic collapse", f"{u_spor:.4f}", sporadic_admitted])
+print(t.render())
+print(
+    f"\nThe sporadic model reserves {u_spor / u_gmf:.1f}x the bandwidth "
+    f"(every 30 ms slot charged at I+P-frame size), so it admits "
+    f"{gmf_admitted - sporadic_admitted} fewer video flows on the same link."
+)
+assert gmf_admitted >= sporadic_admitted

@@ -1,0 +1,30 @@
+"""Baseline analyses the paper's GMF analysis is compared against.
+
+Before this paper, multihop holistic analysis existed only for the
+*sporadic* model (Tindell & Clark), so an operator had two ways to force
+GMF traffic into it; both are implemented as *flow transformations* that
+feed the same holistic machinery, so the comparison isolates exactly
+the traffic model:
+
+* :func:`sporadic_collapse` — period ``min_k T_i^k`` and payload
+  ``max_k S_i^k``: safe but maximally pessimistic (every frame treated
+  as a worst-case frame arriving at the highest rate);
+* :func:`cycle_collapse` — period ``TSUM_i`` and payload
+  ``sum_k S_i^k``: models the whole GMF cycle as one huge packet; safe
+  on demand *rate* but with a bursty single packet (and a per-cycle
+  deadline), included as the other naive endpoint.
+"""
+
+from repro.baselines.sporadic import (
+    cycle_collapse,
+    sporadic_collapse,
+    sporadic_holistic_analysis,
+)
+from repro.baselines.bounds import demand_utilization_bound
+
+__all__ = [
+    "cycle_collapse",
+    "demand_utilization_bound",
+    "sporadic_collapse",
+    "sporadic_holistic_analysis",
+]

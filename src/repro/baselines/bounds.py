@@ -1,0 +1,38 @@
+"""Coarse utilisation-based admission bounds.
+
+A trivial comparator for the acceptance experiments: admit a flow set
+exactly when every resource's utilisation stays below a threshold.
+This is what a provisioning-rule-of-thumb operator does ("keep links
+under 70%"); it needs no response-time analysis but offers no deadline
+guarantee — the experiments show where it over- and under-admits
+relative to the paper's analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.context import AnalysisContext, AnalysisOptions
+from repro.core.utilization import network_convergence_report
+from repro.model.flow import Flow
+from repro.model.network import Network
+
+
+def demand_utilization_bound(
+    network: Network,
+    flows: Sequence[Flow],
+    *,
+    threshold: float = 1.0,
+    options: AnalysisOptions | None = None,
+) -> bool:
+    """True when every resource's utilisation is below ``threshold``.
+
+    With ``threshold = 1.0`` this is exactly the necessary convergence
+    condition (Eqs. 20/34/35-style) — an *upper* bound on any analysis'
+    acceptance; with e.g. ``0.7`` it mimics rule-of-thumb provisioning.
+    """
+    if not flows:
+        return True
+    ctx = AnalysisContext(network, flows, options)
+    report = network_convergence_report(ctx)
+    return report.max_utilization < threshold

@@ -1,0 +1,79 @@
+"""Sporadic-model baselines: collapse GMF flows, then run holistic.
+
+The classic holistic analysis (Tindell & Clark) understands only
+sporadic streams — one frame type per flow.  A GMF flow can be made
+sporadic in two safe-but-pessimistic ways; both are expressible as GMF
+specs with ``n = 1``, so the paper's own machinery analyses them and
+the comparison (experiment E5) isolates the traffic model's effect.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.context import AnalysisOptions
+from repro.core.holistic import holistic_analysis
+from repro.core.results import HolisticResult
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.model.network import Network
+
+
+def sporadic_collapse(flow: Flow) -> Flow:
+    """The standard safe sporadic abstraction of a GMF flow.
+
+    Period = the smallest inter-frame separation; payload = the largest
+    frame; deadline = the tightest frame deadline; jitter = the largest
+    frame jitter.  Dominates the GMF flow (every GMF arrival sequence is
+    legal for the sporadic spec), hence sound — and very pessimistic
+    for bursty video where the big I-frame rarely repeats at the minimum
+    separation.
+    """
+    spec = flow.spec
+    collapsed = GmfSpec(
+        min_separations=(min(spec.min_separations),),
+        deadlines=(min(spec.deadlines),),
+        jitters=(max(spec.jitters),),
+        payload_bits=(max(spec.payload_bits),),
+    )
+    return flow.with_spec(collapsed)
+
+
+def cycle_collapse(flow: Flow) -> Flow:
+    """Model one whole GMF cycle as a single sporadic packet.
+
+    Period = ``TSUM``; payload = the summed cycle payload; deadline =
+    the tightest frame deadline.  Correct on long-run demand but turns
+    the cycle into one burst, so per-packet transmission times explode;
+    the other naive endpoint operators might try.
+    """
+    spec = flow.spec
+    collapsed = GmfSpec(
+        min_separations=(spec.tsum,),
+        deadlines=(min(spec.deadlines),),
+        jitters=(max(spec.jitters),),
+        payload_bits=(sum(spec.payload_bits),),
+    )
+    return flow.with_spec(collapsed)
+
+
+def sporadic_holistic_analysis(
+    network: Network,
+    flows: Sequence[Flow],
+    options: AnalysisOptions | None = None,
+    *,
+    collapse: str = "sporadic",
+) -> HolisticResult:
+    """Holistic analysis after collapsing every flow to sporadic.
+
+    ``collapse`` selects :func:`sporadic_collapse` (default) or
+    :func:`cycle_collapse`.  The returned result's flow names match the
+    input flows (the transformation preserves names/routes/priorities).
+    """
+    if collapse == "sporadic":
+        transformed = [sporadic_collapse(f) for f in flows]
+    elif collapse == "cycle":
+        transformed = [cycle_collapse(f) for f in flows]
+    else:
+        raise ValueError(f"unknown collapse {collapse!r}")
+    return holistic_analysis(network, transformed, options)

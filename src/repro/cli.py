@@ -1,0 +1,252 @@
+"""Command-line interface: analyse / simulate / plan scenario files.
+
+The operator workflow without writing Python::
+
+    python -m repro.cli analyze scenario.json          # bounds + verdict
+    python -m repro.cli analyze scenario.json --strict # as-printed eqs
+    python -m repro.cli simulate scenario.json -d 5.0  # run the simulator
+    python -m repro.cli validate scenario.json         # bounds vs sim
+    python -m repro.cli report scenario.json           # utilisation report
+    python -m repro.cli plan scenario.json --min-speed # capacity planning
+
+Scenario files are the JSON documents of :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Sequence
+
+from repro.core.context import AnalysisContext, AnalysisOptions
+from repro.core.holistic import holistic_analysis
+from repro.core.planning import minimum_link_speed_scale, scale_link_speeds
+from repro.core.utilization import network_convergence_report
+from repro.io import load_scenario
+from repro.sim.simulator import SimConfig, simulate
+from repro.util.tables import Table
+from repro.util.units import fmt_duration, fmt_rate
+
+
+def _options(args) -> AnalysisOptions:
+    return AnalysisOptions(
+        strict_paper=getattr(args, "strict", False),
+        use_jitter=not getattr(args, "no_jitter", False),
+    )
+
+
+def cmd_analyze(args) -> int:
+    network, flows = load_scenario(args.scenario)
+    result = holistic_analysis(network, flows, _options(args))
+    table = Table(
+        ["flow", "frame", "bound", "deadline", "slack", "ok"],
+        title=f"holistic analysis of {args.scenario} "
+        f"(converged={result.converged}, {result.iterations} iteration(s))",
+    )
+    for name in sorted(result.flow_results):
+        for fr in result.result(name).frames:
+            table.add_row(
+                [
+                    name,
+                    fr.frame,
+                    fmt_duration(fr.response),
+                    fmt_duration(fr.deadline),
+                    fmt_duration(fr.slack) if math.isfinite(fr.slack) else "-inf",
+                    fr.schedulable,
+                ]
+            )
+    print(table.render())
+    verdict = "SCHEDULABLE" if result.schedulable else "NOT SCHEDULABLE"
+    print(f"verdict: {verdict}")
+    return 0 if result.schedulable else 1
+
+
+def cmd_simulate(args) -> int:
+    network, flows = load_scenario(args.scenario)
+    trace = simulate(
+        network,
+        flows,
+        config=SimConfig(duration=args.duration, switch_mode=args.mode),
+    )
+    table = Table(
+        ["flow", "packets", "worst response", "mean response"],
+        title=(
+            f"simulation of {args.scenario} "
+            f"({args.duration:g}s, {args.mode} mode, "
+            f"{trace.events_processed} events)"
+        ),
+    )
+    for name in trace.flows():
+        table.add_row(
+            [
+                name,
+                trace.count_completed(name),
+                fmt_duration(trace.worst_response(name)),
+                fmt_duration(trace.mean_response(name)),
+            ]
+        )
+    print(table.render())
+    incomplete = trace.count_incomplete()
+    if incomplete:
+        print(f"warning: {incomplete} packet(s) still in flight at the horizon")
+    deadlines = {f.name: f.spec.deadlines for f in flows}
+    misses = trace.deadline_misses(deadlines)
+    print(f"deadline misses observed: {misses}")
+    return 0 if misses == 0 else 1
+
+
+def cmd_validate(args) -> int:
+    network, flows = load_scenario(args.scenario)
+    result = holistic_analysis(network, flows, _options(args))
+    if not result.converged:
+        print("analysis did not converge; nothing to validate")
+        return 1
+    table = Table(
+        ["flow", "frame", "bound", "sim worst", "tightness", "sound"],
+        title=f"bound validation of {args.scenario}",
+    )
+    violations = 0
+    for mode in ("event", "rotation"):
+        trace = simulate(
+            network,
+            flows,
+            config=SimConfig(duration=args.duration, switch_mode=mode),
+        )
+        for f in flows:
+            for k in range(f.spec.n_frames):
+                observed = trace.worst_response(f.name, k)
+                if observed == -math.inf:
+                    continue
+                bound = result.result(f.name).frame(k).response
+                sound = observed <= bound + 1e-9
+                if not sound:
+                    violations += 1
+                table.add_row(
+                    [
+                        f"{f.name} ({mode})",
+                        k,
+                        fmt_duration(bound),
+                        fmt_duration(observed),
+                        f"{observed / bound:.3f}" if bound > 0 else "n/a",
+                        sound,
+                    ]
+                )
+    print(table.render())
+    print(f"violations: {violations}")
+    return 0 if violations == 0 else 1
+
+
+def cmd_report(args) -> int:
+    network, flows = load_scenario(args.scenario)
+    ctx = AnalysisContext(network, flows, _options(args))
+    report = network_convergence_report(ctx)
+    table = Table(
+        ["resource", "utilisation", "convergent"],
+        title=f"resource utilisation of {args.scenario}",
+    )
+    for entry in sorted(report.entries, key=lambda e: -e.utilization):
+        table.add_row(
+            [
+                "/".join(str(p) for p in entry.resource),
+                f"{entry.utilization:.4f}",
+                entry.convergent,
+            ]
+        )
+    print(table.render())
+    bottleneck = report.bottleneck()
+    if bottleneck is not None:
+        print(
+            f"bottleneck: {'/'.join(str(p) for p in bottleneck.resource)} "
+            f"at {bottleneck.utilization:.4f}"
+        )
+    return 0 if report.all_convergent else 1
+
+
+def cmd_plan(args) -> int:
+    network, flows = load_scenario(args.scenario)
+    scale = minimum_link_speed_scale(
+        network, flows, options=_options(args), tolerance=args.tolerance
+    )
+    if scale is None:
+        print(
+            "no link-speed scaling makes this flow set schedulable "
+            "(a non-transmission stage or the source jitter already "
+            "exceeds a deadline)"
+        )
+        return 1
+    print(
+        f"minimum uniform link-speed scale for schedulability: {scale:.4f}"
+    )
+    table = Table(["link", "current speed", "required speed"])
+    for link in network.links():
+        table.add_row(
+            [
+                f"{link.src}->{link.dst}",
+                fmt_rate(link.speed_bps),
+                fmt_rate(link.speed_bps * scale),
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GMF schedulability analysis for multihop software-"
+        "switched Ethernet (Andersson, IPPS 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("scenario", help="scenario JSON file (see repro.io)")
+        p.add_argument(
+            "--strict",
+            action="store_true",
+            help="use the paper's equations exactly as printed",
+        )
+        p.add_argument(
+            "--no-jitter",
+            action="store_true",
+            help="ignore generalized jitter (ablation)",
+        )
+
+    p = sub.add_parser("analyze", help="compute end-to-end bounds")
+    common(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("simulate", help="run the discrete-event simulator")
+    p.add_argument("scenario")
+    p.add_argument("-d", "--duration", type=float, default=2.0)
+    p.add_argument(
+        "--mode", choices=("event", "rotation"), default="event",
+        help="switch execution model",
+    )
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("validate", help="check bounds against simulation")
+    common(p)
+    p.add_argument("-d", "--duration", type=float, default=2.0)
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("report", help="per-resource utilisation report")
+    common(p)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "plan", help="minimum link-speed scaling for schedulability"
+    )
+    common(p)
+    p.add_argument("--tolerance", type=float, default=0.01)
+    p.set_defaults(func=cmd_plan)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

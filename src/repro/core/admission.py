@@ -1,0 +1,153 @@
+"""Admission control (Sec. 3.5, last paragraph).
+
+The holistic analysis "forms an admission controller": a new flow is
+accepted exactly when the holistic fixed point converges for the
+*combined* flow set and every frame of every flow (existing and new)
+still meets its end-to-end deadline.  Resource reservation needs no
+billing and topology knowledge is complete (paper introduction), so the
+controller simply re-runs the analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.context import AnalysisContext, AnalysisOptions
+from repro.core.holistic import holistic_analysis
+from repro.core.results import HolisticResult
+from repro.model.flow import Flow
+from repro.model.network import Network
+from repro.model.routing import validate_route
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of an admission request.
+
+    Attributes
+    ----------
+    accepted:
+        True when the candidate flow was admitted.
+    reason:
+        Human-readable explanation (which flow/frame would miss, or
+        divergence).
+    analysis:
+        The holistic result of the *tentative* flow set (accepted or
+        not); callers can inspect per-flow bounds.  ``None`` when the
+        fast utilisation pre-check rejected the request before any
+        response-time analysis ran.
+    """
+
+    accepted: bool
+    reason: str
+    analysis: HolisticResult | None
+
+
+class AdmissionController:
+    """Stateful admission controller over a fixed topology.
+
+    >>> ctrl = AdmissionController(network)          # doctest: +SKIP
+    >>> decision = ctrl.request(flow)                # doctest: +SKIP
+    >>> decision.accepted                            # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        options: AnalysisOptions | None = None,
+        initial_flows: Sequence[Flow] = (),
+        *,
+        fast_reject: bool = True,
+    ):
+        #: When True, requests failing the cheap necessary utilisation
+        #: condition (Eqs. 20/34/35-style, O(flows x links)) are
+        #: rejected without running the full holistic analysis —
+        #: important for an online controller under overload attack.
+        self.fast_reject = fast_reject
+        self.network = network
+        self.options = options or AnalysisOptions()
+        self._flows: list[Flow] = []
+        self._last_analysis: HolisticResult | None = None
+        for f in initial_flows:
+            decision = self.request(f)
+            if not decision.accepted:
+                raise ValueError(
+                    f"initial flow {f.name!r} not admissible: {decision.reason}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def admitted_flows(self) -> tuple[Flow, ...]:
+        return tuple(self._flows)
+
+    @property
+    def last_analysis(self) -> HolisticResult | None:
+        """Holistic result of the currently admitted set (None if empty)."""
+        return self._last_analysis
+
+    def request(self, flow: Flow) -> AdmissionDecision:
+        """Try to admit ``flow``; accepted flows become part of the state."""
+        validate_route(self.network, flow.route)
+        if any(f.name == flow.name for f in self._flows):
+            raise ValueError(f"flow name {flow.name!r} already admitted")
+
+        tentative = [*self._flows, flow]
+        if self.fast_reject:
+            from repro.core.utilization import network_convergence_report
+
+            report = network_convergence_report(
+                AnalysisContext(self.network, tentative, self.options)
+            )
+            if not report.all_convergent:
+                bottleneck = report.bottleneck()
+                return AdmissionDecision(
+                    accepted=False,
+                    reason=(
+                        "necessary utilisation condition violated at "
+                        f"{'/'.join(str(p) for p in bottleneck.resource)} "
+                        f"({bottleneck.utilization:.4f} >= 1)"
+                    ),
+                    analysis=None,
+                )
+        analysis = holistic_analysis(self.network, tentative, self.options)
+        if not analysis.converged:
+            return AdmissionDecision(
+                accepted=False,
+                reason="holistic analysis diverged (utilisation too high)",
+                analysis=analysis,
+            )
+        violation = self._first_violation(analysis)
+        if violation is not None:
+            return AdmissionDecision(
+                accepted=False, reason=violation, analysis=analysis
+            )
+        self._flows = tentative
+        self._last_analysis = analysis
+        return AdmissionDecision(
+            accepted=True, reason="all deadlines met", analysis=analysis
+        )
+
+    def release(self, flow_name: str) -> None:
+        """Remove a previously admitted flow (its session ended)."""
+        before = len(self._flows)
+        self._flows = [f for f in self._flows if f.name != flow_name]
+        if len(self._flows) == before:
+            raise KeyError(f"flow {flow_name!r} is not admitted")
+        self._last_analysis = (
+            holistic_analysis(self.network, self._flows, self.options)
+            if self._flows
+            else None
+        )
+
+    @staticmethod
+    def _first_violation(analysis: HolisticResult) -> str | None:
+        for name, result in sorted(analysis.flow_results.items()):
+            for frame in result.frames:
+                if not frame.schedulable:
+                    return (
+                        f"flow {name!r} frame {frame.frame}: bound "
+                        f"{frame.response:.6g}s exceeds deadline "
+                        f"{frame.deadline:.6g}s"
+                    )
+        return None

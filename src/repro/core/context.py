@@ -1,0 +1,257 @@
+"""Analysis context: network + flow set + jitter table + caches.
+
+The per-resource analyses (first hop, ingress, egress) all need the same
+queries: "which flows share this resource", "what is flow j's demand
+profile on this link", "what is flow j's generalized jitter at this
+resource" (``extra_j``, Sec. 3.2).  :class:`AnalysisContext` centralises
+them, caches the expensive :class:`~repro.core.demand.LinkDemand`
+construction, and owns the mutable jitter table that the Fig. 6 pipeline
+writes and the holistic iteration (Sec. 3.5) drives to a fixed point.
+
+Resources are identified by :data:`ResourceKey` tuples:
+
+* ``("link", N1, N2)`` — the prioritised output queue feeding
+  ``link(N1, N2)`` (used both by the first-hop and the egress analyses);
+* ``("in", N)`` — the ingress path of switch ``N`` (NIC FIFO → priority
+  queue).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.demand import LinkDemand, build_link_demand
+from repro.core.packetization import DEFAULT_CONFIG, STRICT_CONFIG, PacketizationConfig
+from repro.model.flow import Flow, check_unique_names, flows_on_link, hep_flows
+from repro.model.network import Network, NodeKind
+
+#: ``("link", N1, N2)`` or ``("in", N)``.
+ResourceKey = tuple
+
+
+def link_resource(n1: str, n2: str) -> ResourceKey:
+    """Resource key of the output queue feeding ``link(n1, n2)``."""
+    return ("link", n1, n2)
+
+
+def ingress_resource(n: str) -> ResourceKey:
+    """Resource key of switch ``n``'s ingress path."""
+    return ("in", n)
+
+
+@dataclass(frozen=True)
+class AnalysisOptions:
+    """Knobs of the analysis; defaults reproduce the corrected model.
+
+    Attributes
+    ----------
+    strict_paper:
+        Use the paper's equations exactly as printed (see DESIGN.md OCR
+        table): remainder fragments cost ``rem+304`` bits, and the
+        ingress/egress own-flow terms assume one Ethernet frame per UDP
+        packet.  Default False = documented sound reconstruction.
+    use_jitter:
+        When False, all generalized jitters are treated as zero
+        (ablation E8: quantifies how much the jitter propagation
+        contributes to the bound).
+    horizon_factor:
+        Busy periods longer than ``horizon_factor * max(TSUM_i, D_i)``
+        are declared divergent (unschedulable); backstop for utilisation
+        near 1 where Eqs. 20/34/35 technically hold but convergence is
+        astronomically slow.
+    max_fp_iterations:
+        Iteration cap per fixed point.
+    holistic_max_iterations:
+        Cap on the outer holistic jitter iterations (Sec. 3.5).
+    """
+
+    strict_paper: bool = False
+    use_jitter: bool = True
+    horizon_factor: float = 1000.0
+    max_fp_iterations: int = 100_000
+    holistic_max_iterations: int = 200
+
+    @property
+    def packetization(self) -> PacketizationConfig:
+        return STRICT_CONFIG if self.strict_paper else DEFAULT_CONFIG
+
+
+class JitterTable:
+    """Per-flow, per-resource, per-frame generalized jitters.
+
+    ``GJ_i^{k,resource}`` of the paper.  Defaults: at a flow's first
+    resource (the output queue of its source) the jitter is the flow's
+    specified source jitter ``GJ_i^k``; everywhere else it defaults to 0
+    until the pipeline walk fills it in (holistic initialisation,
+    Sec. 3.5).
+    """
+
+    def __init__(self, flows: Sequence[Flow]):
+        self._specs = {f.name: f.spec for f in flows}
+        self._first_resource = {
+            f.name: link_resource(f.route[0], f.route[1]) for f in flows
+        }
+        self._table: dict[tuple[str, ResourceKey], tuple[float, ...]] = {}
+
+    def get(self, flow_name: str, resource: ResourceKey) -> tuple[float, ...]:
+        """Per-frame jitters of a flow at a resource."""
+        key = (flow_name, resource)
+        if key in self._table:
+            return self._table[key]
+        spec = self._specs[flow_name]
+        if resource == self._first_resource[flow_name]:
+            return spec.jitters
+        return (0.0,) * spec.n_frames
+
+    def set(
+        self, flow_name: str, resource: ResourceKey, jitters: Sequence[float]
+    ) -> None:
+        spec = self._specs[flow_name]
+        jit = tuple(float(j) for j in jitters)
+        if len(jit) != spec.n_frames:
+            raise ValueError(
+                f"flow {flow_name!r}: {len(jit)} jitters for "
+                f"{spec.n_frames} frames"
+            )
+        self._table[(flow_name, resource)] = jit
+
+    def extra(self, flow_name: str, resource: ResourceKey) -> float:
+        """``extra_j(N, i)``: the largest per-frame jitter at the resource."""
+        return max(self.get(flow_name, resource))
+
+    def snapshot(self) -> dict[tuple[str, ResourceKey], tuple[float, ...]]:
+        """Copy of the explicit entries (for fixed-point comparison)."""
+        return dict(self._table)
+
+    def max_abs_delta(self, other: Mapping[tuple[str, ResourceKey], tuple[float, ...]]) -> float:
+        """Largest elementwise change vs a previous snapshot."""
+        keys = set(self._table) | set(other)
+        worst = 0.0
+        for key in keys:
+            a = self._table.get(key)
+            b = other.get(key)
+            if a is None or b is None:
+                # A newly-appearing entry counts as its own magnitude.
+                present = a if a is not None else b
+                worst = max(worst, max(abs(x) for x in present))
+                continue
+            for x, y in zip(a, b):
+                if math.isinf(x) and math.isinf(y):
+                    continue
+                worst = max(worst, abs(x - y))
+        return worst
+
+
+class AnalysisContext:
+    """Everything the per-resource analyses need, with caching.
+
+    Parameters
+    ----------
+    network:
+        The multihop topology.
+    flows:
+        All flows admitted to the network (routes must be valid for
+        ``network``; checked on construction).
+    options:
+        Analysis knobs; see :class:`AnalysisOptions`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        flows: Sequence[Flow],
+        options: AnalysisOptions | None = None,
+    ):
+        from repro.model.routing import validate_route  # cycle-free import
+
+        check_unique_names(flows)
+        for f in flows:
+            validate_route(network, f.route)
+        self.network = network
+        self.flows: tuple[Flow, ...] = tuple(flows)
+        self.options = options or AnalysisOptions()
+        self.jitters = JitterTable(self.flows)
+        self._by_name = {f.name: f for f in self.flows}
+        self._demand_cache: dict[tuple[str, str, str], LinkDemand] = {}
+        self._link_flows_cache: dict[tuple[str, str], tuple[Flow, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Flow / topology queries
+    # ------------------------------------------------------------------
+    def flow(self, name: str) -> Flow:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown flow {name!r}") from None
+
+    def flows_on_link(self, n1: str, n2: str) -> tuple[Flow, ...]:
+        """``flows(N1, N2)``: flows whose route uses the link."""
+        key = (n1, n2)
+        if key not in self._link_flows_cache:
+            self._link_flows_cache[key] = tuple(
+                flows_on_link(self.flows, n1, n2)
+            )
+        return self._link_flows_cache[key]
+
+    def hep(self, flow: Flow, n1: str, n2: str) -> tuple[Flow, ...]:
+        """``hep(tau_i, N1, N2)`` (Eq. 2), excluding ``flow`` itself."""
+        return tuple(hep_flows(self.flows, flow, n1, n2))
+
+    def demand(self, flow: Flow, n1: str, n2: str) -> LinkDemand:
+        """Cached :class:`LinkDemand` of ``flow`` on ``link(n1, n2)``."""
+        key = (flow.name, n1, n2)
+        if key not in self._demand_cache:
+            self._demand_cache[key] = build_link_demand(
+                flow,
+                self.network.linkspeed(n1, n2),
+                self.options.packetization,
+            )
+        return self._demand_cache[key]
+
+    def circ(self, node: str) -> float:
+        """``CIRC(N)`` of a switch node (round-robin configuration)."""
+        return self.network.circ(node)
+
+    def circ_task(self, node: str, interface: str) -> float:
+        """Service period of ``interface``'s tasks at ``node``.
+
+        Equal to ``CIRC(N)`` for the paper's round-robin configuration;
+        per-interface with weighted stride tickets (extension).
+        """
+        return self.network.circ_task(node, interface)
+
+    # ------------------------------------------------------------------
+    # Jitter queries (``extra_j``)
+    # ------------------------------------------------------------------
+    def extra(self, flow: Flow, resource: ResourceKey) -> float:
+        """``extra_j(N, i)``: max generalized jitter of ``flow`` at the
+        resource, or 0 when jitter modelling is disabled (ablation)."""
+        if not self.options.use_jitter:
+            return 0.0
+        return self.jitters.extra(flow.name, resource)
+
+    def frame_jitters(self, flow: Flow, resource: ResourceKey) -> tuple[float, ...]:
+        if not self.options.use_jitter:
+            return (0.0,) * flow.spec.n_frames
+        return self.jitters.get(flow.name, resource)
+
+    # ------------------------------------------------------------------
+    # Divergence horizon
+    # ------------------------------------------------------------------
+    def horizon_for(self, flow: Flow) -> float:
+        """Busy-period divergence cut-off for analyses of ``flow``."""
+        base = max(flow.spec.tsum, max(flow.spec.deadlines))
+        return self.options.horizon_factor * base
+
+    # ------------------------------------------------------------------
+    # Derived contexts
+    # ------------------------------------------------------------------
+    def with_flows(self, flows: Sequence[Flow]) -> "AnalysisContext":
+        """A fresh context for a different flow set (admission control)."""
+        return AnalysisContext(self.network, flows, self.options)
+
+    def with_options(self, options: AnalysisOptions) -> "AnalysisContext":
+        """A fresh context (cleared caches) with different options."""
+        return AnalysisContext(self.network, self.flows, options)

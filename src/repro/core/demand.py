@@ -1,0 +1,294 @@
+"""GMF demand-bound functions on a link (Eqs. 4-13).
+
+For a flow ``tau_j`` crossing ``link(N1, N2)`` the paper defines:
+
+* ``CSUM_j`` (Eq. 4)  — total transmission time of one cycle;
+* ``NSUM_j`` (Eq. 5)  — total Ethernet-frame count of one cycle;
+* ``TSUM_j`` (Eq. 6)  — total minimum separation of one cycle;
+* windowed variants over ``k2`` consecutive frames starting at ``k1``
+  (Eqs. 7-9; note Eq. 9 sums one fewer term: the time between the first
+  and the last arrival of the window);
+* ``MXS/MX`` (Eqs. 10-11) — the maximum link time the flow can demand in
+  any interval of length ``t`` (``MXS`` for ``0 < t < TSUM``, ``MX`` for
+  all ``t`` by peeling off whole cycles);
+* ``NXS/NX`` (Eqs. 12-13) — the same for Ethernet-frame counts.
+
+:class:`LinkDemand` precomputes all ``O(n^2)`` windows once with numpy
+prefix sums and answers ``mx/nx`` queries in ``O(log n)`` via
+sorted-window prefix maxima, because the busy-period iterations evaluate
+these functions thousands of times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.packetization import (
+    DEFAULT_CONFIG,
+    PacketizationConfig,
+    max_frame_transmission_time,
+    packetize,
+)
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+
+
+@dataclass(frozen=True)
+class LinkDemand:
+    """Per-(flow, link) demand profile: Eqs. 4-13 pre-evaluated.
+
+    Construct via :func:`build_link_demand`.  All times are seconds.
+
+    Attributes
+    ----------
+    flow_name:
+        The flow this profile belongs to (for error messages).
+    c:
+        ``C_j^{k,link}`` per frame ``k`` (transmission times).
+    n_eth:
+        Ethernet-frame counts per frame ``k`` (the ``ceil(C/MFT)`` of
+        Eq. 5, computed exactly from the fragmentation).
+    t:
+        ``T_j^k`` per frame.
+    mft:
+        ``MFT(link)`` (Eq. 1).
+    """
+
+    flow_name: str
+    c: tuple[float, ...]
+    n_eth: tuple[int, ...]
+    t: tuple[float, ...]
+    mft: float
+    # Sorted windows for O(log n) queries; built in build_link_demand.
+    _win_t: np.ndarray = field(repr=False, compare=False, default=None)
+    _cmax_prefix: np.ndarray = field(repr=False, compare=False, default=None)
+    _nmax_prefix: np.ndarray = field(repr=False, compare=False, default=None)
+
+    # ------------------------------------------------------------------
+    # Full-cycle sums (Eqs. 4-6)
+    # ------------------------------------------------------------------
+    @property
+    def n_frames(self) -> int:
+        return len(self.c)
+
+    @property
+    def csum(self) -> float:
+        """``CSUM_j^{link}`` (Eq. 4)."""
+        return float(sum(self.c))
+
+    @property
+    def nsum(self) -> int:
+        """``NSUM_j^{link}`` (Eq. 5)."""
+        return int(sum(self.n_eth))
+
+    @property
+    def tsum(self) -> float:
+        """``TSUM_j`` (Eq. 6)."""
+        return float(sum(self.t))
+
+    @property
+    def utilization(self) -> float:
+        """``CSUM / TSUM``: the long-run link utilisation of the flow."""
+        return self.csum / self.tsum
+
+    @property
+    def max_c(self) -> float:
+        """Largest single-frame transmission time on this link."""
+        return max(self.c)
+
+    # ------------------------------------------------------------------
+    # Windowed sums (Eqs. 7-9)
+    # ------------------------------------------------------------------
+    def csum_window(self, k1: int, k2: int) -> float:
+        """``CSUM_j(k1, k2)`` (Eq. 7): transmission time of ``k2``
+        consecutive frames starting at frame ``k1`` (indices mod n)."""
+        self._check_window(k1, k2)
+        n = self.n_frames
+        return float(sum(self.c[k % n] for k in range(k1, k1 + k2)))
+
+    def nsum_window(self, k1: int, k2: int) -> int:
+        """``NSUM_j(k1, k2)`` (Eq. 8): Ethernet frames in the window."""
+        self._check_window(k1, k2)
+        n = self.n_frames
+        return int(sum(self.n_eth[k % n] for k in range(k1, k1 + k2)))
+
+    def tsum_window(self, k1: int, k2: int) -> float:
+        """``TSUM_j(k1, k2)`` (Eq. 9): minimum time between the first and
+        last arrival of the window (``k2 - 1`` separations)."""
+        self._check_window(k1, k2)
+        n = self.n_frames
+        return float(sum(self.t[k % n] for k in range(k1, k1 + k2 - 1)))
+
+    def _check_window(self, k1: int, k2: int) -> None:
+        if not (0 <= k1 < self.n_frames):
+            raise IndexError(f"window start {k1} outside 0..{self.n_frames - 1}")
+        if k2 < 1:
+            raise ValueError("window must contain at least one frame")
+
+    # ------------------------------------------------------------------
+    # Demand-bound functions (Eqs. 10-13)
+    # ------------------------------------------------------------------
+    def mxs(self, t: float) -> float:
+        """``MXS(tau_j, N1, N2, t)`` (Eq. 10) for ``0 <= t < TSUM``.
+
+        The most link time any window of frames that *can* arrive within
+        an interval of length ``t`` can demand, capped at ``t`` itself
+        (the flow cannot occupy the link for longer than the interval).
+        """
+        if t <= 0.0:
+            return 0.0
+        if t >= self.tsum:
+            raise ValueError(
+                f"MXS only defined for t < TSUM ({self.tsum}); got {t}"
+            )
+        return min(t, self._best_c_within(t))
+
+    def mx(self, t: float) -> float:
+        """``MX(tau_j, N1, N2, t)`` (Eq. 11) for any ``t >= 0``.
+
+        ``floor(t / TSUM)`` whole cycles of demand plus the best window
+        in the remainder.
+        """
+        if t <= 0.0:
+            return 0.0
+        cycles, rem = self._split_cycles(t)
+        small = min(rem, self._best_c_within(rem)) if rem > 0.0 else 0.0
+        return cycles * self.csum + small
+
+    def mx_work(self, t: float) -> float:
+        """Uncapped arrival-work bound: the corrected form of Eq. 11.
+
+        Maximum total transmission time of frames that can *arrive*
+        within a right-closed window of length ``t`` — i.e. Eq. 11
+        without Eq. 10's ``min(t, .)`` cap, and with arrivals at the
+        window boundary included (like ``NX``).
+
+        The cap is correct for *completed service* but makes the
+        queuing-time recurrences (Eqs. 17/31) degenerate: at the seed
+        ``w = 0`` a capped ``MX`` charges zero interference from
+        packets arriving together with the analysed one, yielding the
+        spurious fixed point "no queuing at all".  The analyses use
+        this uncapped bound unless ``strict_paper`` is set (DESIGN.md).
+        """
+        if t < 0.0:
+            return 0.0
+        cycles, rem = self._split_cycles(t)
+        return cycles * self.csum + self._best_c_within(rem)
+
+    def nxs(self, t: float) -> int:
+        """``NXS(tau_j, N1, N2, t)`` (Eq. 12) for ``0 <= t < TSUM``.
+
+        The most Ethernet frames receivable from the flow within ``t``.
+        Unlike ``MXS`` there is no ``min(t, .)`` cap: a burst of frames
+        (zero separations / jitter) can all land in an arbitrarily small
+        interval.
+        """
+        if t < 0.0:
+            return 0
+        if t >= self.tsum:
+            raise ValueError(
+                f"NXS only defined for t < TSUM ({self.tsum}); got {t}"
+            )
+        return self._best_n_within(t)
+
+    def nx(self, t: float) -> int:
+        """``NX(tau_j, N1, N2, t)`` (Eq. 13) for any ``t >= 0``."""
+        if t < 0.0:
+            return 0
+        cycles, rem = self._split_cycles(t)
+        return cycles * self.nsum + self._best_n_within(rem)
+
+    def _split_cycles(self, t: float) -> tuple[int, float]:
+        """Peel off whole GMF cycles; returns ``(floor(t/TSUM), rem)``.
+
+        Guards against floating-point drift: a remainder within one ulp
+        of ``TSUM`` is promoted to a full cycle.
+        """
+        cycles = int(math.floor(t / self.tsum))
+        rem = t - cycles * self.tsum
+        if rem >= self.tsum:  # t/tsum rounded down but subtraction says not
+            cycles += 1
+            rem = 0.0
+        return cycles, max(0.0, rem)
+
+    @staticmethod
+    def _boundary(t: float) -> float:
+        """Nudge ``t`` up a few ulps before the window search.
+
+        Window lengths come from prefix-sum differences, which can land
+        one ulp above the mathematically equal direct sum; without the
+        nudge a window with ``TSUM(k1,k2) == t`` could be excluded.
+        Including a boundary window is conservative (the demand bound
+        can only grow), so the nudge is sound.
+        """
+        return t * (1.0 + 1e-12) + 1e-18
+
+    def _best_c_within(self, t: float) -> float:
+        """Max ``CSUM(k1,k2)`` over windows with ``TSUM(k1,k2) <= t``."""
+        idx = np.searchsorted(self._win_t, self._boundary(t), side="right")
+        if idx == 0:
+            return 0.0
+        return float(self._cmax_prefix[idx - 1])
+
+    def _best_n_within(self, t: float) -> int:
+        """Max ``NSUM(k1,k2)`` over windows with ``TSUM(k1,k2) <= t``."""
+        idx = np.searchsorted(self._win_t, self._boundary(t), side="right")
+        if idx == 0:
+            return 0
+        return int(self._nmax_prefix[idx - 1])
+
+
+def build_link_demand(
+    flow: Flow,
+    linkspeed_bps: float,
+    config: PacketizationConfig = DEFAULT_CONFIG,
+) -> LinkDemand:
+    """Build the :class:`LinkDemand` of ``flow`` on a link of given speed.
+
+    Precomputes all windows ``(k1, k2)`` with ``k1 in 0..n-1`` and
+    ``k2 in 1..n`` — windows longer than ``n`` frames always span at
+    least ``TSUM`` and are handled by the cycle-peeling of Eqs. 11/13.
+    """
+    spec: GmfSpec = flow.spec
+    packets = [
+        packetize(s, flow.transport, config) for s in spec.payload_bits
+    ]
+    c = tuple(p.transmission_time(linkspeed_bps) for p in packets)
+    n_eth = tuple(p.n_eth_frames for p in packets)
+    t = tuple(float(x) for x in spec.min_separations)
+    n = len(c)
+
+    # Vectorised window sums via doubled prefix arrays.
+    c2 = np.concatenate([np.asarray(c), np.asarray(c)])
+    n2 = np.concatenate([np.asarray(n_eth, dtype=np.int64)] * 2)
+    t2 = np.concatenate([np.asarray(t), np.asarray(t)])
+    pc = np.concatenate([[0.0], np.cumsum(c2)])
+    pn = np.concatenate([[0], np.cumsum(n2)])
+    pt = np.concatenate([[0.0], np.cumsum(t2)])
+
+    starts = np.arange(n)[:, None]          # k1
+    counts = np.arange(1, n + 1)[None, :]   # k2
+    ends = starts + counts
+    win_c = (pc[ends] - pc[starts]).ravel()
+    win_n = (pn[ends] - pn[starts]).ravel()
+    win_t = (pt[ends - 1] - pt[starts]).ravel()  # k2 - 1 separations
+
+    order = np.argsort(win_t, kind="stable")
+    win_t_sorted = win_t[order]
+    cmax_prefix = np.maximum.accumulate(win_c[order])
+    nmax_prefix = np.maximum.accumulate(win_n[order])
+
+    return LinkDemand(
+        flow_name=flow.name,
+        c=c,
+        n_eth=n_eth,
+        t=t,
+        mft=max_frame_transmission_time(linkspeed_bps),
+        _win_t=win_t_sorted,
+        _cmax_prefix=cmax_prefix,
+        _nmax_prefix=nmax_prefix,
+    )

@@ -1,0 +1,135 @@
+"""First-hop analysis (Sec. 3.2, Eqs. 14-20).
+
+The first link of a route leaves the source node, which the network
+operator does not control: the source may be a normal PC whose network
+stack ignores priorities.  The analysis therefore assumes only that the
+source's output queue is *work-conserving*, so **every** flow sharing
+``link(S, succ(tau_i, S))`` interferes with frame ``k`` of ``tau_i``
+regardless of priority.
+
+The analysis is a busy-period exploration:
+
+* Eq. 15 — the busy period ``t`` is the least fixed point of the total
+  demand ``sum_j MX(tau_j, S, succ, t + extra_j)`` (the seed printed in
+  Eq. 14 is 0, a degenerate fixed point; we seed with the analysed
+  frame's own transmission time ``C_i^k`` — see DESIGN.md);
+* Eq. 17 — for each instance ``q`` of frame ``k`` in the busy period,
+  the queuing time ``w(q)`` is the least fixed point of ``q * CSUM_i``
+  (own previous cycles) plus all other flows' demand;
+* Eqs. 18-19 — ``R(q) = w(q) - q*TSUM_i + C_i^k``; the stage response is
+  the max over ``q`` plus the link's propagation delay.
+
+Applicability (Eq. 20): the sum of ``CSUM/TSUM`` over all flows on the
+link must be below 1, otherwise the busy period grows without bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.context import AnalysisContext, link_resource
+from repro.core.results import StageKind, StageResult, diverged_stage
+from repro.model.flow import Flow
+from repro.util.fixed_point import FixedPointDiverged, iterate_fixed_point
+
+
+def first_hop_utilization(ctx: AnalysisContext, n1: str, n2: str) -> float:
+    """Left-hand side of Eq. 20 for ``link(n1, n2)``.
+
+    The demand of *all* flows on the link relative to time; the analysis
+    requires this to be strictly below 1.
+    """
+    return sum(
+        ctx.demand(j, n1, n2).utilization for j in ctx.flows_on_link(n1, n2)
+    )
+
+
+def first_hop_response_time(
+    ctx: AnalysisContext, flow: Flow, frame: int
+) -> StageResult:
+    """``R_i^{k,link(S, succ(tau_i, S))}`` (Eq. 19) for ``frame`` = k.
+
+    Returns a diverged stage (response ``inf``) when Eq. 20 fails or the
+    fixed points exceed the context's divergence horizon.
+    """
+    src = flow.source
+    dst = flow.succ(src)
+    resource = link_resource(src, dst)
+
+    interferers = ctx.flows_on_link(src, dst)  # includes `flow` itself
+    dem_i = ctx.demand(flow, src, dst)
+    c_k = dem_i.c[frame]
+    tsum_i = dem_i.tsum
+    horizon = ctx.horizon_for(flow)
+
+    # Eq. 20 applicability check.
+    if first_hop_utilization(ctx, src, dst) >= 1.0:
+        return diverged_stage(StageKind.FIRST_HOP, resource)
+
+    extras = {j.name: ctx.extra(j, resource) for j in interferers}
+    if any(math.isinf(e) for e in extras.values()):
+        # An upstream divergence already propagated into a jitter.
+        return diverged_stage(StageKind.FIRST_HOP, resource)
+
+    demands = {j.name: ctx.demand(j, src, dst) for j in interferers}
+    # Corrected mode uses the uncapped arrival-work bound; strict mode
+    # keeps the printed Eq. 10/11 cap (see LinkDemand.mx_work).
+    strict = ctx.options.strict_paper
+
+    def mx_of(j_name: str, t: float) -> float:
+        dem = demands[j_name]
+        return dem.mx(t) if strict else dem.mx_work(t)
+
+    # Eq. 15: busy period = least fixed point of the total demand.
+    def busy_update(t: float) -> float:
+        return sum(mx_of(j.name, t + extras[j.name]) for j in interferers)
+
+    try:
+        busy = iterate_fixed_point(
+            busy_update,
+            seed=c_k,
+            horizon=horizon,
+            max_iterations=ctx.options.max_fp_iterations,
+            what=f"first-hop busy period of {flow.name}[{frame}] on {src}->{dst}",
+        ).value
+    except FixedPointDiverged:
+        return diverged_stage(StageKind.FIRST_HOP, resource)
+
+    # Number of instances of frame k within the busy period.
+    q_max = max(1, math.ceil(busy / tsum_i))
+
+    others = [j for j in interferers if j.name != flow.name]
+    worst = 0.0
+    for q in range(q_max):
+        own_backlog = q * dem_i.csum  # Eq. 16/17 own-cycle term
+
+        def queue_update(w: float) -> float:
+            return own_backlog + sum(
+                mx_of(j.name, w + extras[j.name]) for j in others
+            )
+
+        try:
+            w_q = iterate_fixed_point(
+                queue_update,
+                seed=own_backlog,  # Eq. 16
+                horizon=horizon,
+                max_iterations=ctx.options.max_fp_iterations,
+                what=(
+                    f"first-hop w({q}) of {flow.name}[{frame}] on {src}->{dst}"
+                ),
+            ).value
+        except FixedPointDiverged:
+            return diverged_stage(StageKind.FIRST_HOP, resource)
+        # Eq. 18: response of the q-th instance.
+        worst = max(worst, w_q - q * tsum_i + c_k)
+
+    # Eq. 19: add the link's propagation delay.
+    response = worst + ctx.network.prop(src, dst)
+    return StageResult(
+        kind=StageKind.FIRST_HOP,
+        resource=resource,
+        response=response,
+        busy_period=busy,
+        n_instances=q_max,
+        converged=True,
+    )

@@ -1,0 +1,80 @@
+"""Holistic analysis: the Sec. 3.5 jitter fixed point.
+
+Fig. 6 assumes the generalized jitters of *other* flows at every
+resource are known.  In practice only the source jitters are specified,
+so the paper extends Tindell & Clark's holistic schedulability analysis:
+
+1. assume zero jitter for every flow at every non-source resource;
+2. run Fig. 6 for every flow (which writes each flow's per-resource
+   jitters as accumulated upstream responses);
+3. repeat until the jitter table stops changing.
+
+Responses are monotone non-decreasing in the interfering jitters, and
+jitters are accumulated responses, so the iteration is monotone: it
+either converges to the least fixed point or grows past the divergence
+horizon (unschedulable).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.context import AnalysisContext, AnalysisOptions
+from repro.core.pipeline import analyze_flow
+from repro.core.results import FlowResult, HolisticResult
+from repro.model.flow import Flow
+from repro.model.network import Network
+
+#: Absolute tolerance (seconds) below which a jitter change counts as
+#: converged.  1 ns is far below any modelled quantity (CIRC ~ 15 us).
+JITTER_TOLERANCE = 1e-9
+
+
+def holistic_analysis(
+    network: Network,
+    flows: Sequence[Flow],
+    options: AnalysisOptions | None = None,
+    *,
+    context: AnalysisContext | None = None,
+) -> HolisticResult:
+    """Run the holistic fixed point; returns the final per-flow results.
+
+    Parameters
+    ----------
+    network, flows, options:
+        Problem description (ignored when ``context`` is given).
+    context:
+        Optionally reuse an existing context (its jitter table is used
+        as the starting point — useful for incremental admission).
+    """
+    ctx = context or AnalysisContext(network, flows, options)
+    max_iter = ctx.options.holistic_max_iterations
+
+    results: dict[str, FlowResult] = {}
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        before = ctx.jitters.snapshot()
+        results = {f.name: analyze_flow(ctx, f) for f in ctx.flows}
+        if _any_diverged(results):
+            # A diverged stage yields infinite jitters downstream; the
+            # iteration can never recover (monotone), so stop now.
+            return HolisticResult(
+                flow_results=results, iterations=iterations, converged=False
+            )
+        delta = ctx.jitters.max_abs_delta(before)
+        if delta <= JITTER_TOLERANCE:
+            converged = True
+            break
+    return HolisticResult(
+        flow_results=results, iterations=iterations, converged=converged
+    )
+
+
+def _any_diverged(results: dict[str, FlowResult]) -> bool:
+    return any(
+        math.isinf(frame.response)
+        for r in results.values()
+        for frame in r.frames
+    )

@@ -1,0 +1,169 @@
+"""Capacity planning on top of the analysis.
+
+The admission controller answers "does this flow set fit?"; planning
+answers the operator's follow-up questions:
+
+* :func:`minimum_link_speed_scale` — by how much must every link be
+  scaled (uniformly) for the set to become schedulable?  (Monotone in
+  the scale, so bisection applies.)
+* :func:`max_admissible_scale` — how much can the *traffic* grow
+  (uniform payload scaling) before the set stops being schedulable?
+* :func:`worst_slack_per_flow` — where is the headroom?
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.core.context import AnalysisOptions
+from repro.core.holistic import holistic_analysis
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.model.network import Network
+
+
+def scale_link_speeds(network: Network, scale: float) -> Network:
+    """A copy of ``network`` with every link's bit rate scaled."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    out = Network()
+    for node in network.nodes():
+        out.add_node(
+            type(node)(name=node.name, kind=node.kind, switch=node.switch)
+        )
+    for link in network.links():
+        out.add_link(
+            link.src,
+            link.dst,
+            speed_bps=link.speed_bps * scale,
+            prop_delay=link.prop_delay,
+        )
+    return out
+
+
+def scale_payloads(flows: Sequence[Flow], scale: float) -> list[Flow]:
+    """Copies of ``flows`` with every frame payload scaled (min 1 bit)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    out = []
+    for f in flows:
+        spec = f.spec
+        out.append(
+            f.with_spec(
+                GmfSpec(
+                    min_separations=spec.min_separations,
+                    deadlines=spec.deadlines,
+                    jitters=spec.jitters,
+                    payload_bits=tuple(
+                        max(1, int(s * scale)) for s in spec.payload_bits
+                    ),
+                )
+            )
+        )
+    return out
+
+
+def _schedulable_at_speed(
+    network: Network,
+    flows: Sequence[Flow],
+    scale: float,
+    options: AnalysisOptions | None,
+) -> bool:
+    return holistic_analysis(
+        scale_link_speeds(network, scale), flows, options
+    ).schedulable
+
+
+def minimum_link_speed_scale(
+    network: Network,
+    flows: Sequence[Flow],
+    *,
+    options: AnalysisOptions | None = None,
+    tolerance: float = 0.01,
+    max_scale: float = 1e6,
+) -> float | None:
+    """Smallest uniform link-speed multiplier making the set schedulable.
+
+    Returns None when even ``max_scale`` does not help — i.e. a
+    deadline is violated by speed-independent terms (source jitter,
+    switch task costs, propagation).  Result is within ``tolerance``
+    (relative) of the true threshold, always rounded *up* (the returned
+    scale is guaranteed schedulable).
+    """
+    if not flows:
+        return 1.0
+    if not _schedulable_at_speed(network, flows, max_scale, options):
+        return None
+    lo, hi = 0.0, 1.0
+    if _schedulable_at_speed(network, flows, 1.0, options):
+        # Already schedulable: search downwards for the threshold.
+        while hi > 1e-9 and _schedulable_at_speed(network, flows, hi, options):
+            lo, hi = hi / 2, hi / 2
+        lo, hi = hi, hi * 2
+    else:
+        while hi < max_scale and not _schedulable_at_speed(
+            network, flows, hi, options
+        ):
+            lo, hi = hi, hi * 2
+    # Invariant: lo unschedulable (or 0), hi schedulable.
+    while (hi - lo) > tolerance * hi:
+        mid = 0.5 * (lo + hi)
+        if _schedulable_at_speed(network, flows, mid, options):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def max_admissible_scale(
+    network: Network,
+    flows: Sequence[Flow],
+    *,
+    options: AnalysisOptions | None = None,
+    tolerance: float = 0.01,
+    max_scale: float = 1e6,
+) -> float | None:
+    """Largest uniform payload multiplier keeping the set schedulable.
+
+    Returns None when the set is unschedulable even with vanishing
+    payloads (a structural problem: jitter/CIRC already too large).
+    The result is rounded *down* (the returned scale is schedulable).
+    """
+
+    def ok(scale: float) -> bool:
+        return holistic_analysis(
+            network, scale_payloads(flows, scale), options
+        ).schedulable
+
+    if not flows:
+        return math.inf
+    if not ok(1e-9):
+        return None
+    lo, hi = 1e-9, 1.0
+    if ok(1.0):
+        while hi < max_scale and ok(hi):
+            lo, hi = hi, hi * 2
+        if hi >= max_scale and ok(hi):
+            return hi
+    # Invariant: lo schedulable, hi unschedulable.
+    while (hi - lo) > tolerance * hi:
+        mid = 0.5 * (lo + hi)
+        if ok(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def worst_slack_per_flow(
+    network: Network,
+    flows: Sequence[Flow],
+    *,
+    options: AnalysisOptions | None = None,
+) -> Mapping[str, float]:
+    """Per-flow worst slack (deadline minus bound; negative = miss)."""
+    result = holistic_analysis(network, flows, options)
+    return {
+        name: r.worst_slack for name, r in result.flow_results.items()
+    }

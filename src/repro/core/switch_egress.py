@@ -1,0 +1,146 @@
+"""Switch-egress analysis (Sec. 3.4, Eqs. 28-35).
+
+From all Ethernet frames of a UDP packet enqueued in the prioritised
+output queue of switch ``N`` towards ``succ(tau_i, N)`` until all have
+been received by the successor node.  Three effects combine:
+
+* **static-priority queueing** (IEEE 802.1p): higher-or-equal-priority
+  flows (``hep``, Eq. 2) interfere with their full transmission demand
+  ``MX`` (Eq. 11);
+* **non-preemptive blocking**: one already-transmitting lower-priority
+  Ethernet frame of maximum size — the ``MFT`` term (Eq. 1);
+* **stride-scheduling self-suspension**: the egress task that refills
+  the NIC FIFO runs only once per ``CIRC(N)``, so the link may idle up
+  to ``CIRC(N)`` before each Ethernet frame even when the queue is
+  non-empty — the ``NX * CIRC`` terms (Eqs. 29/31).
+
+Applicability (Eqs. 34/35): the combined utilisation of the flow and its
+``hep`` set on the link must be below 1.
+
+**Reconstruction note** (DESIGN.md): as printed, the flow's own Ethernet
+frames pay no CIRC self-suspension; the default model charges
+``NSUM_i * CIRC`` per previous cycle and ``nframes_i^k * CIRC`` for the
+analysed packet, because the egress task serves the flow's own frames
+one ``CIRC`` apart as well.  ``strict_paper`` restores the printed form.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.context import AnalysisContext, link_resource
+from repro.core.results import StageKind, StageResult, diverged_stage
+from repro.model.flow import Flow
+from repro.util.fixed_point import FixedPointDiverged, iterate_fixed_point
+
+
+def egress_utilization(ctx: AnalysisContext, flow: Flow, node: str) -> float:
+    """Left-hand side of Eqs. 34/35 *plus the flow's own utilisation*.
+
+    The printed condition sums over ``hep`` only; the busy period also
+    contains the analysed flow's own demand, so we include it (a flow
+    alone with utilisation >= 1 can never converge either).
+    """
+    nxt = flow.succ(node)
+    total = ctx.demand(flow, node, nxt).utilization
+    for j in ctx.hep(flow, node, nxt):
+        total += ctx.demand(j, node, nxt).utilization
+    return total
+
+
+def egress_response_time(
+    ctx: AnalysisContext, flow: Flow, frame: int, node: str
+) -> StageResult:
+    """``R_i^{k,link(N, succ(tau_i, N))}`` (Eq. 33) for switch ``node``."""
+    nxt = flow.succ(node)
+    resource = link_resource(node, nxt)
+    # The egress task refilling this link belongs to the outgoing
+    # interface; all hep frames on the link are served by it too.
+    circ = ctx.circ_task(node, nxt)
+    strict = ctx.options.strict_paper
+
+    dem_i = ctx.demand(flow, node, nxt)
+    mft = dem_i.mft
+    tsum_i = dem_i.tsum
+    c_k = dem_i.c[frame]
+    frames_k = dem_i.n_eth[frame]
+    horizon = ctx.horizon_for(flow)
+
+    if egress_utilization(ctx, flow, node) >= 1.0:
+        return diverged_stage(StageKind.EGRESS, resource)
+
+    hep = ctx.hep(flow, node, nxt)
+    participants = (*hep, flow)  # busy period includes own demand
+    extras = {j.name: ctx.extra(j, resource) for j in participants}
+    if any(math.isinf(e) for e in extras.values()):
+        return diverged_stage(StageKind.EGRESS, resource)
+
+    demands = {j.name: ctx.demand(j, node, nxt) for j in participants}
+
+    def demand_of(j_name: str, t: float) -> float:
+        """One flow's MX + NX*CIRC contribution at horizon ``t``.
+
+        Corrected mode uses the uncapped arrival-work bound (see
+        LinkDemand.mx_work); strict mode keeps the printed Eq. 10 cap.
+        """
+        dem = demands[j_name]
+        shifted = t + extras[j_name]
+        mx = dem.mx(shifted) if strict else dem.mx_work(shifted)
+        return mx + dem.nx(shifted) * circ
+
+    # Eq. 29: level-i busy period, seeded with MFT (Eq. 28).
+    def busy_update(t: float) -> float:
+        return mft + sum(demand_of(j.name, t) for j in participants)
+
+    try:
+        busy = iterate_fixed_point(
+            busy_update,
+            seed=mft,
+            horizon=horizon,
+            max_iterations=ctx.options.max_fp_iterations,
+            what=f"egress busy period of {flow.name}[{frame}] on {node}->{nxt}",
+        ).value
+    except FixedPointDiverged:
+        return diverged_stage(StageKind.EGRESS, resource)
+
+    q_max = max(1, math.ceil(busy / tsum_i))
+
+    worst = 0.0
+    for q in range(q_max):
+        if strict:
+            own_backlog = q * dem_i.csum  # Eq. 30/31 as printed
+            completion = c_k  # Eq. 32
+        else:
+            own_backlog = q * (dem_i.csum + dem_i.nsum * circ)
+            completion = c_k + frames_k * circ
+
+        def queue_update(w: float) -> float:
+            return (
+                mft
+                + own_backlog
+                + sum(demand_of(j.name, w) for j in hep)
+            )
+
+        try:
+            w_q = iterate_fixed_point(
+                queue_update,
+                seed=mft + own_backlog,  # Eq. 30
+                horizon=horizon,
+                max_iterations=ctx.options.max_fp_iterations,
+                what=f"egress w({q}) of {flow.name}[{frame}] on {node}->{nxt}",
+            ).value
+        except FixedPointDiverged:
+            return diverged_stage(StageKind.EGRESS, resource)
+        # Eq. 32: completion of the q-th instance.
+        worst = max(worst, w_q - q * tsum_i + completion)
+
+    # Eq. 33: add the link's propagation delay.
+    response = worst + ctx.network.prop(node, nxt)
+    return StageResult(
+        kind=StageKind.EGRESS,
+        resource=resource,
+        response=response,
+        busy_period=busy,
+        n_instances=q_max,
+        converged=True,
+    )

@@ -1,0 +1,135 @@
+"""Switch-ingress analysis (Sec. 3.3, Eqs. 21-27).
+
+Inside a software switch (Fig. 5) each incoming network interface has a
+dedicated software task that dequeues Ethernet frames from the NIC FIFO,
+classifies them and enqueues them into the correct prioritised output
+queue.  The processor runs all tasks with stride scheduling configured as
+round-robin, so a task is served once every
+
+    ``CIRC(N) = NINTERFACES(N) * (CROUTE(N) + CSEND(N))``
+
+and every Ethernet frame waiting in the NIC FIFO costs one ``CIRC(N)``
+service slot in the worst case.  Interference therefore comes only from
+flows sharing the *same incoming link* ``link(prec(tau_i, N), N)``, and
+is counted in Ethernet frames via ``NX`` (Eq. 13), each weighted by
+``CIRC(N)``.
+
+**Reconstruction note** (DESIGN.md): the printed own-flow terms
+(``q x CIRC`` in Eq. 23, a single ``+CIRC`` in Eq. 25) are only sound
+when every UDP packet is one Ethernet frame.  The default model accounts
+for all ``NSUM_i`` Ethernet frames of the flow's previous cycles and all
+``nframes_i^k`` Ethernet frames of the analysed packet;
+``AnalysisOptions.strict_paper`` restores the printed terms.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.context import AnalysisContext, ingress_resource
+from repro.core.results import StageKind, StageResult, diverged_stage
+from repro.model.flow import Flow
+from repro.util.fixed_point import FixedPointDiverged, iterate_fixed_point
+
+
+def ingress_utilization(ctx: AnalysisContext, node: str, prev: str) -> float:
+    """Processor-time fraction the ingress path of ``node`` spends on
+    frames arriving over ``link(prev, node)``.
+
+    Analogue of Eq. 20 for the ingress stage: every Ethernet frame costs
+    one ``CIRC(node)`` slot, so the demand rate of flow ``j`` is
+    ``NSUM_j * CIRC / TSUM_j``.
+    """
+    circ = ctx.circ_task(node, prev)
+    total = 0.0
+    for j in ctx.flows_on_link(prev, node):
+        dem = ctx.demand(j, prev, node)
+        total += dem.nsum * circ / dem.tsum
+    return total
+
+
+def ingress_response_time(
+    ctx: AnalysisContext, flow: Flow, frame: int, node: str
+) -> StageResult:
+    """``R_i^{k,in(N)}`` (Eq. 26): from all Ethernet frames of frame ``k``
+    received at switch ``node`` until all are enqueued in the priority
+    queue of the outgoing interface."""
+    prev = flow.prec(node)
+    resource = ingress_resource(node)
+    # The ingress task serving this flow belongs to the incoming
+    # interface; its service period is CIRC(N) under round-robin and
+    # the per-interface stride bound under weighted tickets.
+    circ = ctx.circ_task(node, prev)
+    strict = ctx.options.strict_paper
+
+    interferers = ctx.flows_on_link(prev, node)  # includes `flow`
+    dem_i = ctx.demand(flow, prev, node)
+    tsum_i = dem_i.tsum
+    frames_k = dem_i.n_eth[frame]  # Ethernet frames of the analysed packet
+    horizon = ctx.horizon_for(flow)
+
+    if ingress_utilization(ctx, node, prev) >= 1.0:
+        return diverged_stage(StageKind.INGRESS, resource)
+
+    extras = {j.name: ctx.extra(j, resource) for j in interferers}
+    if any(math.isinf(e) for e in extras.values()):
+        return diverged_stage(StageKind.INGRESS, resource)
+
+    demands = {j.name: ctx.demand(j, prev, node) for j in interferers}
+
+    # Eq. 22: busy period counted in CIRC-weighted Ethernet frames.
+    def busy_update(t: float) -> float:
+        return circ * sum(
+            demands[j.name].nx(t + extras[j.name]) for j in interferers
+        )
+
+    seed = circ if strict else frames_k * circ
+    try:
+        busy = iterate_fixed_point(
+            busy_update,
+            seed=seed,
+            horizon=horizon,
+            max_iterations=ctx.options.max_fp_iterations,
+            what=f"ingress busy period of {flow.name}[{frame}] at {node}",
+        ).value
+    except FixedPointDiverged:
+        return diverged_stage(StageKind.INGRESS, resource)
+
+    q_max = max(1, math.ceil(busy / tsum_i))  # Eq. 27
+
+    others = [j for j in interferers if j.name != flow.name]
+    worst = 0.0
+    for q in range(q_max):
+        if strict:
+            own_backlog = q * circ  # Eq. 23/24 as printed
+        else:
+            # q previous cycles = q*NSUM_i frames, plus the analysed
+            # packet's own frames except the last (finished by +CIRC below).
+            own_backlog = (q * dem_i.nsum + frames_k - 1) * circ
+
+        def queue_update(w: float) -> float:
+            return own_backlog + circ * sum(
+                demands[j.name].nx(w + extras[j.name]) for j in others
+            )
+
+        try:
+            w_q = iterate_fixed_point(
+                queue_update,
+                seed=own_backlog,
+                horizon=horizon,
+                max_iterations=ctx.options.max_fp_iterations,
+                what=f"ingress w({q}) of {flow.name}[{frame}] at {node}",
+            ).value
+        except FixedPointDiverged:
+            return diverged_stage(StageKind.INGRESS, resource)
+        # Eq. 25: the final CIRC services the packet's last Ethernet frame.
+        worst = max(worst, w_q - q * tsum_i + circ)
+
+    return StageResult(
+        kind=StageKind.INGRESS,
+        resource=resource,
+        response=worst,
+        busy_period=busy,
+        n_instances=q_max,
+        converged=True,
+    )

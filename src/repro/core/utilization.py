@@ -1,0 +1,120 @@
+"""Convergence / applicability conditions (Eqs. 20, 34, 35).
+
+Each per-resource analysis converges only when the long-run demand on
+the resource stays below capacity:
+
+* first hop (Eq. 20): the summed ``CSUM/TSUM`` of *all* flows on the
+  link < 1 (any work-conserving discipline, so everyone interferes);
+* ingress: each Ethernet frame costs one ``CIRC`` processor slot, so
+  the frame-rate-weighted ``CIRC`` demand on the incoming link < 1;
+* egress (Eqs. 34/35): the ``CSUM/TSUM`` of the flow plus its
+  higher-or-equal-priority set on the link < 1 (lower-priority flows
+  only contribute the single bounded ``MFT`` blocking).
+
+:func:`network_convergence_report` evaluates every resource a flow set
+touches, which the experiments use to characterise the feasible region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.context import AnalysisContext
+from repro.core.first_hop import first_hop_utilization
+from repro.core.switch_egress import egress_utilization
+from repro.core.switch_ingress import ingress_utilization
+from repro.model.flow import Flow
+from repro.model.network import Network, NodeKind
+
+
+def link_utilization(ctx: AnalysisContext, n1: str, n2: str) -> float:
+    """Raw wire utilisation of ``link(n1, n2)`` (all flows, Eq. 20 LHS)."""
+    return first_hop_utilization(ctx, n1, n2)
+
+
+@dataclass(frozen=True)
+class ResourceUtilization:
+    """Utilisation of one analysed resource and its convergence verdict."""
+
+    resource: tuple
+    utilization: float
+
+    @property
+    def convergent(self) -> bool:
+        """Whether the corresponding analysis can converge (< 1)."""
+        return self.utilization < 1.0
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Utilisations of every resource used by the flow set."""
+
+    entries: tuple[ResourceUtilization, ...]
+
+    @property
+    def all_convergent(self) -> bool:
+        return all(e.convergent for e in self.entries)
+
+    @property
+    def max_utilization(self) -> float:
+        return max((e.utilization for e in self.entries), default=0.0)
+
+    def bottleneck(self) -> ResourceUtilization | None:
+        """The most loaded resource (None for an empty flow set)."""
+        if not self.entries:
+            return None
+        return max(self.entries, key=lambda e: e.utilization)
+
+
+def network_convergence_report(ctx: AnalysisContext) -> ConvergenceReport:
+    """Evaluate Eqs. 20/34/35-style conditions on every used resource.
+
+    For egress links the per-flow ``hep`` sets differ, so the entry
+    records the *worst* (lowest-priority flow's) utilisation — the one
+    that binds convergence of the whole analysis.
+    """
+    entries: list[ResourceUtilization] = []
+    seen_links: set[tuple[str, str]] = set()
+    seen_ingress: set[tuple[str, str]] = set()
+
+    for flow in ctx.flows:
+        route = flow.route
+        # First hop.
+        first = (route[0], route[1])
+        if first not in seen_links:
+            seen_links.add(first)
+            entries.append(
+                ResourceUtilization(
+                    resource=("link", *first),
+                    utilization=first_hop_utilization(ctx, *first),
+                )
+            )
+        # Switch stages.
+        for node in flow.intermediate_switches():
+            prev = flow.prec(node)
+            nxt = flow.succ(node)
+            ikey = (prev, node)
+            if ikey not in seen_ingress:
+                seen_ingress.add(ikey)
+                entries.append(
+                    ResourceUtilization(
+                        resource=("in", node, prev),
+                        utilization=ingress_utilization(ctx, node, prev),
+                    )
+                )
+            ekey = (node, nxt)
+            if ekey not in seen_links:
+                seen_links.add(ekey)
+                # Worst hep-utilisation over flows using the link: the
+                # lowest-priority flow sees everyone.
+                worst = max(
+                    egress_utilization(ctx, f, node)
+                    for f in ctx.flows_on_link(node, nxt)
+                )
+                entries.append(
+                    ResourceUtilization(
+                        resource=("link", *ekey), utilization=worst
+                    )
+                )
+    return ConvergenceReport(entries=tuple(entries))

@@ -1,0 +1,117 @@
+"""E9: behaviour at the convergence boundary (Eqs. 20/34/35).
+
+Scale one flow set towards (and past) utilisation 1 on its bottleneck
+link and record: the Eq. 20/34/35-style utilisation report, whether the
+holistic analysis converged, and the resulting bound.  Expected shape:
+bounds grow sharply as utilisation approaches 1 and the analysis
+cleanly reports divergence (rather than hanging) at and above it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.context import AnalysisContext, AnalysisOptions
+from repro.core.holistic import holistic_analysis
+from repro.core.utilization import network_convergence_report
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.util.tables import Table
+from repro.util.units import mbps, ms
+from repro.workloads.topologies import star_network
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    scale: float
+    max_utilization: float
+    utilization_ok: bool
+    converged: bool
+    bound: float
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    points: tuple[ConvergencePoint, ...]
+
+    def render(self) -> str:
+        t = Table(
+            ["load scale", "max util", "util < 1", "converged", "bound (ms)"],
+            title="E9: convergence boundary (Eqs. 20/34/35)",
+        )
+        for p in self.points:
+            t.add_row(
+                [
+                    p.scale,
+                    p.max_utilization,
+                    p.utilization_ok,
+                    p.converged,
+                    p.bound * 1e3 if math.isfinite(p.bound) else math.inf,
+                ]
+            )
+        return t.render()
+
+    def divergence_detected_correctly(self) -> bool:
+        """Every point with utilisation >= 1 is reported non-converged."""
+        return all(p.converged is False for p in self.points if not p.utilization_ok)
+
+    def bounds_monotone_in_load(self) -> bool:
+        finite = [p for p in self.points if math.isfinite(p.bound)]
+        ordered = sorted(finite, key=lambda p: p.scale)
+        return all(
+            a.bound <= b.bound + 1e-12 for a, b in zip(ordered, ordered[1:])
+        )
+
+
+def _scaled_flows(scale: float) -> list[Flow]:
+    """Two flows contending on one egress link; payloads scale the load.
+
+    At ``scale = 1.0`` the shared 10 Mbit/s egress link carries roughly
+    95% wire utilisation, so the default sweep crosses utilisation 1
+    just above it.
+    """
+    base = int(60_000 * scale)
+    spec = GmfSpec(
+        min_separations=(ms(10), ms(10)),
+        deadlines=(ms(400), ms(400)),
+        jitters=(0.0, 0.0),
+        payload_bits=(max(64, base), max(64, base // 2)),
+    )
+    return [
+        Flow("fa", spec, ("h0", "sw", "h2"), priority=2),
+        Flow("fb", spec, ("h1", "sw", "h2"), priority=1),
+    ]
+
+
+def run_convergence_study(
+    *,
+    scales: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 0.95, 1.1, 1.3),
+    speed_bps: float = mbps(10),
+    options: AnalysisOptions | None = None,
+) -> ConvergenceResult:
+    """Scale contention on a 3-host star network through utilisation 1."""
+    opts = options or AnalysisOptions(horizon_factor=100.0)
+    points: list[ConvergencePoint] = []
+    for scale in scales:
+        net = star_network(3, speed_bps=speed_bps)
+        flows = _scaled_flows(scale)
+        ctx = AnalysisContext(net, flows, opts)
+        report = network_convergence_report(ctx)
+        res = holistic_analysis(net, flows, opts)
+        bound = (
+            max(r.worst_response for r in res.flow_results.values())
+            if res.flow_results
+            else math.inf
+        )
+        points.append(
+            ConvergencePoint(
+                scale=scale,
+                max_utilization=report.max_utilization,
+                utilization_ok=report.all_convergent,
+                converged=res.converged,
+                bound=bound,
+            )
+        )
+    return ConvergenceResult(points=tuple(points))

@@ -1,0 +1,118 @@
+"""E3: end-to-end bounds on the paper's example network (Figs. 1/2/6).
+
+The Fig. 2 scenario: the MPEG IBBPBBPBB flow from end host 0 to end
+host 3 over switches 4 and 6, plus cross traffic exercising every
+analysis stage — a VoIP call n1 → n2 (crossing both switches on partly
+shared links) and a lower-priority bulk flow n1 → n3 sharing the
+congested 4→6→3 path.  The result reports the per-stage response-time
+breakdown of every frame of the MPEG flow — the quantity Fig. 6's
+algorithm produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.context import AnalysisOptions
+from repro.core.holistic import holistic_analysis
+from repro.core.results import HolisticResult
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.model.network import Network
+from repro.util.tables import Table
+from repro.util.units import mbps, ms
+from repro.workloads.mpeg import paper_fig3_flow
+from repro.workloads.topologies import paper_fig1_network
+from repro.workloads.voip import voip_flow
+
+
+@dataclass(frozen=True)
+class EndToEndResult:
+    network: Network
+    flows: tuple[Flow, ...]
+    analysis: HolisticResult
+
+    @property
+    def mpeg_worst_response(self) -> float:
+        return self.analysis.result("mpeg").worst_response
+
+    def render(self) -> str:
+        head = Table(
+            ["flow", "route", "prio", "worst R (ms)", "deadline (ms)", "ok"],
+            title="E3: end-to-end bounds on the Fig. 1 network",
+        )
+        for f in self.flows:
+            r = self.analysis.result(f.name)
+            head.add_row(
+                [
+                    f.name,
+                    "->".join(f.route),
+                    f.priority,
+                    r.worst_response * 1e3,
+                    min(f.spec.deadlines) * 1e3,
+                    r.schedulable,
+                ]
+            )
+        detail = Table(
+            ["frame k", "R (ms)"] + [s for s, _ in self._stage_labels()],
+            title="per-stage breakdown of flow 'mpeg' (ms)",
+        )
+        for fr in self.analysis.result("mpeg").frames:
+            detail.add_row(
+                [fr.frame, fr.response * 1e3]
+                + [s.response * 1e3 for s in fr.stages]
+            )
+        return head.render() + "\n" + detail.render()
+
+    def _stage_labels(self) -> list[tuple[str, None]]:
+        frame0 = self.analysis.result("mpeg").frames[0]
+        return [(label, None) for label, _ in frame0.stage_breakdown()]
+
+
+def build_example_scenario(
+    *,
+    speed_bps: float = mbps(100),
+    mpeg_jitter: float = ms(1),
+    options: AnalysisOptions | None = None,
+) -> tuple[Network, list[Flow]]:
+    """The Fig. 1 network with the Fig. 2 flow plus cross traffic.
+
+    10 Mbit/s (the worked example's speed) is too slow to carry the MPEG
+    stream alongside cross traffic through a single uplink, so the
+    end-to-end experiment uses 100 Mbit/s links by default (the speed of
+    the commodity switches the paper targets); pass ``speed_bps`` to
+    explore other operating points.
+    """
+    net = paper_fig1_network(speed_bps=speed_bps)
+    mpeg = paper_fig3_flow(
+        route=("n0", "n4", "n6", "n3"),
+        deadline=ms(100),
+        priority=5,
+        jitter=mpeg_jitter,
+    )
+    voice = voip_flow(
+        ("n1", "n4", "n6", "n5", "n2"), name="voip", priority=7, deadline=ms(50)
+    )
+    bulk = Flow(
+        name="bulk",
+        spec=GmfSpec(
+            min_separations=(ms(10),),
+            deadlines=(ms(500),),
+            jitters=(0.0,),
+            payload_bits=(80_000,),
+        ),
+        route=("n1", "n4", "n6", "n3"),
+        priority=1,
+    )
+    return net, [mpeg, voice, bulk]
+
+
+def run_endtoend_example(
+    *,
+    speed_bps: float = mbps(100),
+    options: AnalysisOptions | None = None,
+) -> EndToEndResult:
+    """Run the holistic analysis on the example scenario."""
+    net, flows = build_example_scenario(speed_bps=speed_bps, options=options)
+    analysis = holistic_analysis(net, flows, options)
+    return EndToEndResult(network=net, flows=tuple(flows), analysis=analysis)

@@ -1,0 +1,78 @@
+"""Run every experiment and print its table.
+
+Usage::
+
+    python -m repro.experiments.runner            # all experiments
+    python -m repro.experiments.runner E1 E4      # a subset
+    python -m repro.experiments.runner --quick    # reduced parameters
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable
+
+from repro.experiments.ablation import run_ablation
+from repro.experiments.acceptance import run_acceptance_sweep, run_burstiness_sweep
+from repro.experiments.convergence import run_convergence_study
+from repro.experiments.endtoend import run_endtoend_example
+from repro.experiments.sensitivity import run_circ_sensitivity, run_hop_sweep
+from repro.experiments.validation import run_stage_tightness, run_validation
+from repro.experiments.worked_example import run_circ_examples, run_worked_example
+
+
+def _quick_overrides(quick: bool) -> dict:
+    if not quick:
+        return {}
+    return {
+        "E4": dict(seeds=(0, 1), duration=1.0),
+        "E4b": dict(duration=1.0),
+        "E5": dict(trials=4, utilizations=(0.2, 0.4, 0.6, 0.8)),
+        "E5b": dict(trials=4, burstiness_levels=(1.0, 4.0, 16.0)),
+        "E6": dict(cost_scales=(0.5, 1.0, 4.0), processor_counts=(1, 2)),
+        "E7": dict(switch_counts=(1, 2, 4)),
+    }
+
+
+EXPERIMENTS: dict[str, Callable[..., object]] = {
+    "E1": run_worked_example,
+    "E2": run_circ_examples,
+    "E3": run_endtoend_example,
+    "E4": run_validation,
+    "E4b": run_stage_tightness,
+    "E5": run_acceptance_sweep,
+    "E5b": run_burstiness_sweep,
+    "E6": run_circ_sensitivity,
+    "E7": run_hop_sweep,
+    "E8": run_ablation,
+    "E9": run_convergence_study,
+}
+
+
+def run_all(selected: list[str] | None = None, *, quick: bool = False) -> str:
+    """Run experiments and return the combined report text."""
+    overrides = _quick_overrides(quick)
+    names = selected or list(EXPERIMENTS)
+    chunks: list[str] = []
+    for name in names:
+        if name not in EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {name!r}; choose from {list(EXPERIMENTS)}"
+            )
+        kwargs = overrides.get(name, {})
+        result = EXPERIMENTS[name](**kwargs)
+        chunks.append(f"==== {name} ====")
+        chunks.append(result.render())
+        chunks.append("")
+    return "\n".join(chunks)
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in args
+    args = [a for a in args if a != "--quick"]
+    print(run_all(args or None, quick=quick))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,199 @@
+"""E6 + E7: sensitivity studies.
+
+E6 — "It can be seen that CIRC(N), the time required until a task is
+served again, heavily influences the delay" (paper conclusions).  Sweep
+the switch task costs (scaling CROUTE+CSEND) and the processor count
+(the conclusions' multiprocessor partitioning) and report the MPEG
+flow's end-to-end bound.
+
+E7 — the Fig. 6 composition is per-resource additive, so the bound
+grows essentially linearly in the hop count; sweep path length on a
+line topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.context import AnalysisOptions
+from repro.core.holistic import holistic_analysis
+from repro.model.flow import Flow
+from repro.model.network import SwitchConfig
+from repro.util.tables import Table
+from repro.util.units import mbps, ms, us
+from repro.workloads.mpeg import paper_fig3_spec
+from repro.workloads.topologies import line_network
+
+
+@dataclass(frozen=True)
+class CircSweepRow:
+    label: str
+    circ_us: float
+    bound: float
+    schedulable: bool
+
+
+@dataclass(frozen=True)
+class CircSensitivityResult:
+    rows: tuple[CircSweepRow, ...]
+
+    def render(self) -> str:
+        t = Table(
+            ["switch configuration", "CIRC (us)", "end-to-end bound (ms)", "ok"],
+            title="E6: end-to-end bound vs CIRC (conclusions claim)",
+        )
+        for r in self.rows:
+            t.add_row([r.label, r.circ_us, r.bound * 1e3, r.schedulable])
+        return t.render()
+
+    def monotone_in_circ(self) -> bool:
+        """Bound never decreases as CIRC grows (the paper's claim)."""
+        ordered = sorted(self.rows, key=lambda r: r.circ_us)
+        bounds = [r.bound for r in ordered if r.schedulable]
+        return all(a <= b + 1e-12 for a, b in zip(bounds, bounds[1:]))
+
+
+def _mpeg_over_line(
+    n_switches: int,
+    switch_config: SwitchConfig,
+    *,
+    speed_bps: float,
+    deadline: float,
+) -> tuple:
+    net = line_network(
+        n_switches,
+        hosts_per_switch=2,  # two hosts so a 1-switch line still has
+        speed_bps=speed_bps,  # distinct endpoints
+        switch_config=switch_config,
+    )
+    route = (
+        "h0_0",
+        *[f"sw{s}" for s in range(n_switches)],
+        f"h{n_switches - 1}_1",
+    )
+    flow = Flow(
+        name="mpeg",
+        spec=paper_fig3_spec(deadline=deadline),
+        route=route,
+        priority=5,
+    )
+    return net, flow
+
+
+def run_circ_sensitivity(
+    *,
+    cost_scales: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+    processor_counts: Sequence[int] = (1, 2, 4),
+    n_switches: int = 3,
+    n_interfaces_factor: int = 4,
+    speed_bps: float = mbps(100),
+    deadline: float = ms(200),
+    options: AnalysisOptions | None = None,
+) -> CircSensitivityResult:
+    """Sweep CIRC via task-cost scaling and processor counts.
+
+    ``n_interfaces_factor`` pads each switch with extra idle hosts so
+    ``NINTERFACES`` (and hence CIRC) is realistic for an edge switch.
+    """
+    rows: list[CircSweepRow] = []
+    for scale in cost_scales:
+        cfg = SwitchConfig(c_route=us(2.7) * scale, c_send=us(1.0) * scale)
+        net, flow = _mpeg_over_line(
+            n_switches, cfg, speed_bps=speed_bps, deadline=deadline
+        )
+        _pad_interfaces(net, n_interfaces_factor, speed_bps)
+        res = holistic_analysis(net, [flow], options)
+        circ = net.circ("sw1")
+        rows.append(
+            CircSweepRow(
+                label=f"task costs x{scale:g}",
+                circ_us=circ * 1e6,
+                bound=res.result("mpeg").worst_response,
+                schedulable=res.schedulable,
+            )
+        )
+    for m in processor_counts:
+        cfg = SwitchConfig(c_route=us(2.7), c_send=us(1.0), n_processors=m)
+        net, flow = _mpeg_over_line(
+            n_switches, cfg, speed_bps=speed_bps, deadline=deadline
+        )
+        _pad_interfaces(net, n_interfaces_factor, speed_bps, multiple_of=m)
+        res = holistic_analysis(net, [flow], options)
+        circ = net.circ("sw1")
+        rows.append(
+            CircSweepRow(
+                label=f"{m} processor(s)",
+                circ_us=circ * 1e6,
+                bound=res.result("mpeg").worst_response,
+                schedulable=res.schedulable,
+            )
+        )
+    return CircSensitivityResult(rows=tuple(rows))
+
+
+def _pad_interfaces(net, factor: int, speed_bps: float, *, multiple_of: int = 1) -> None:
+    """Attach idle hosts so every switch has >= factor interfaces (and a
+    count divisible by the processor count)."""
+    switches = [n.name for n in net.nodes() if n.is_switch]
+    for sw in switches:
+        current = net.n_interfaces(sw)
+        target = max(factor, current)
+        if target % multiple_of:
+            target += multiple_of - (target % multiple_of)
+        for i in range(target - current):
+            pad = f"pad_{sw}_{i}"
+            net.add_endhost(pad)
+            net.add_duplex_link(pad, sw, speed_bps=speed_bps)
+
+
+@dataclass(frozen=True)
+class HopSweepRow:
+    n_switches: int
+    hops: int
+    bound: float
+    per_hop: float
+
+
+@dataclass(frozen=True)
+class HopSweepResult:
+    rows: tuple[HopSweepRow, ...]
+
+    def render(self) -> str:
+        t = Table(
+            ["switches", "hops", "bound (ms)", "bound/hop (ms)"],
+            title="E7: end-to-end bound vs hop count",
+        )
+        for r in self.rows:
+            t.add_row([r.n_switches, r.hops, r.bound * 1e3, r.per_hop * 1e3])
+        return t.render()
+
+    def roughly_linear(self, tolerance: float = 0.5) -> bool:
+        """Per-hop cost varies by at most ``tolerance`` relative spread."""
+        per_hop = [r.per_hop for r in self.rows]
+        lo, hi = min(per_hop), max(per_hop)
+        return (hi - lo) <= tolerance * hi
+
+
+def run_hop_sweep(
+    *,
+    switch_counts: Sequence[int] = (1, 2, 3, 4, 6, 8),
+    speed_bps: float = mbps(100),
+    deadline: float = ms(500),
+    options: AnalysisOptions | None = None,
+) -> HopSweepResult:
+    """End-to-end bound of the MPEG flow vs path length."""
+    rows: list[HopSweepRow] = []
+    for n in switch_counts:
+        net, flow = _mpeg_over_line(
+            n, SwitchConfig(), speed_bps=speed_bps, deadline=deadline
+        )
+        res = holistic_analysis(net, [flow], options)
+        bound = res.result("mpeg").worst_response
+        hops = flow.hops()
+        rows.append(
+            HopSweepRow(
+                n_switches=n, hops=hops, bound=bound, per_hop=bound / hops
+            )
+        )
+    return HopSweepResult(rows=tuple(rows))

@@ -1,0 +1,251 @@
+"""E4: analysis-vs-simulation soundness and tightness.
+
+For seeded random workloads on a small edge topology, run the holistic
+analysis and both simulator modes; record, per (flow, frame), the
+analysis bound, the worst simulated response and their ratio.  The
+load-bearing claim: **no simulated response ever exceeds its bound**
+(the analysis is an upper bound).  The tightness ratio quantifies the
+pessimism the paper accepts in exchange for guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.context import AnalysisOptions
+from repro.core.holistic import holistic_analysis
+from repro.model.flow import Flow
+from repro.model.network import Network
+from repro.sim.release import EagerRelease
+from repro.sim.simulator import SimConfig, simulate
+from repro.util.tables import Table
+from repro.workloads.generator import RandomFlowConfig, random_flow_set
+from repro.workloads.topologies import line_network
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One (seed, flow, frame, sim-mode) comparison."""
+
+    seed: int
+    flow: str
+    frame: int
+    mode: str
+    bound: float
+    sim_worst: float
+    samples: int
+
+    @property
+    def sound(self) -> bool:
+        """Bound dominates the simulation (the claim under test)."""
+        return self.sim_worst <= self.bound + 1e-12
+
+    @property
+    def tightness(self) -> float:
+        """sim/bound in (0, 1]; higher = tighter analysis."""
+        if self.bound <= 0 or self.sim_worst < 0:
+            return math.nan
+        return self.sim_worst / self.bound
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    rows: tuple[ValidationRow, ...]
+    skipped_unschedulable: int
+
+    @property
+    def all_sound(self) -> bool:
+        return all(r.sound for r in self.rows)
+
+    @property
+    def violations(self) -> tuple[ValidationRow, ...]:
+        return tuple(r for r in self.rows if not r.sound)
+
+    @property
+    def mean_tightness(self) -> float:
+        vals = [r.tightness for r in self.rows if not math.isnan(r.tightness)]
+        return sum(vals) / len(vals) if vals else math.nan
+
+    @property
+    def max_tightness(self) -> float:
+        vals = [r.tightness for r in self.rows if not math.isnan(r.tightness)]
+        return max(vals) if vals else math.nan
+
+    def render(self) -> str:
+        t = Table(
+            ["seed", "mode", "flows*frames", "sound", "mean sim/bound", "max sim/bound"],
+            title="E4: analysis bound vs simulated worst response",
+        )
+        by_key: dict[tuple[int, str], list[ValidationRow]] = {}
+        for r in self.rows:
+            by_key.setdefault((r.seed, r.mode), []).append(r)
+        for (seed, mode), rows in sorted(by_key.items()):
+            ts = [r.tightness for r in rows if not math.isnan(r.tightness)]
+            t.add_row(
+                [
+                    seed,
+                    mode,
+                    len(rows),
+                    all(r.sound for r in rows),
+                    sum(ts) / len(ts) if ts else math.nan,
+                    max(ts) if ts else math.nan,
+                ]
+            )
+        summary = (
+            f"overall: {len(self.rows)} comparisons, "
+            f"violations={len(self.violations)}, "
+            f"mean tightness={self.mean_tightness:.3f}, "
+            f"max tightness={self.max_tightness:.3f}, "
+            f"unschedulable sets skipped={self.skipped_unschedulable}"
+        )
+        return t.render() + "\n" + summary
+
+
+def run_validation(
+    *,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    n_flows: int = 4,
+    utilization: float = 0.45,
+    duration: float = 2.0,
+    modes: Sequence[str] = ("event", "rotation"),
+    network: Network | None = None,
+    options: AnalysisOptions | None = None,
+) -> ValidationResult:
+    """Run the soundness study over seeded random workloads."""
+    net = network or line_network(2, hosts_per_switch=2)
+    rows: list[ValidationRow] = []
+    skipped = 0
+    for seed in seeds:
+        flows = random_flow_set(
+            net,
+            n_flows=n_flows,
+            total_utilization=utilization,
+            seed=seed,
+            config=RandomFlowConfig(n_frames_range=(1, 5)),
+        )
+        analysis = holistic_analysis(net, flows, options)
+        if not analysis.converged:
+            skipped += 1
+            continue
+        for mode in modes:
+            trace = simulate(
+                net,
+                flows,
+                config=SimConfig(duration=duration, switch_mode=mode),
+                release_policies={f.name: EagerRelease() for f in flows},
+            )
+            for f in flows:
+                for k in range(f.spec.n_frames):
+                    sim_worst = trace.worst_response(f.name, k)
+                    if sim_worst == -math.inf:
+                        continue  # no sample of this frame completed
+                    rows.append(
+                        ValidationRow(
+                            seed=seed,
+                            flow=f.name,
+                            frame=k,
+                            mode=mode,
+                            bound=analysis.result(f.name).frame(k).response,
+                            sim_worst=sim_worst,
+                            samples=len(trace.responses(f.name, k)),
+                        )
+                    )
+    return ValidationResult(rows=tuple(rows), skipped_unschedulable=skipped)
+
+
+# ----------------------------------------------------------------------
+# Per-stage tightness (E4 companion study)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StageTightnessRow:
+    """Cumulative bound vs worst simulated latency up to one route node."""
+
+    node: str
+    cumulative_bound: float
+    sim_worst: float
+
+    @property
+    def tightness(self) -> float:
+        if self.cumulative_bound <= 0:
+            return math.nan
+        return self.sim_worst / self.cumulative_bound
+
+
+@dataclass(frozen=True)
+class StageTightnessResult:
+    flow_name: str
+    frame: int
+    rows: tuple[StageTightnessRow, ...]
+
+    @property
+    def sound(self) -> bool:
+        return all(r.sim_worst <= r.cumulative_bound + 1e-9 for r in self.rows)
+
+    def render(self) -> str:
+        t = Table(
+            ["route node", "cumulative bound (ms)", "sim worst (ms)", "sim/bound"],
+            title=(
+                f"E4b: per-stage tightness of {self.flow_name!r} frame "
+                f"{self.frame} (cumulative latency up to each node)"
+            ),
+        )
+        for r in self.rows:
+            t.add_row(
+                [
+                    r.node,
+                    r.cumulative_bound * 1e3,
+                    r.sim_worst * 1e3,
+                    r.tightness,
+                ]
+            )
+        return t.render()
+
+
+def run_stage_tightness(
+    *,
+    duration: float = 2.0,
+    options: AnalysisOptions | None = None,
+) -> StageTightnessResult:
+    """Localise the analysis pessimism along the route.
+
+    Uses the E3 scenario's MPEG flow: for its worst frame (the I+P
+    packet), compare the cumulative analysis bound after each link
+    stage with the worst simulated cumulative latency at the matching
+    route node (per-hop records of the simulator).
+    """
+    from repro.experiments.endtoend import build_example_scenario
+
+    net, flows = build_example_scenario()
+    analysis = holistic_analysis(net, flows, options)
+    mpeg = next(f for f in flows if f.name == "mpeg")
+    frame = analysis.result("mpeg").frame(0)
+
+    # Cumulative bound at each node reached by a link stage.
+    cumulative: dict[str, float] = {}
+    acc = mpeg.spec.jitters[0]
+    for stage in frame.stages:
+        acc += stage.response
+        if stage.resource[0] == "link":
+            cumulative[stage.resource[2]] = acc
+
+    trace = simulate(
+        net, flows, config=SimConfig(duration=duration, switch_mode="rotation")
+    )
+    worst: dict[str, float] = {node: 0.0 for node in cumulative}
+    for p in trace.completed_packets("mpeg", 0):
+        for node, latency in p.hop_latencies(mpeg.route):
+            if node in worst:
+                worst[node] = max(worst[node], latency)
+
+    rows = tuple(
+        StageTightnessRow(
+            node=node,
+            cumulative_bound=cumulative[node],
+            sim_worst=worst[node],
+        )
+        for node in mpeg.route[1:]
+        if node in cumulative
+    )
+    return StageTightnessResult(flow_name="mpeg", frame=0, rows=rows)

@@ -1,0 +1,192 @@
+"""Scenario (de)serialization: networks + flows as JSON documents.
+
+A *scenario file* is what a network operator would actually keep in
+version control: the topology, the switch parameters and the admitted
+flows.  The format is plain JSON::
+
+    {
+      "network": {
+        "nodes": [
+          {"name": "h0", "kind": "endhost"},
+          {"name": "sw", "kind": "switch",
+           "c_route_us": 2.7, "c_send_us": 1.0, "n_processors": 1},
+          {"name": "gw", "kind": "router"}
+        ],
+        "links": [
+          {"src": "h0", "dst": "sw", "speed_bps": 1e8,
+           "prop_delay": 0.0, "duplex": true}
+        ]
+      },
+      "flows": [
+        {"name": "video", "route": ["h0", "sw", "gw"], "priority": 5,
+         "transport": "udp",
+         "min_separations": [0.03, 0.03], "deadlines": [0.1, 0.1],
+         "jitters": [0.0, 0.0], "payload_bits": [120000, 40000]}
+      ]
+    }
+
+Times are seconds except the explicitly suffixed ``*_us`` switch costs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.model.flow import Flow, Transport
+from repro.model.gmf import GmfSpec
+from repro.model.network import Network, Node, NodeKind, SwitchConfig
+from repro.model.routing import validate_route
+from repro.util.units import us
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def network_to_dict(network: Network) -> dict[str, Any]:
+    """JSON-ready dict of a network (duplex pairs are not re-merged)."""
+    nodes = []
+    for node in network.nodes():
+        entry: dict[str, Any] = {"name": node.name, "kind": node.kind.value}
+        if node.switch is not None:
+            entry["c_route_us"] = node.switch.c_route / us(1)
+            entry["c_send_us"] = node.switch.c_send / us(1)
+            entry["n_processors"] = node.switch.n_processors
+        nodes.append(entry)
+    links = [
+        {
+            "src": l.src,
+            "dst": l.dst,
+            "speed_bps": l.speed_bps,
+            "prop_delay": l.prop_delay,
+        }
+        for l in network.links()
+    ]
+    return {"nodes": nodes, "links": links}
+
+
+def flow_to_dict(flow: Flow) -> dict[str, Any]:
+    """JSON-ready dict of one flow."""
+    out: dict[str, Any] = {
+        "name": flow.name,
+        "route": list(flow.route),
+        "priority": flow.priority,
+        "transport": flow.transport.value,
+        "min_separations": list(flow.spec.min_separations),
+        "deadlines": list(flow.spec.deadlines),
+        "jitters": list(flow.spec.jitters),
+        "payload_bits": list(flow.spec.payload_bits),
+    }
+    if flow.link_priorities:
+        out["link_priorities"] = [
+            {"src": a, "dst": b, "priority": p}
+            for (a, b), p in sorted(flow.link_priorities.items())
+        ]
+    return out
+
+
+def scenario_to_dict(network: Network, flows: Sequence[Flow]) -> dict[str, Any]:
+    return {
+        "network": network_to_dict(network),
+        "flows": [flow_to_dict(f) for f in flows],
+    }
+
+
+def save_scenario(
+    path: str | Path, network: Network, flows: Sequence[Flow]
+) -> None:
+    """Write a scenario JSON file (pretty-printed, stable ordering)."""
+    Path(path).write_text(
+        json.dumps(scenario_to_dict(network, flows), indent=2, sort_keys=True)
+        + "\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# Deserialization
+# ----------------------------------------------------------------------
+class ScenarioError(ValueError):
+    """A scenario document is malformed."""
+
+
+def network_from_dict(doc: dict[str, Any]) -> Network:
+    net = Network()
+    for entry in doc.get("nodes", []):
+        name = _require(entry, "name", str)
+        kind = _require(entry, "kind", str)
+        if kind == "endhost":
+            net.add_endhost(name)
+        elif kind == "router":
+            net.add_router(name)
+        elif kind == "switch":
+            net.add_switch(
+                name,
+                SwitchConfig(
+                    c_route=us(float(entry.get("c_route_us", 2.7))),
+                    c_send=us(float(entry.get("c_send_us", 1.0))),
+                    n_processors=int(entry.get("n_processors", 1)),
+                ),
+            )
+        else:
+            raise ScenarioError(f"node {name!r}: unknown kind {kind!r}")
+    for entry in doc.get("links", []):
+        src = _require(entry, "src", str)
+        dst = _require(entry, "dst", str)
+        speed = float(_require(entry, "speed_bps", (int, float)))
+        prop = float(entry.get("prop_delay", 0.0))
+        if entry.get("duplex", False):
+            net.add_duplex_link(src, dst, speed_bps=speed, prop_delay=prop)
+        else:
+            net.add_link(src, dst, speed_bps=speed, prop_delay=prop)
+    return net
+
+
+def flow_from_dict(doc: dict[str, Any]) -> Flow:
+    spec = GmfSpec(
+        min_separations=tuple(
+            float(x) for x in _require(doc, "min_separations", list)
+        ),
+        deadlines=tuple(float(x) for x in _require(doc, "deadlines", list)),
+        jitters=tuple(float(x) for x in _require(doc, "jitters", list)),
+        payload_bits=tuple(int(x) for x in _require(doc, "payload_bits", list)),
+    )
+    link_priorities = {
+        (e["src"], e["dst"]): int(e["priority"])
+        for e in doc.get("link_priorities", [])
+    }
+    transport = Transport(doc.get("transport", "udp"))
+    return Flow(
+        name=_require(doc, "name", str),
+        spec=spec,
+        route=tuple(_require(doc, "route", list)),
+        priority=int(doc.get("priority", 0)),
+        link_priorities=link_priorities,
+        transport=transport,
+    )
+
+
+def load_scenario(path: str | Path) -> tuple[Network, list[Flow]]:
+    """Read and validate a scenario JSON file."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"{path}: invalid JSON: {exc}") from exc
+    if "network" not in doc:
+        raise ScenarioError(f"{path}: missing 'network' section")
+    network = network_from_dict(doc["network"])
+    flows = [flow_from_dict(f) for f in doc.get("flows", [])]
+    for flow in flows:
+        validate_route(network, flow.route)
+    return network, flows
+
+
+def _require(doc: dict, key: str, types) -> Any:
+    if key not in doc:
+        raise ScenarioError(f"missing required key {key!r} in {doc!r}")
+    value = doc[key]
+    if not isinstance(value, types):
+        raise ScenarioError(
+            f"key {key!r}: expected {types}, got {type(value).__name__}"
+        )
+    return value

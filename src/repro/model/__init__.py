@@ -1,0 +1,43 @@
+"""Traffic and network model substrate.
+
+This package holds the *inputs* to the analysis: the generalized
+multiframe (GMF) traffic description (Sec. 2.3 of the paper), the
+multihop network of end hosts / software Ethernet switches / IP routers
+(Sec. 2.1, Fig. 1), flows binding a GMF spec to a route and priority, and
+priority-assignment policies.
+"""
+
+from repro.model.gmf import GmfSpec, gmf_from_uniform, sporadic_spec
+from repro.model.network import (
+    Link,
+    Network,
+    Node,
+    NodeKind,
+    SwitchConfig,
+)
+from repro.model.flow import Flow, Transport
+from repro.model.routing import RouteError, shortest_route, validate_route
+from repro.model.priorities import (
+    assign_deadline_monotonic,
+    assign_rate_monotonic,
+    clamp_to_levels,
+)
+
+__all__ = [
+    "Flow",
+    "GmfSpec",
+    "Link",
+    "Network",
+    "Node",
+    "NodeKind",
+    "RouteError",
+    "SwitchConfig",
+    "Transport",
+    "assign_deadline_monotonic",
+    "assign_rate_monotonic",
+    "clamp_to_levels",
+    "gmf_from_uniform",
+    "shortest_route",
+    "sporadic_spec",
+    "validate_route",
+]

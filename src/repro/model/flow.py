@@ -1,0 +1,199 @@
+"""Flows: a GMF spec bound to a route, transport and priority.
+
+Sec. 2.1 of the paper: a flow has a source node, a destination node, a
+pre-specified route across Ethernet switches, and GMF parameters.  The
+output queues of Ethernet switches schedule the flow's Ethernet frames by
+static priority (IEEE 802.1p); the priority may differ per link, so
+``priority_on`` mirrors the paper's ``prio(tau, N1, N2)`` (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping, Sequence
+
+from repro.model.gmf import GmfSpec
+
+
+class Transport(Enum):
+    """Transport stack of the flow's packets (affects header overhead)."""
+
+    UDP = "udp"
+    RTP = "rtp"  # RTP over UDP: 16 extra header bytes (Sec. 3.1)
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A flow ``tau_i``: GMF spec + route + priority.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier used in results and error messages.
+    spec:
+        The GMF tuples ``(T, D, GJ, S)``.
+    route:
+        Node names from source to destination inclusive.  Validate against
+        a :class:`~repro.model.network.Network` with
+        :func:`repro.model.routing.validate_route` before analysis.
+    priority:
+        Default static priority on every link; **larger is higher**.
+    link_priorities:
+        Optional per-link overrides mapping ``(N1, N2)`` to a priority,
+        modelling 802.1p re-marking at switch boundaries.
+    transport:
+        UDP or RTP-over-UDP; selects the header overhead in
+        :mod:`repro.core.packetization`.
+    """
+
+    name: str
+    spec: GmfSpec
+    route: tuple[str, ...]
+    priority: int = 0
+    link_priorities: Mapping[tuple[str, str], int] = field(default_factory=dict)
+    transport: Transport = Transport.UDP
+
+    def __post_init__(self) -> None:
+        if len(self.route) < 2:
+            raise ValueError(f"flow {self.name!r}: route needs >= 2 nodes")
+        if len(set(self.route)) != len(self.route):
+            raise ValueError(f"flow {self.name!r}: route visits a node twice")
+        object.__setattr__(self, "route", tuple(self.route))
+        object.__setattr__(self, "link_priorities", dict(self.link_priorities))
+        for (a, b) in self.link_priorities:
+            if not self.uses_link(a, b):
+                raise ValueError(
+                    f"flow {self.name!r}: priority override for link "
+                    f"({a!r},{b!r}) which is not on its route"
+                )
+
+    # ------------------------------------------------------------------
+    # Route topology helpers (succ / prec of the paper)
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> str:
+        """``SOURCE(tau_i)``."""
+        return self.route[0]
+
+    @property
+    def destination(self) -> str:
+        """``DESTINATION(tau_i)``."""
+        return self.route[-1]
+
+    def succ(self, node: str) -> str:
+        """``succ(tau_i, N)``: next node after ``N`` on the route."""
+        idx = self._index(node)
+        if idx == len(self.route) - 1:
+            raise ValueError(f"flow {self.name!r}: {node!r} is the destination")
+        return self.route[idx + 1]
+
+    def prec(self, node: str) -> str:
+        """``prec(tau_i, N)``: node before ``N`` on the route."""
+        idx = self._index(node)
+        if idx == 0:
+            raise ValueError(f"flow {self.name!r}: {node!r} is the source")
+        return self.route[idx - 1]
+
+    def _index(self, node: str) -> int:
+        try:
+            return self.route.index(node)
+        except ValueError:
+            raise ValueError(
+                f"flow {self.name!r}: node {node!r} not on route {self.route!r}"
+            ) from None
+
+    def uses_link(self, src: str, dst: str) -> bool:
+        """True when ``link(src, dst)`` is on this flow's route."""
+        return any(
+            a == src and b == dst for a, b in zip(self.route, self.route[1:])
+        )
+
+    def links(self) -> list[tuple[str, str]]:
+        """All ``(N1, N2)`` links of the route, in order."""
+        return list(zip(self.route, self.route[1:]))
+
+    def intermediate_switches(self) -> tuple[str, ...]:
+        """Nodes strictly between source and destination."""
+        return self.route[1:-1]
+
+    def hops(self) -> int:
+        """Number of links traversed."""
+        return len(self.route) - 1
+
+    # ------------------------------------------------------------------
+    # Priorities
+    # ------------------------------------------------------------------
+    def priority_on(self, src: str, dst: str) -> int:
+        """``prio(tau_i, N1, N2)``: the 802.1p priority on a route link."""
+        if not self.uses_link(src, dst):
+            raise ValueError(
+                f"flow {self.name!r} does not use link ({src!r},{dst!r})"
+            )
+        return self.link_priorities.get((src, dst), self.priority)
+
+    def with_priority(self, priority: int) -> "Flow":
+        """Copy of this flow with a different default priority."""
+        return Flow(
+            name=self.name,
+            spec=self.spec,
+            route=self.route,
+            priority=priority,
+            link_priorities=dict(self.link_priorities),
+            transport=self.transport,
+        )
+
+    def with_spec(self, spec: GmfSpec) -> "Flow":
+        """Copy of this flow with a different GMF spec (baseline collapses)."""
+        return Flow(
+            name=self.name,
+            spec=spec,
+            route=self.route,
+            priority=self.priority,
+            link_priorities=dict(self.link_priorities),
+            transport=self.transport,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {'->'.join(self.route)} prio={self.priority} "
+            f"{self.spec.describe()}"
+        )
+
+
+def flows_on_link(flows: Sequence[Flow], src: str, dst: str) -> list[Flow]:
+    """``flows(N1, N2)`` (Sec. 3): the flows whose route uses the link."""
+    return [f for f in flows if f.uses_link(src, dst)]
+
+
+def hep_flows(flows: Sequence[Flow], flow: Flow, src: str, dst: str) -> list[Flow]:
+    """``hep(tau_i, N1, N2)`` (Eq. 2): higher-or-equal-priority flows.
+
+    Flows (other than ``flow`` itself) that use ``link(src, dst)`` with a
+    priority on that link at least that of ``flow``.
+    """
+    mine = flow.priority_on(src, dst)
+    return [
+        f
+        for f in flows_on_link(flows, src, dst)
+        if f.name != flow.name and f.priority_on(src, dst) >= mine
+    ]
+
+
+def lp_flows(flows: Sequence[Flow], flow: Flow, src: str, dst: str) -> list[Flow]:
+    """``lp(tau_i, N)`` (Eq. 3): strictly lower-priority flows on the link."""
+    mine = flow.priority_on(src, dst)
+    return [
+        f
+        for f in flows_on_link(flows, src, dst)
+        if f.name != flow.name and f.priority_on(src, dst) < mine
+    ]
+
+
+def check_unique_names(flows: Sequence[Flow]) -> None:
+    """Raise ValueError when two flows share a name."""
+    seen: set[str] = set()
+    for f in flows:
+        if f.name in seen:
+            raise ValueError(f"duplicate flow name {f.name!r}")
+        seen.add(f.name)

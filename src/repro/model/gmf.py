@@ -1,0 +1,210 @@
+"""The generalized multiframe (GMF) traffic model with generalized jitter.
+
+Sec. 2.3 of the paper: a flow ``tau_i`` is a (potentially infinite)
+cyclically repeating sequence of ``n_i`` *frames* — UDP packets, not to be
+confused with Ethernet frames.  Frame ``k`` (``k = 0..n_i-1``) is described
+by:
+
+* ``T_i^k``  — minimum separation between the arrival of frame ``k`` and
+  frame ``(k+1) mod n_i`` at the source node (seconds);
+* ``D_i^k``  — relative end-to-end deadline of frame ``k`` (seconds);
+* ``GJ_i^k`` — *generalized jitter*: if the first Ethernet frame of frame
+  ``k`` is released at ``t``, all its Ethernet frames are released within
+  ``[t, t + GJ_i^k)``;
+* ``S_i^k``  — payload size in bits of the frame's UDP packet.
+
+The classic sporadic task model is the special case ``n_i = 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class GmfSpec:
+    """Immutable GMF parameter tuple ``(T_i, D_i, GJ_i, S_i)`` of a flow.
+
+    All tuples must have the same length ``n_frames >= 1``.  Times are in
+    seconds, sizes in bits.
+
+    >>> spec = GmfSpec(min_separations=(0.030,) * 3,
+    ...                deadlines=(0.100,) * 3,
+    ...                jitters=(0.0,) * 3,
+    ...                payload_bits=(8_000, 4_000, 4_000))
+    >>> spec.n_frames
+    3
+    >>> spec.tsum
+    0.09
+    """
+
+    min_separations: tuple[float, ...]
+    deadlines: tuple[float, ...]
+    jitters: tuple[float, ...]
+    payload_bits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.min_separations)
+        if n == 0:
+            raise ValueError("a GMF flow needs at least one frame")
+        for name, tup in (
+            ("deadlines", self.deadlines),
+            ("jitters", self.jitters),
+            ("payload_bits", self.payload_bits),
+        ):
+            if len(tup) != n:
+                raise ValueError(
+                    f"|{name}| = {len(tup)} but |min_separations| = {n}; "
+                    "the paper requires |T|=|D|=|GJ|=|S|=n"
+                )
+        for k, t in enumerate(self.min_separations):
+            if not (t >= 0 and math.isfinite(t)):
+                raise ValueError(f"T[{k}] = {t!r} must be finite and >= 0")
+        if sum(self.min_separations) <= 0:
+            raise ValueError(
+                "TSUM must be positive: at least one frame separation > 0 "
+                "(otherwise the flow releases unbounded work instantly)"
+            )
+        for k, d in enumerate(self.deadlines):
+            if not (d > 0 and math.isfinite(d)):
+                raise ValueError(f"D[{k}] = {d!r} must be finite and > 0")
+        for k, j in enumerate(self.jitters):
+            if not (j >= 0 and math.isfinite(j)):
+                raise ValueError(f"GJ[{k}] = {j!r} must be finite and >= 0")
+        for k, s in enumerate(self.payload_bits):
+            if not isinstance(s, int):
+                raise TypeError(f"S[{k}] = {s!r} must be an int (bits)")
+            if s <= 0:
+                raise ValueError(f"S[{k}] = {s!r} must be > 0 bits")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def n_frames(self) -> int:
+        """Number of frames ``n_i`` in one cycle of the flow."""
+        return len(self.min_separations)
+
+    @property
+    def tsum(self) -> float:
+        """``TSUM_i`` (Eq. 6): duration of one full cycle of the flow."""
+        return float(sum(self.min_separations))
+
+    @property
+    def max_jitter(self) -> float:
+        """Largest generalized jitter of any frame (used by ``extra_j``)."""
+        return max(self.jitters)
+
+    @property
+    def max_payload_bits(self) -> int:
+        """Largest frame payload, used by the sporadic-collapse baseline."""
+        return max(self.payload_bits)
+
+    @property
+    def min_separation(self) -> float:
+        """Smallest inter-frame separation, the sporadic-collapse period."""
+        return min(self.min_separations)
+
+    def frame_indices(self) -> range:
+        """Iterate over frame indices ``0..n_i-1``."""
+        return range(self.n_frames)
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+    def rotate(self, offset: int) -> "GmfSpec":
+        """Return the same flow with the frame numbering rotated.
+
+        Rotating the start frame does not change the flow's behaviour
+        (the GMF cycle has no distinguished origin); analyses must be
+        invariant under rotation, which the property tests exercise.
+        """
+        n = self.n_frames
+        offset %= n
+        rot = lambda tup: tuple(tup[(k + offset) % n] for k in range(n))
+        return GmfSpec(
+            min_separations=rot(self.min_separations),
+            deadlines=rot(self.deadlines),
+            jitters=rot(self.jitters),
+            payload_bits=rot(self.payload_bits),
+        )
+
+    def separation_window(self, first: int, count: int) -> float:
+        """``TSUM_i(k1, k2)`` (Eq. 9): minimum time spanned by ``count``
+        consecutive frame arrivals starting at frame ``first``.
+
+        The sum covers ``count - 1`` separations (time between the first
+        and last arrival of the window); ``count = 1`` gives ``0``.
+        """
+        if count < 1:
+            raise ValueError("a window contains at least one frame")
+        n = self.n_frames
+        total = 0.0
+        for idx in range(first, first + count - 1):
+            total += self.min_separations[idx % n]
+        return total
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"GMF(n={self.n_frames}, TSUM={self.tsum:.6g}s, "
+            f"S=[{min(self.payload_bits)}..{max(self.payload_bits)}]bits)"
+        )
+
+
+def sporadic_spec(
+    *,
+    period: float,
+    deadline: float,
+    payload_bits: int,
+    jitter: float = 0.0,
+) -> GmfSpec:
+    """Build the 1-frame GMF spec equivalent to a sporadic stream.
+
+    Convenience for tests and the sporadic baseline: a sporadic stream
+    with minimum inter-arrival ``period`` is exactly a GMF flow with a
+    single frame.
+    """
+    return GmfSpec(
+        min_separations=(period,),
+        deadlines=(deadline,),
+        jitters=(jitter,),
+        payload_bits=(payload_bits,),
+    )
+
+
+def gmf_from_uniform(
+    *,
+    separations: Sequence[float],
+    deadline: float,
+    payload_bits: Sequence[int],
+    jitter: float = 0.0,
+) -> GmfSpec:
+    """Build a GMF spec with a shared deadline and jitter for all frames.
+
+    Most workloads (e.g. an MPEG stream) have per-frame sizes but a single
+    end-to-end latency requirement; this helper avoids repeating it.
+    """
+    n = len(separations)
+    if len(payload_bits) != n:
+        raise ValueError("separations and payload_bits must have equal length")
+    return GmfSpec(
+        min_separations=tuple(float(t) for t in separations),
+        deadlines=(float(deadline),) * n,
+        jitters=(float(jitter),) * n,
+        payload_bits=tuple(int(s) for s in payload_bits),
+    )
+
+
+def frames_overview(spec: GmfSpec) -> Iterator[tuple[int, float, float, float, int]]:
+    """Yield ``(k, T, D, GJ, S)`` rows for pretty-printing a spec."""
+    for k in spec.frame_indices():
+        yield (
+            k,
+            spec.min_separations[k],
+            spec.deadlines[k],
+            spec.jitters[k],
+            spec.payload_bits[k],
+        )

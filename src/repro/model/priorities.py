@@ -1,0 +1,70 @@
+"""Priority-assignment policies.
+
+The paper assumes priorities are given (IEEE 802.1p markings chosen by
+the network operator).  Real deployments need a policy; the classic
+choices from fixed-priority scheduling theory are provided here, plus a
+clamp onto the 2-8 hardware priority levels the paper notes commercial
+switches support.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.model.flow import Flow
+
+
+def _rank_to_priority(
+    flows: Sequence[Flow], key: Callable[[Flow], float]
+) -> list[Flow]:
+    """Assign distinct priorities so that smaller ``key`` = higher priority.
+
+    Ties are broken by flow name for determinism.  Returns new Flow
+    objects (flows are immutable).
+    """
+    ordered = sorted(flows, key=lambda f: (key(f), f.name))
+    n = len(ordered)
+    # Highest priority (largest integer) to the smallest key.
+    reassigned = [f.with_priority(n - rank) for rank, f in enumerate(ordered)]
+    by_name = {f.name: f for f in reassigned}
+    return [by_name[f.name] for f in flows]
+
+
+def assign_deadline_monotonic(flows: Sequence[Flow]) -> list[Flow]:
+    """Deadline-monotonic: smaller minimum relative deadline = higher priority.
+
+    For GMF flows the binding constraint is the tightest frame deadline.
+    """
+    return _rank_to_priority(flows, key=lambda f: min(f.spec.deadlines))
+
+
+def assign_rate_monotonic(flows: Sequence[Flow]) -> list[Flow]:
+    """Rate-monotonic analogue: smaller average frame separation = higher.
+
+    Uses ``TSUM / n`` (mean inter-frame time over the GMF cycle), the
+    natural generalisation of the sporadic period.
+    """
+    return _rank_to_priority(
+        flows, key=lambda f: f.spec.tsum / f.spec.n_frames
+    )
+
+
+def clamp_to_levels(flows: Sequence[Flow], n_levels: int) -> list[Flow]:
+    """Compress distinct priorities onto ``n_levels`` hardware levels.
+
+    Commercial 802.1p switches expose 2-8 priority levels (paper
+    introduction, point iii).  Priorities are grouped preserving order:
+    the flows are ranked by priority and split into ``n_levels`` bands of
+    near-equal size (higher band = higher hardware level).
+    """
+    if n_levels < 1:
+        raise ValueError("need at least one priority level")
+    if not flows:
+        return []
+    ordered = sorted(flows, key=lambda f: (-f.priority, f.name))
+    n = len(ordered)
+    out: dict[str, Flow] = {}
+    for rank, f in enumerate(ordered):
+        band = min(n_levels - 1, rank * n_levels // n)
+        out[f.name] = f.with_priority(n_levels - 1 - band)
+    return [out[f.name] for f in flows]

@@ -1,0 +1,135 @@
+"""Route construction and validation.
+
+The paper pre-specifies each flow's route (Sec. 2.1): it starts at an IP
+end host or IP router, ends at an IP end host or IP router, and all
+intermediate nodes are Ethernet switches (never IP routers).  This module
+validates that property and provides a shortest-path helper for workload
+generators.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.model.network import Network, NodeKind
+
+
+class RouteError(ValueError):
+    """A route violates the paper's structural constraints."""
+
+
+def validate_route(network: Network, route: Sequence[str]) -> tuple[str, ...]:
+    """Validate a route and return it as a tuple.
+
+    Checks (Sec. 2.1):
+
+    * at least two nodes (source != destination);
+    * every consecutive pair is connected by a directed link;
+    * the source and destination are end hosts or routers;
+    * every intermediate node is an Ethernet switch;
+    * no node repeats (routes are simple paths).
+    """
+    route = tuple(route)
+    if len(route) < 2:
+        raise RouteError(f"route {route!r} needs at least source and destination")
+    if len(set(route)) != len(route):
+        raise RouteError(f"route {route!r} visits a node twice")
+    for name in route:
+        if not network.has_node(name):
+            raise RouteError(f"route {route!r} mentions unknown node {name!r}")
+    for src, dst in zip(route, route[1:]):
+        if not network.has_link(src, dst):
+            raise RouteError(f"route {route!r} uses missing link {src!r}->{dst!r}")
+    for endpoint in (route[0], route[-1]):
+        kind = network.node(endpoint).kind
+        if kind not in (NodeKind.ENDHOST, NodeKind.ROUTER):
+            raise RouteError(
+                f"route endpoint {endpoint!r} is a {kind.value}; must be an "
+                "end host or IP router"
+            )
+    for middle in route[1:-1]:
+        kind = network.node(middle).kind
+        if kind is not NodeKind.SWITCH:
+            raise RouteError(
+                f"intermediate node {middle!r} is a {kind.value}; routes may "
+                "only traverse Ethernet switches"
+            )
+    return route
+
+
+def shortest_route(
+    network: Network,
+    source: str,
+    destination: str,
+    *,
+    weight: str = "hops",
+) -> tuple[str, ...]:
+    """Shortest valid route from ``source`` to ``destination``.
+
+    Dijkstra over the directed topology, restricted so intermediate nodes
+    are switches.  ``weight`` selects the metric:
+
+    * ``"hops"`` — fewest links;
+    * ``"latency"`` — smallest sum of propagation delays;
+    * ``"transmission"`` — smallest sum of ``1/linkspeed`` (prefers fast
+      links; useful when generating contention-heavy workloads).
+
+    Raises :class:`RouteError` when no valid route exists.
+    """
+    if source == destination:
+        raise RouteError("source and destination must differ")
+    for name in (source, destination):
+        if not network.has_node(name):
+            raise RouteError(f"unknown node {name!r}")
+
+    def edge_cost(src: str, dst: str) -> float:
+        link = network.link(src, dst)
+        if weight == "hops":
+            return 1.0
+        if weight == "latency":
+            return link.prop_delay
+        if weight == "transmission":
+            return 1.0 / link.speed_bps
+        raise ValueError(f"unknown weight {weight!r}")
+
+    # Dijkstra; only switches may be expanded as intermediate nodes.
+    dist: dict[str, float] = {source: 0.0}
+    prev: dict[str, str] = {}
+    heap: list[tuple[float, str]] = [(0.0, source)]
+    visited: set[str] = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in visited:
+            continue
+        visited.add(u)
+        if u == destination:
+            break
+        if u != source and not network.node(u).is_switch:
+            # End hosts / routers cannot forward traffic.
+            continue
+        for v in network.neighbors(u):
+            if v != destination and not network.node(v).is_switch:
+                continue  # cannot route *through* a non-switch
+            nd = d + edge_cost(u, v)
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                prev[v] = u
+                heapq.heappush(heap, (nd, v))
+    if destination not in dist:
+        raise RouteError(f"no switch-only route from {source!r} to {destination!r}")
+    path = [destination]
+    while path[-1] != source:
+        path.append(prev[path[-1]])
+    path.reverse()
+    return validate_route(network, path)
+
+
+def hops(route: Sequence[str]) -> int:
+    """Number of links traversed by a route."""
+    return len(route) - 1
+
+
+def links_of_route(route: Sequence[str]) -> list[tuple[str, str]]:
+    """The ordered ``(src, dst)`` link pairs of a route."""
+    return list(zip(route, route[1:]))

@@ -1,0 +1,63 @@
+"""Source-node model: release GMF frames into work-conserving ports.
+
+The network operator cannot control the queueing discipline at the
+source (Sec. 3.2), only assume it is work-conserving; the port therefore
+supports both FIFO (default, a normal PC's network stack) and
+static-priority (a source that does honour 802.1p) disciplines — both
+satisfy the first-hop analysis's assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.engine import EventEngine
+from repro.sim.nic import LinkTransmitter
+from repro.switch.queues import FifoQueue, PriorityQueue, QueuedFrame
+
+
+class OutputPort:
+    """One outgoing interface of an end host (or IP router).
+
+    Frames enter via :meth:`enqueue`; the attached
+    :class:`~repro.sim.nic.LinkTransmitter` drains the queue
+    work-conservingly.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        *,
+        speed_bps: float,
+        prop_delay: float,
+        deliver: Callable[[QueuedFrame], None],
+        discipline: str = "fifo",
+    ):
+        if discipline not in ("fifo", "priority"):
+            raise ValueError(f"unknown source discipline {discipline!r}")
+        self.discipline = discipline
+        self._fifo = FifoQueue()
+        self._prio = PriorityQueue()
+        self.transmitter = LinkTransmitter(
+            engine,
+            speed_bps=speed_bps,
+            prop_delay=prop_delay,
+            pull=self._pull,
+            deliver=deliver,
+        )
+
+    def enqueue(self, frame: QueuedFrame) -> None:
+        if self.discipline == "fifo":
+            self._fifo.push(frame)
+        else:
+            self._prio.push(frame)
+        self.transmitter.kick()
+
+    def _pull(self) -> QueuedFrame | None:
+        if self.discipline == "fifo":
+            return self._fifo.pop() if self._fifo else None
+        return self._prio.pop() if self._prio else None
+
+    def backlog(self) -> int:
+        return len(self._fifo) + len(self._prio)

@@ -1,0 +1,107 @@
+"""Network-interface and link dynamics.
+
+A :class:`LinkTransmitter` serialises Ethernet frames onto a directed
+link at ``linkspeed`` bits/s, one at a time (non-preemptive — the basis
+of the analysis' ``MFT`` blocking term), and delivers each frame to the
+receiving node ``prop`` seconds after its last bit leaves.
+
+The transmitter pulls from an attached queue-like *source* via a
+callback, so the same class serves both endpoint output ports (pull
+from a work-conserving queue) and switch NICs (pull from the tx FIFO,
+notifying the egress task when the FIFO drains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.engine import EventEngine
+from repro.switch.queues import QueuedFrame
+
+#: Delivers a frame to the receiving node: ``(frame, arrival_time)``.
+DeliverFn = Callable[[QueuedFrame], None]
+#: Pulls the next frame to transmit, or None when nothing is pending.
+PullFn = Callable[[], Optional[QueuedFrame]]
+
+
+class LinkTransmitter:
+    """Serialises frames over one directed link.
+
+    Parameters
+    ----------
+    engine:
+        The event engine.
+    speed_bps, prop_delay:
+        Link characteristics.
+    pull:
+        Called whenever the transmitter is ready for the next frame.
+    deliver:
+        Called (at the receiver's clock) when a frame fully arrives.
+    on_idle:
+        Optional hook fired when a transmission ends and ``pull``
+        returned nothing — switches use it to wake the egress task.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        *,
+        speed_bps: float,
+        prop_delay: float,
+        pull: PullFn,
+        deliver: DeliverFn,
+        on_idle: Callable[[], None] | None = None,
+    ):
+        if speed_bps <= 0:
+            raise ValueError("linkspeed must be positive")
+        self.engine = engine
+        self.speed_bps = speed_bps
+        self.prop_delay = prop_delay
+        self.pull = pull
+        self.deliver = deliver
+        self.on_idle = on_idle
+        self.busy = False
+        self.frames_sent = 0
+        self.bits_sent = 0
+        self.busy_until = 0.0
+
+    def kick(self) -> None:
+        """Notify the transmitter that the source may have a frame.
+
+        Idempotent: does nothing while a transmission is in flight (the
+        completion handler pulls the next frame itself).
+        """
+        if self.busy:
+            return
+        frame = self.pull()
+        if frame is None:
+            return
+        self._transmit(frame)
+
+    def _transmit(self, frame: QueuedFrame) -> None:
+        self.busy = True
+        wire_time = frame.wire_bits / self.speed_bps
+        done = self.engine.now + wire_time
+        self.busy_until = done
+        self.frames_sent += 1
+        self.bits_sent += frame.wire_bits
+
+        def finish() -> None:
+            # Deliver after propagation; receiving is independent of the
+            # transmitter's next action.
+            self.engine.schedule_in(self.prop_delay, lambda: self.deliver(frame))
+            nxt = self.pull()
+            if nxt is not None:
+                self._transmit(nxt)
+            else:
+                self.busy = False
+                if self.on_idle is not None:
+                    self.on_idle()
+
+        self.engine.schedule(done, finish)
+
+    @property
+    def utilization_bits(self) -> int:
+        """Total bits pushed through this link (diagnostics)."""
+        return self.bits_sent

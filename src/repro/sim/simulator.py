@@ -1,0 +1,349 @@
+"""Top-level simulator: build a network of simulated components and run.
+
+:func:`simulate` wires together, from the same :class:`~repro.model`
+objects the analysis consumes:
+
+* one :class:`~repro.sim.host.OutputPort` per (source node, first link)
+  pair, fed by each flow's release policy;
+* one :class:`~repro.sim.swnode.SimSwitch` per switch node, with a
+  :class:`~repro.sim.nic.LinkTransmitter` per outgoing interface;
+* destination sinks recording per-packet completion.
+
+Per-flow forwarding uses the flow's pre-specified route and per-link
+802.1p priorities — exactly the information the paper's operator
+provisions into the switches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.packetization import DEFAULT_CONFIG, PacketizationConfig, packetize
+from repro.model.flow import Flow, check_unique_names
+from repro.model.network import Network, NodeKind
+from repro.model.routing import validate_route
+from repro.sim.engine import EventEngine
+from repro.sim.host import OutputPort
+from repro.sim.nic import LinkTransmitter
+from repro.sim.release import (
+    EagerRelease,
+    JitterPolicy,
+    ReleasePolicy,
+    SpreadJitterPolicy,
+)
+from repro.sim.swnode import SimSwitch
+from repro.sim.trace import PacketRecord, SimulationTrace
+from repro.switch.click import ClickSwitch
+from repro.switch.queues import QueuedFrame
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulation knobs.
+
+    Attributes
+    ----------
+    duration:
+        Horizon in seconds; frames arriving up to the horizon are
+        released, and the run continues until in-flight packets drain
+        (bounded by ``drain_factor * duration``).
+    switch_mode:
+        ``"event"`` (efficient) or ``"rotation"`` (pessimistic, fixed
+        ``CIRC`` rotation) — see :mod:`repro.sim.swnode`.
+    idle_cost:
+        Cost of a no-work task dispatch in event mode (0 = free).
+    source_discipline:
+        ``"fifo"`` or ``"priority"`` output queues at sources.
+    packetization:
+        Wire model; must match the analysis options when validating.
+    drain_factor:
+        Extra time (fraction of ``duration``) allowed for draining.
+    nic_fifo_capacity:
+        Capacity of every switch NIC FIFO in Ethernet frames; ``None``
+        (default) models the analysis' no-loss assumption.  A finite
+        value enables overflow/failure-injection experiments — dropped
+        fragments leave their UDP packet permanently incomplete.
+    priority_levels:
+        Number of 802.1p levels enforced by switch output queues
+        (commercial switches support 2-8); ``None`` = unlimited.
+    """
+
+    duration: float = 1.0
+    switch_mode: str = "event"
+    idle_cost: float = 0.0
+    source_discipline: str = "fifo"
+    packetization: PacketizationConfig = DEFAULT_CONFIG
+    drain_factor: float = 0.5
+    nic_fifo_capacity: int | None = None
+    priority_levels: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.drain_factor < 0:
+            raise ValueError("drain_factor must be >= 0")
+
+
+class Simulator:
+    """Builds and runs one simulation instance."""
+
+    def __init__(
+        self,
+        network: Network,
+        flows: Sequence[Flow],
+        config: SimConfig | None = None,
+        *,
+        release_policies: Mapping[str, ReleasePolicy] | None = None,
+        jitter_policies: Mapping[str, JitterPolicy] | None = None,
+    ):
+        check_unique_names(flows)
+        for f in flows:
+            validate_route(network, f.route)
+        self.network = network
+        self.flows = tuple(flows)
+        self.config = config or SimConfig()
+        self.engine = EventEngine()
+        self.trace = SimulationTrace(duration=self.config.duration)
+        self._release = dict(release_policies or {})
+        self._jitter = dict(jitter_policies or {})
+        self._packet_ids = itertools.count()
+        self._records: dict[int, PacketRecord] = {}
+        self._hop_fragments: dict[tuple[int, str], int] = {}
+
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        net = self.network
+        cfg = self.config
+
+        # Destination sinks: (node, packet) completion recording.
+        def make_deliver_to_endnode(node_name: str):
+            def deliver(frame: QueuedFrame) -> None:
+                self._on_destination_receive(node_name, frame)
+
+            return deliver
+
+        # Switches first (need their receive hooks for transmitters).
+        self.switches: dict[str, SimSwitch] = {}
+        switch_nodes = [n for n in net.nodes() if n.is_switch]
+
+        # interfaces of a switch = all distinct neighbours (either direction)
+        def interfaces_of(name: str) -> tuple[str, ...]:
+            incoming = {l.src for l in net.links() if l.dst == name}
+            outgoing = {l.dst for l in net.links() if l.src == name}
+            return tuple(sorted(incoming | outgoing))
+
+        # Build ClickSwitch structures.
+        clicks: dict[str, ClickSwitch] = {}
+        for node in switch_nodes:
+            clicks[node.name] = ClickSwitch(
+                node.name,
+                interfaces_of(node.name),
+                node.switch,
+                priority_levels=cfg.priority_levels,
+                nic_fifo_capacity=cfg.nic_fifo_capacity,
+            )
+
+        # Forwarding tables: flow -> per-switch (out interface, priority).
+        self._forwarding: dict[str, dict[str, tuple[str, int]]] = {}
+        for flow in self.flows:
+            table: dict[str, tuple[str, int]] = {}
+            for sw in flow.intermediate_switches():
+                nxt = flow.succ(sw)
+                table[sw] = (nxt, flow.priority_on(sw, nxt))
+            self._forwarding[flow.name] = table
+
+        # Create SimSwitch objects with their egress transmitters.
+        # Transmitter delivery closures need the receiving object, which
+        # may itself be a switch we have not created yet — resolve lazily.
+        def make_deliver(dst_name: str, from_itf: str):
+            def deliver(frame: QueuedFrame) -> None:
+                self._record_hop(dst_name, frame)
+                dst_node = net.node(dst_name)
+                if dst_node.is_switch:
+                    self.switches[dst_name].receive(frame, from_itf)
+                else:
+                    self._on_destination_receive(dst_name, frame)
+
+            return deliver
+
+        for node in switch_nodes:
+            click = clicks[node.name]
+            transmitters: dict[str, LinkTransmitter] = {}
+            for itf in click.interfaces:
+                if not net.has_link(node.name, itf):
+                    continue  # receive-only interface
+                link = net.link(node.name, itf)
+                transmitters[itf] = LinkTransmitter(
+                    self.engine,
+                    speed_bps=link.speed_bps,
+                    prop_delay=link.prop_delay,
+                    pull=(lambda s=node.name, i=itf: self._pull_tx(s, i)),
+                    deliver=make_deliver(itf, node.name),
+                    on_idle=(lambda s=node.name, i=itf: self._on_tx_idle(s, i)),
+                )
+            # Receive-only interfaces still need queue structures (they
+            # exist in ClickSwitch); SimSwitch requires a transmitter per
+            # interface, so give dead interfaces a null transmitter.
+            for itf in click.interfaces:
+                if itf not in transmitters:
+                    transmitters[itf] = LinkTransmitter(
+                        self.engine,
+                        speed_bps=1.0,
+                        prop_delay=0.0,
+                        pull=lambda: None,
+                        deliver=lambda frame: None,
+                    )
+
+            def make_route_fn(sw_name: str):
+                def route_fn(frame: QueuedFrame) -> tuple[str, int]:
+                    try:
+                        return self._forwarding[frame.flow][sw_name]
+                    except KeyError:
+                        raise KeyError(
+                            f"switch {sw_name!r}: no forwarding entry for "
+                            f"flow {frame.flow!r}"
+                        ) from None
+
+                return route_fn
+
+            self.switches[node.name] = SimSwitch(
+                self.engine,
+                click,
+                route_fn=make_route_fn(node.name),
+                transmitters=transmitters,
+                mode=cfg.switch_mode,
+                idle_cost=cfg.idle_cost,
+            )
+
+        # Source output ports, one per (source node, first link).
+        self.ports: dict[tuple[str, str], OutputPort] = {}
+        for flow in self.flows:
+            src = flow.source
+            nxt = flow.succ(src)
+            key = (src, nxt)
+            if key in self.ports:
+                continue
+            link = net.link(src, nxt)
+            self.ports[key] = OutputPort(
+                self.engine,
+                speed_bps=link.speed_bps,
+                prop_delay=link.prop_delay,
+                deliver=make_deliver(nxt, src),
+                discipline=cfg.source_discipline,
+            )
+
+        # Schedule all frame releases.
+        for flow in self.flows:
+            self._schedule_flow_releases(flow)
+
+    def _pull_tx(self, switch: str, interface: str):
+        return self.switches[switch].pull_tx(interface)
+
+    def _on_tx_idle(self, switch: str, interface: str) -> None:
+        self.switches[switch].on_tx_idle(interface)
+
+    # ------------------------------------------------------------------
+    # Traffic injection
+    # ------------------------------------------------------------------
+    def _schedule_flow_releases(self, flow: Flow) -> None:
+        policy = self._release.get(flow.name, EagerRelease())
+        jitter_policy = self._jitter.get(flow.name, SpreadJitterPolicy())
+        spec = flow.spec
+        src = flow.source
+        nxt = flow.succ(src)
+        port = self.ports[(src, nxt)]
+        first_prio = flow.priority_on(src, nxt)
+
+        for arrival, k in policy.arrivals(spec, self.config.duration):
+            pkt = packetize(
+                spec.payload_bits[k], flow.transport, self.config.packetization
+            )
+            packet_id = next(self._packet_ids)
+            record = PacketRecord(
+                packet_id=packet_id,
+                flow=flow.name,
+                frame=k,
+                arrival=arrival,
+                n_fragments=pkt.n_eth_frames,
+            )
+            self._records[packet_id] = record
+            self.trace.packets.append(record)
+
+            offsets = jitter_policy.offsets(pkt.n_eth_frames, spec.jitters[k])
+            for frag_idx, (bits, off) in enumerate(
+                zip(pkt.fragment_wire_bits, offsets)
+            ):
+                frame = QueuedFrame(
+                    flow=flow.name,
+                    wire_bits=bits,
+                    priority=first_prio,
+                    packet_id=packet_id,
+                    fragment=frag_idx,
+                    n_fragments=pkt.n_eth_frames,
+                    enqueued_at=arrival + off,
+                )
+                self.engine.schedule(
+                    arrival + off, lambda p=port, f=frame: p.enqueue(f)
+                )
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _record_hop(self, node: str, frame: QueuedFrame) -> None:
+        """Track per-node fragment arrival; stamp the node when the
+        packet's last fragment lands there (per-hop latency records)."""
+        record = self._records.get(frame.packet_id)
+        if record is None:
+            return
+        key = (frame.packet_id, node)
+        count = self._hop_fragments.get(key, 0) + 1
+        self._hop_fragments[key] = count
+        if count == record.n_fragments:
+            record.node_arrivals[node] = self.engine.now
+            del self._hop_fragments[key]
+
+    def _on_destination_receive(self, node: str, frame: QueuedFrame) -> None:
+        record = self._records.get(frame.packet_id)
+        if record is None:
+            return
+        record.fragments_received += 1
+        if record.fragments_received == record.n_fragments:
+            record.completed = self.engine.now
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationTrace:
+        """Release traffic, drain, and return the trace."""
+        horizon = self.config.duration * (1.0 + self.config.drain_factor)
+        self.engine.run(until=horizon)
+        self.trace.events_processed = self.engine.events_processed
+        return self.trace
+
+
+def simulate(
+    network: Network,
+    flows: Sequence[Flow],
+    *,
+    duration: float = 1.0,
+    config: SimConfig | None = None,
+    release_policies: Mapping[str, ReleasePolicy] | None = None,
+    jitter_policies: Mapping[str, JitterPolicy] | None = None,
+) -> SimulationTrace:
+    """One-call convenience wrapper around :class:`Simulator`.
+
+    ``config`` overrides ``duration`` when both are given.
+    """
+    cfg = config or SimConfig(duration=duration)
+    sim = Simulator(
+        network,
+        flows,
+        cfg,
+        release_policies=release_policies,
+        jitter_policies=jitter_policies,
+    )
+    return sim.run()

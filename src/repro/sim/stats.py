@@ -1,0 +1,136 @@
+"""Post-run statistics of a simulation: link/switch/queue utilisation.
+
+Operates on a :class:`~repro.sim.simulator.Simulator` instance after
+``run()``; used by the validation experiments to confirm the simulator
+actually loaded the network as intended (a sound bound over an idle
+network proves nothing) and by operators as a what-happened report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.util.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class LinkStats:
+    """Wire-level statistics of one directed link."""
+
+    src: str
+    dst: str
+    frames_sent: int
+    bits_sent: int
+    utilization: float  # fraction of the run the wire was busy
+
+
+@dataclass(frozen=True)
+class SwitchStats:
+    """Processor-level statistics of one switch."""
+
+    name: str
+    dispatches: int
+    busy_time: float
+    busy_fraction: float
+    frames_forwarded: int
+    frames_dropped: int
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    elapsed: float
+    links: tuple[LinkStats, ...]
+    switches: tuple[SwitchStats, ...]
+
+    def link(self, src: str, dst: str) -> LinkStats:
+        for l in self.links:
+            if l.src == src and l.dst == dst:
+                return l
+        raise KeyError(f"no stats for link {src!r}->{dst!r}")
+
+    def switch(self, name: str) -> SwitchStats:
+        for s in self.switches:
+            if s.name == name:
+                return s
+        raise KeyError(f"no stats for switch {name!r}")
+
+    @property
+    def total_drops(self) -> int:
+        return sum(s.frames_dropped for s in self.switches)
+
+    def render(self) -> str:
+        lt = Table(
+            ["link", "frames", "bits", "utilisation"],
+            title="link statistics",
+        )
+        for l in sorted(self.links, key=lambda l: (l.src, l.dst)):
+            lt.add_row(
+                [f"{l.src}->{l.dst}", l.frames_sent, l.bits_sent,
+                 f"{l.utilization:.4f}"]
+            )
+        st = Table(
+            ["switch", "dispatches", "busy fraction", "forwarded", "dropped"],
+            title="switch statistics",
+        )
+        for s in sorted(self.switches, key=lambda s: s.name):
+            st.add_row(
+                [s.name, s.dispatches, f"{s.busy_fraction:.4f}",
+                 s.frames_forwarded, s.frames_dropped]
+            )
+        return lt.render() + "\n" + st.render()
+
+
+def collect_stats(sim: "Simulator") -> NetworkStats:
+    """Gather link and switch statistics from a completed simulation."""
+    elapsed = max(sim.engine.now, 1e-12)
+    links: list[LinkStats] = []
+
+    # Source output ports.
+    for (src, dst), port in sim.ports.items():
+        tx = port.transmitter
+        links.append(
+            LinkStats(
+                src=src,
+                dst=dst,
+                frames_sent=tx.frames_sent,
+                bits_sent=tx.bits_sent,
+                utilization=tx.bits_sent / tx.speed_bps / elapsed,
+            )
+        )
+
+    switches: list[SwitchStats] = []
+    for name, sw in sim.switches.items():
+        for itf, tx in sw.transmitters.items():
+            if not sim.network.has_link(name, itf):
+                continue  # null transmitter of a receive-only interface
+            links.append(
+                LinkStats(
+                    src=name,
+                    dst=itf,
+                    frames_sent=tx.frames_sent,
+                    bits_sent=tx.bits_sent,
+                    utilization=tx.bits_sent / tx.speed_bps / elapsed,
+                )
+            )
+        dispatches = sum(d.dispatches for d in sw.drivers)
+        busy = sum(d.busy_time for d in sw.drivers)
+        dropped = sum(q.dropped for q in sw.click.rx_fifo.values())
+        dropped += sum(q.dropped for q in sw.click.tx_fifo.values())
+        n_proc = max(1, len(sw.drivers))
+        switches.append(
+            SwitchStats(
+                name=name,
+                dispatches=dispatches,
+                busy_time=busy,
+                busy_fraction=busy / (elapsed * n_proc),
+                frames_forwarded=sw.frames_forwarded,
+                frames_dropped=dropped,
+            )
+        )
+    return NetworkStats(
+        elapsed=elapsed, links=tuple(links), switches=tuple(switches)
+    )

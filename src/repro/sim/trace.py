@@ -1,0 +1,145 @@
+"""Per-packet records and aggregate simulation results."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence  # noqa: F401 (Sequence in hints)
+
+
+@dataclass
+class PacketRecord:
+    """Life of one UDP packet (one GMF frame instance).
+
+    Attributes
+    ----------
+    flow:
+        Flow name.
+    frame:
+        GMF frame index ``k``.
+    arrival:
+        Time the frame arrived at the source (deadline reference point).
+    n_fragments:
+        Ethernet frames the packet fragments into.
+    completed:
+        Time the *last* fragment reached the destination, or None while
+        in flight / past the simulation horizon.
+    """
+
+    packet_id: int
+    flow: str
+    frame: int
+    arrival: float
+    n_fragments: int
+    fragments_received: int = 0
+    completed: float | None = None
+    #: node name -> time the packet's *last* fragment arrived there
+    #: (per-hop latency localisation; populated by the simulator).
+    node_arrivals: dict = field(default_factory=dict)
+
+    @property
+    def response(self) -> float | None:
+        """End-to-end response (None while incomplete)."""
+        if self.completed is None:
+            return None
+        return self.completed - self.arrival
+
+    def hop_latencies(self, route: Sequence[str]) -> list[tuple[str, float]]:
+        """Per-hop ``(node, cumulative latency)`` along ``route``.
+
+        Only nodes where the full packet has arrived appear; the last
+        entry equals the end-to-end response when the packet completed.
+        """
+        out: list[tuple[str, float]] = []
+        for node in route[1:]:
+            if node in self.node_arrivals:
+                out.append((node, self.node_arrivals[node] - self.arrival))
+        return out
+
+
+@dataclass
+class SimulationTrace:
+    """Everything measured during one simulation run."""
+
+    duration: float
+    packets: list[PacketRecord] = field(default_factory=list)
+    events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    def completed_packets(
+        self, flow: str | None = None, frame: int | None = None
+    ) -> list[PacketRecord]:
+        """Completed packet records, optionally filtered."""
+        return [
+            p
+            for p in self.packets
+            if p.completed is not None
+            and (flow is None or p.flow == flow)
+            and (frame is None or p.frame == frame)
+        ]
+
+    def responses(self, flow: str, frame: int | None = None) -> list[float]:
+        """All observed response times of a flow (or one of its frames)."""
+        return [p.response for p in self.completed_packets(flow, frame)]
+
+    def worst_response(self, flow: str, frame: int | None = None) -> float:
+        """Largest observed response (``-inf`` when nothing completed)."""
+        responses = self.responses(flow, frame)
+        return max(responses) if responses else -math.inf
+
+    def mean_response(self, flow: str, frame: int | None = None) -> float:
+        responses = self.responses(flow, frame)
+        if not responses:
+            return math.nan
+        return sum(responses) / len(responses)
+
+    def response_percentile(
+        self, flow: str, q: float, frame: int | None = None
+    ) -> float:
+        """Nearest-rank percentile of a flow's observed responses.
+
+        ``q = 50`` is the median, ``q = 99`` the tail operators care
+        about when comparing against the worst-case bound.  NaN when no
+        packet completed.
+        """
+        responses = sorted(self.responses(flow, frame))
+        if not responses:
+            return math.nan
+        return percentile(responses, q)
+
+    def count_completed(self, flow: str | None = None) -> int:
+        return len(self.completed_packets(flow))
+
+    def count_incomplete(self, flow: str | None = None) -> int:
+        """Packets still in flight at the horizon (backlog indicator)."""
+        return sum(
+            1
+            for p in self.packets
+            if p.completed is None and (flow is None or p.flow == flow)
+        )
+
+    def deadline_misses(self, deadlines: Mapping[str, Sequence[float]]) -> int:
+        """Count completed packets whose response exceeded the frame deadline.
+
+        ``deadlines`` maps flow name to its per-frame deadline tuple.
+        """
+        misses = 0
+        for p in self.packets:
+            if p.completed is None or p.flow not in deadlines:
+                continue
+            if p.response > deadlines[p.flow][p.frame]:
+                misses += 1
+        return misses
+
+    def flows(self) -> list[str]:
+        return sorted({p.flow for p in self.packets})
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted values (``0 < q <= 100``)."""
+    if not sorted_values:
+        raise ValueError("no values")
+    if not (0.0 < q <= 100.0):
+        raise ValueError("q must be in (0, 100]")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]

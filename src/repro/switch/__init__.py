@@ -1,0 +1,42 @@
+"""Software-switch substrate: stride scheduling and the Click switch model.
+
+The paper's switches are software implementations (built with the Click
+modular router) whose internal tasks are scheduled by **stride
+scheduling** (Waldspurger & Weihl).  This package implements:
+
+* :mod:`repro.switch.stride` — the full stride scheduler with tickets,
+  strides and pass values (and the round-robin special case the paper
+  uses, footnote 1);
+* :mod:`repro.switch.queues` — the FIFO and static-priority queues of
+  Fig. 5;
+* :mod:`repro.switch.click` — the task-level switch model
+  (one ingress task + one egress task per interface, CROUTE/CSEND
+  costs, ``CIRC`` accounting);
+* :mod:`repro.switch.multiproc` — the conclusions' multiprocessor
+  partitioning (``NINTERFACES/m`` interfaces per processor).
+"""
+
+from repro.switch.stride import StrideScheduler, StrideTask
+from repro.switch.queues import FifoQueue, PriorityQueue, QueuedFrame
+from repro.switch.click import ClickSwitch, SwitchTask, TaskKind
+from repro.switch.multiproc import (
+    MultiprocessorPlan,
+    partition_interfaces,
+    circ_with_processors,
+    max_linkspeed_supported,
+)
+
+__all__ = [
+    "ClickSwitch",
+    "FifoQueue",
+    "MultiprocessorPlan",
+    "PriorityQueue",
+    "QueuedFrame",
+    "StrideScheduler",
+    "StrideTask",
+    "SwitchTask",
+    "TaskKind",
+    "circ_with_processors",
+    "max_linkspeed_supported",
+    "partition_interfaces",
+]

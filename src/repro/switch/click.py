@@ -1,0 +1,158 @@
+"""Task-level model of the Click software switch (Fig. 5, Sec. 3.3).
+
+A switch with ``NINTERFACES`` network cards runs ``2 * NINTERFACES``
+software tasks on its processor(s):
+
+* one **ingress task** per interface — when dispatched, it dequeues one
+  Ethernet frame from that NIC's receive FIFO (if any), identifies the
+  flow, looks up the outgoing interface and priority and enqueues the
+  frame into the matching prioritised output queue; costs ``CROUTE``;
+* one **egress task** per interface — when dispatched, it checks the
+  NIC's transmit FIFO and, if there is room, moves the highest-priority
+  frame from the output queue into it; costs ``CSEND``.
+
+Tasks are dispatched non-preemptively by the stride scheduler.  With the
+paper's all-tickets-equal configuration a task runs once per
+
+    ``CIRC = NINTERFACES * (CROUTE + CSEND)``
+
+in the worst case (every other task consuming its full cost).  This
+module provides the structural model and CIRC accounting; the
+discrete-event dynamics live in :mod:`repro.sim.swnode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping, Sequence
+
+from repro.model.network import SwitchConfig
+from repro.switch.queues import FifoQueue, PriorityQueue
+from repro.switch.stride import StrideScheduler
+
+
+class TaskKind(Enum):
+    INGRESS = "ingress"  # NIC FIFO -> priority queue, cost CROUTE
+    EGRESS = "egress"    # priority queue -> NIC FIFO, cost CSEND
+
+
+@dataclass
+class SwitchTask:
+    """One of the switch's software tasks, bound to an interface."""
+
+    kind: TaskKind
+    interface: str  # neighbour node name identifying the NIC
+    cost: float     # CROUTE or CSEND
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind.value}:{self.interface}"
+
+
+class ClickSwitch:
+    """Structural model of one software switch.
+
+    Parameters
+    ----------
+    name:
+        Node name.
+    interfaces:
+        Neighbour node names, one per network card.
+    config:
+        ``CROUTE``/``CSEND``/processor count.
+    priority_levels:
+        Number of 802.1p levels of the output queues (None = unlimited).
+
+    The object owns the queues and the per-processor stride schedulers;
+    the simulator drives it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        interfaces: Sequence[str],
+        config: SwitchConfig | None = None,
+        *,
+        priority_levels: int | None = None,
+        nic_fifo_capacity: int | None = None,
+    ):
+        if not interfaces:
+            raise ValueError(f"switch {name!r} needs at least one interface")
+        if len(set(interfaces)) != len(interfaces):
+            raise ValueError(f"switch {name!r}: duplicate interfaces")
+        self.name = name
+        self.interfaces = tuple(interfaces)
+        self.config = config or SwitchConfig()
+
+        # Queues of Fig. 5.
+        self.rx_fifo: dict[str, FifoQueue] = {
+            itf: FifoQueue(nic_fifo_capacity) for itf in self.interfaces
+        }
+        self.tx_fifo: dict[str, FifoQueue] = {
+            itf: FifoQueue(nic_fifo_capacity) for itf in self.interfaces
+        }
+        self.output_queue: dict[str, PriorityQueue] = {
+            itf: PriorityQueue(priority_levels) for itf in self.interfaces
+        }
+
+        # Tasks, partitioned over processors (conclusions extension).
+        self.tasks: list[SwitchTask] = []
+        for itf in self.interfaces:
+            self.tasks.append(SwitchTask(TaskKind.INGRESS, itf, self.config.c_route))
+            self.tasks.append(SwitchTask(TaskKind.EGRESS, itf, self.config.c_send))
+
+        m = self.config.n_processors
+        if len(self.interfaces) % m != 0:
+            raise ValueError(
+                f"switch {name!r}: {len(self.interfaces)} interfaces not "
+                f"divisible by {m} processors"
+            )
+        per_proc = len(self.interfaces) // m
+        self.schedulers: list[StrideScheduler] = []
+        self.processor_of: dict[str, int] = {}
+        for p in range(m):
+            sched = StrideScheduler()
+            for itf in self.interfaces[p * per_proc : (p + 1) * per_proc]:
+                self.processor_of[itf] = p
+                tickets = self.config.tickets_for(itf)
+                for task in self.tasks:
+                    if task.interface == itf:
+                        sched.add_task(task.name, tickets=tickets, payload=task)
+            self.schedulers.append(sched)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_interfaces(self) -> int:
+        """``NINTERFACES(N)``."""
+        return len(self.interfaces)
+
+    @property
+    def circ(self) -> float:
+        """``CIRC(N)``: worst-case service period of any one task.
+
+        Sec. 3.3's example: 4 interfaces, CROUTE=2.7 us, CSEND=1.0 us
+        gives ``4 * 3.7 us = 14.8 us``.
+        """
+        return self.config.circ(self.n_interfaces)
+
+    def scheduler_for(self, interface: str) -> StrideScheduler:
+        """The stride scheduler of the processor owning ``interface``."""
+        return self.schedulers[self.processor_of[interface]]
+
+    def total_backlog(self) -> int:
+        """Frames currently buffered anywhere in the switch (diagnostics)."""
+        total = 0
+        for q in self.rx_fifo.values():
+            total += len(q)
+        for q in self.tx_fifo.values():
+            total += len(q)
+        for q in self.output_queue.values():
+            total += len(q)
+        return total
+
+    def describe(self) -> str:
+        return (
+            f"ClickSwitch({self.name!r}, {self.n_interfaces} interfaces, "
+            f"{self.config.n_processors} cpu, CIRC={self.circ:.3e}s)"
+        )

@@ -1,0 +1,147 @@
+"""Queues inside a software Ethernet switch (Fig. 5).
+
+Two kinds appear in the paper's switch:
+
+* **NIC FIFO queues** — one per network card direction: received
+  Ethernet frames wait here for the ingress task; frames handed to the
+  card by the egress task wait here for the wire;
+* **prioritised output queues** — one per outgoing interface, held in
+  main memory: the ingress task enqueues classified frames by 802.1p
+  priority, the egress task always dequeues the highest priority first
+  (FIFO within a priority level).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Generic, Iterator, Optional, TypeVar
+
+
+@dataclass(frozen=True)
+class QueuedFrame:
+    """An Ethernet frame inside the switch.
+
+    Attributes
+    ----------
+    flow:
+        Name of the flow the frame belongs to (the switch has already
+        classified it; flow identification is outside the paper's scope).
+    wire_bits:
+        Size on the wire, including all Ethernet overheads.
+    priority:
+        802.1p priority on the *outgoing* link (larger = higher).
+    packet_id:
+        Identifier of the UDP packet this fragment belongs to.
+    fragment:
+        Index of this fragment within its UDP packet.
+    n_fragments:
+        Total fragments of the UDP packet (to detect "all received").
+    enqueued_at:
+        Simulation time the frame entered the current queue (for
+        per-hop latency accounting).
+    """
+
+    flow: str
+    wire_bits: int
+    priority: int
+    packet_id: int
+    fragment: int
+    n_fragments: int
+    enqueued_at: float = 0.0
+
+    def with_enqueue_time(self, t: float) -> "QueuedFrame":
+        return QueuedFrame(
+            flow=self.flow,
+            wire_bits=self.wire_bits,
+            priority=self.priority,
+            packet_id=self.packet_id,
+            fragment=self.fragment,
+            n_fragments=self.n_fragments,
+            enqueued_at=t,
+        )
+
+
+class FifoQueue:
+    """A bounded-or-unbounded FIFO of Ethernet frames (NIC queue).
+
+    ``capacity=None`` models the analysis' assumption of no loss; a
+    finite capacity lets experiments observe overflow behaviour (frames
+    dropped at the tail, counted in ``dropped``).
+    """
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.capacity = capacity
+        self._items: list[QueuedFrame] = []
+        self.dropped = 0
+
+    def push(self, frame: QueuedFrame) -> bool:
+        """Enqueue; returns False (and counts a drop) when full."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(frame)
+        return True
+
+    def pop(self) -> QueuedFrame:
+        if not self._items:
+            raise IndexError("pop from empty FIFO")
+        return self._items.pop(0)
+
+    def peek(self) -> QueuedFrame | None:
+        return self._items[0] if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[QueuedFrame]:
+        return iter(self._items)
+
+
+class PriorityQueue:
+    """The prioritised output queue of one outgoing interface.
+
+    Static-priority (IEEE 802.1p): ``pop`` returns the highest-priority
+    frame; within a priority level frames leave in FIFO order.  A number
+    of discrete levels can be enforced (commercial switches support
+    2-8); priorities outside the range raise.
+    """
+
+    def __init__(self, n_levels: int | None = None):
+        if n_levels is not None and n_levels < 1:
+            raise ValueError("need at least one priority level")
+        self.n_levels = n_levels
+        self._heap: list[tuple[int, int, QueuedFrame]] = []
+        self._seq = itertools.count()
+
+    def push(self, frame: QueuedFrame) -> None:
+        if self.n_levels is not None and not (0 <= frame.priority < self.n_levels):
+            raise ValueError(
+                f"priority {frame.priority} outside 0..{self.n_levels - 1}"
+            )
+        # Max-priority first; FIFO within level via the sequence number.
+        heapq.heappush(self._heap, (-frame.priority, next(self._seq), frame))
+
+    def pop(self) -> QueuedFrame:
+        if not self._heap:
+            raise IndexError("pop from empty priority queue")
+        return heapq.heappop(self._heap)[2]
+
+    def peek(self) -> QueuedFrame | None:
+        return self._heap[0][2] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def backlog_bits(self) -> int:
+        """Total wire bits waiting (diagnostics)."""
+        return sum(f.wire_bits for (_, _, f) in self._heap)

@@ -1,0 +1,50 @@
+"""Shared utilities: units, fixed-point iteration, table formatting.
+
+These helpers are deliberately free of any domain knowledge so that the
+analysis modules in :mod:`repro.core` read as close to the paper's equations
+as possible.
+"""
+
+from repro.util.units import (
+    BITS_PER_BYTE,
+    GIGA,
+    KILO,
+    MEGA,
+    MICROSECOND,
+    MILLISECOND,
+    bits_from_bytes,
+    bytes_from_bits,
+    fmt_duration,
+    fmt_rate,
+    mbps,
+    gbps,
+    us,
+    ms,
+)
+from repro.util.fixed_point import (
+    FixedPointDiverged,
+    FixedPointResult,
+    iterate_fixed_point,
+)
+from repro.util.tables import Table
+
+__all__ = [
+    "BITS_PER_BYTE",
+    "GIGA",
+    "KILO",
+    "MEGA",
+    "MICROSECOND",
+    "MILLISECOND",
+    "FixedPointDiverged",
+    "FixedPointResult",
+    "Table",
+    "bits_from_bytes",
+    "bytes_from_bits",
+    "fmt_duration",
+    "fmt_rate",
+    "gbps",
+    "iterate_fixed_point",
+    "mbps",
+    "ms",
+    "us",
+]

@@ -1,0 +1,118 @@
+"""Generic driver for the busy-period / response-time fixed points.
+
+Every analysis in the paper (Eqs. 14-19, 21-26, 28-33 and the holistic
+iteration of Sec. 3.5) is an iteration ``x_{v+1} = f(x_v)`` with a
+monotone non-decreasing ``f`` started from a lower bound, stopped at the
+first ``x_{v+1} == x_v``.  This module centralises convergence detection,
+divergence cut-offs and iteration accounting so the analysis modules stay
+equation-shaped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+class FixedPointDiverged(RuntimeError):
+    """Raised when a busy-period iteration exceeds its divergence bound.
+
+    The paper's Eqs. 20/34/35 give utilisation conditions under which the
+    iterations converge; outside them the iteration grows without bound and
+    the flow set is deemed unschedulable.  Callers normally pre-check the
+    utilisation condition, but the horizon/iteration caps here are the
+    backstop for pathological inputs (e.g. utilisation exactly 1).
+    """
+
+    def __init__(self, message: str, last_value: float, iterations: int):
+        super().__init__(message)
+        self.last_value = last_value
+        self.iterations = iterations
+
+
+@dataclass(frozen=True)
+class FixedPointResult:
+    """Outcome of a convergent fixed-point iteration.
+
+    Attributes
+    ----------
+    value:
+        The fixed point ``x`` with ``f(x) == x``.
+    iterations:
+        Number of applications of ``f`` performed (0 when the seed was
+        already a fixed point).
+    """
+
+    value: float
+    iterations: int
+
+
+#: Default cap on the number of iterations before declaring divergence.
+DEFAULT_MAX_ITERATIONS = 100_000
+
+#: Default relative tolerance used to declare convergence.  The recurrences
+#: in this library are sums/products of floats, so exact equality is usually
+#: reached, but a tolerance guards against last-bit oscillation.
+DEFAULT_REL_TOL = 1e-12
+
+
+def iterate_fixed_point(
+    f: Callable[[float], float],
+    seed: float,
+    *,
+    horizon: float = float("inf"),
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    rel_tol: float = DEFAULT_REL_TOL,
+    what: str = "fixed point",
+) -> FixedPointResult:
+    """Iterate ``x <- f(x)`` from ``seed`` until convergence.
+
+    Parameters
+    ----------
+    f:
+        Monotone non-decreasing update function.
+    seed:
+        Starting value; must be a lower bound on the fixed point for the
+        result to be the *least* fixed point (all callers guarantee this).
+    horizon:
+        Upper bound on ``x`` beyond which the iteration is declared
+        divergent (e.g. the deadline or a busy-period cap).
+    max_iterations:
+        Hard cap on iterations, a backstop for slow growth near
+        utilisation 1.
+    rel_tol:
+        Relative tolerance for convergence.
+    what:
+        Human-readable description used in error messages.
+
+    Raises
+    ------
+    FixedPointDiverged
+        If the iteration exceeds ``horizon`` or ``max_iterations``.
+    ValueError
+        If ``f`` ever decreases the iterate, which indicates a programming
+        error in the caller (the paper's recurrences are monotone).
+    """
+    x = float(seed)
+    for iteration in range(max_iterations):
+        nxt = float(f(x))
+        if nxt < x and (x - nxt) > rel_tol * max(1.0, abs(x)):
+            raise ValueError(
+                f"{what}: update decreased from {x!r} to {nxt!r}; "
+                "recurrence is expected to be monotone non-decreasing"
+            )
+        if nxt > horizon:
+            raise FixedPointDiverged(
+                f"{what}: iterate {nxt!r} exceeded horizon {horizon!r}",
+                last_value=nxt,
+                iterations=iteration + 1,
+            )
+        if abs(nxt - x) <= rel_tol * max(1.0, abs(x), abs(nxt)):
+            return FixedPointResult(value=nxt, iterations=iteration + 1)
+        x = nxt
+    raise FixedPointDiverged(
+        f"{what}: no convergence after {max_iterations} iterations "
+        f"(last value {x!r})",
+        last_value=x,
+        iterations=max_iterations,
+    )

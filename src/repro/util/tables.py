@@ -1,0 +1,65 @@
+"""Minimal ASCII table formatter for experiment output.
+
+The benchmark harness prints the same rows the paper's worked examples
+report; this keeps the output dependency-free and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class Table:
+    """Accumulates rows and renders a fixed-width ASCII table.
+
+    >>> t = Table(["flow", "R (ms)"], title="demo")
+    >>> t.add_row(["tau_1", 12.5])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo
+    ...
+    """
+
+    def __init__(self, columns: Sequence[str], *, title: str | None = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append a row; values are stringified (floats with 6 sig. digits)."""
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+    def render(self) -> str:
+        """Render the table as a string (no trailing newline)."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "+".join("-" * (w + 2) for w in widths)
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(sep)
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(sep)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,88 @@
+"""Unit helpers.
+
+All analysis code uses **seconds** for time and **bits** (or bits per
+second) for data; these helpers make call sites explicit about units so a
+reader never has to guess whether ``2.7`` means microseconds or
+milliseconds.  The paper mixes µs (switch task costs), ms (MPEG frame
+times) and Mbit/s (link speeds); converting at the boundary keeps the
+equations in :mod:`repro.core` unit-free.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+#: One microsecond, in seconds.
+MICROSECOND = 1e-6
+#: One millisecond, in seconds.
+MILLISECOND = 1e-3
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds (``us(2.7) == 2.7e-6``)."""
+    return value * MICROSECOND
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds (``ms(30) == 0.030``)."""
+    return value * MILLISECOND
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return value * MEGA
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits per second to bits per second."""
+    return value * GIGA
+
+
+def bits_from_bytes(n_bytes: float) -> int:
+    """Number of bits in ``n_bytes`` bytes."""
+    return int(n_bytes * BITS_PER_BYTE)
+
+
+def bytes_from_bits(n_bits: float) -> float:
+    """Number of bytes occupied by ``n_bits`` bits (may be fractional)."""
+    return n_bits / BITS_PER_BYTE
+
+
+def fmt_duration(seconds: float) -> str:
+    """Human-readable duration with an auto-selected unit.
+
+    >>> fmt_duration(2.7e-6)
+    '2.700 us'
+    >>> fmt_duration(0.27)
+    '270.000 ms'
+    """
+    if seconds != seconds:  # NaN
+        return "nan"
+    magnitude = abs(seconds)
+    if magnitude >= 1.0:
+        return f"{seconds:.3f} s"
+    if magnitude >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if magnitude >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.3f} ns"
+
+
+def fmt_rate(bits_per_second: float) -> str:
+    """Human-readable bit rate with an auto-selected unit.
+
+    >>> fmt_rate(10_000_000)
+    '10.000 Mbit/s'
+    """
+    magnitude = abs(bits_per_second)
+    if magnitude >= GIGA:
+        return f"{bits_per_second / GIGA:.3f} Gbit/s"
+    if magnitude >= MEGA:
+        return f"{bits_per_second / MEGA:.3f} Mbit/s"
+    if magnitude >= KILO:
+        return f"{bits_per_second / KILO:.3f} kbit/s"
+    return f"{bits_per_second:.3f} bit/s"

@@ -1,0 +1,46 @@
+"""Workload generation: paper scenarios and synthetic sweeps.
+
+* :mod:`repro.workloads.mpeg` — MPEG GoP traffic (the paper's Fig. 3
+  IBBPBBPBB example);
+* :mod:`repro.workloads.voip` — Voice-over-IP flows (the paper's
+  motivating application);
+* :mod:`repro.workloads.generator` — seeded random GMF flow sets with
+  target utilisation (UUniFast-style) for acceptance-ratio sweeps;
+* :mod:`repro.workloads.topologies` — the paper's Fig. 1 example network
+  plus parametric line/star/tree edge networks.
+"""
+
+from repro.workloads.mpeg import (
+    MpegGopPattern,
+    mpeg_gop_spec,
+    paper_fig3_spec,
+    paper_fig3_flow,
+)
+from repro.workloads.voip import voip_spec, voip_flow
+from repro.workloads.generator import (
+    RandomFlowConfig,
+    random_flow_set,
+    uunifast,
+)
+from repro.workloads.topologies import (
+    paper_fig1_network,
+    line_network,
+    star_network,
+    tree_network,
+)
+
+__all__ = [
+    "MpegGopPattern",
+    "RandomFlowConfig",
+    "line_network",
+    "mpeg_gop_spec",
+    "paper_fig1_network",
+    "paper_fig3_flow",
+    "paper_fig3_spec",
+    "random_flow_set",
+    "star_network",
+    "tree_network",
+    "uunifast",
+    "voip_flow",
+    "voip_spec",
+]

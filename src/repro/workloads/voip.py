@@ -1,0 +1,63 @@
+"""Voice-over-IP traffic (the paper's motivating application).
+
+A VoIP codec emits fixed-size voice packets at a constant packet time —
+a sporadic (single-frame GMF) flow.  Defaults model G.711 with a 20 ms
+packetisation interval (160 bytes of voice payload per packet); G.729
+(20 bytes / 20 ms) is available via the ``codec`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.model.flow import Flow, Transport
+from repro.model.gmf import GmfSpec
+from repro.util.units import ms
+
+#: codec -> (payload bytes per packet, packet interval seconds)
+CODECS: dict[str, tuple[int, float]] = {
+    "g711": (160, ms(20)),
+    "g729": (20, ms(20)),
+    "g722": (160, ms(20)),
+}
+
+
+def voip_spec(
+    *,
+    codec: str = "g711",
+    deadline: float = ms(50),
+    jitter: float = 0.0,
+) -> GmfSpec:
+    """GMF (sporadic) spec of one direction of a VoIP call."""
+    try:
+        payload_bytes, interval = CODECS[codec]
+    except KeyError:
+        raise ValueError(
+            f"unknown codec {codec!r}; choose from {sorted(CODECS)}"
+        ) from None
+    return GmfSpec(
+        min_separations=(interval,),
+        deadlines=(deadline,),
+        jitters=(jitter,),
+        payload_bits=(payload_bytes * 8,),
+    )
+
+
+def voip_flow(
+    route: Sequence[str],
+    *,
+    name: str,
+    priority: int = 7,
+    codec: str = "g711",
+    deadline: float = ms(50),
+    jitter: float = 0.0,
+    transport: Transport = Transport.RTP,
+) -> Flow:
+    """One direction of a VoIP call over ``route`` (RTP by default)."""
+    return Flow(
+        name=name,
+        spec=voip_spec(codec=codec, deadline=deadline, jitter=jitter),
+        route=tuple(route),
+        priority=priority,
+        transport=transport,
+    )

@@ -1,0 +1,82 @@
+"""Shared fixtures: small canonical networks and flows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.model.network import Network, SwitchConfig
+from repro.util.units import mbps, ms, us
+
+
+@pytest.fixture
+def one_switch_net() -> Network:
+    """h0, h1 --- sw --- h2  (100 Mbit/s duplex links)."""
+    net = Network()
+    net.add_endhost("h0")
+    net.add_endhost("h1")
+    net.add_endhost("h2")
+    net.add_switch("sw")
+    net.add_duplex_link("h0", "sw", speed_bps=mbps(100))
+    net.add_duplex_link("h1", "sw", speed_bps=mbps(100))
+    net.add_duplex_link("h2", "sw", speed_bps=mbps(100))
+    return net
+
+
+@pytest.fixture
+def two_switch_net() -> Network:
+    """h0,h1 -- s0 -- s1 -- h2,h3 (100 Mbit/s)."""
+    net = Network()
+    for h in ("h0", "h1", "h2", "h3"):
+        net.add_endhost(h)
+    net.add_switch("s0")
+    net.add_switch("s1")
+    net.add_duplex_link("h0", "s0", speed_bps=mbps(100))
+    net.add_duplex_link("h1", "s0", speed_bps=mbps(100))
+    net.add_duplex_link("s0", "s1", speed_bps=mbps(100))
+    net.add_duplex_link("s1", "h2", speed_bps=mbps(100))
+    net.add_duplex_link("s1", "h3", speed_bps=mbps(100))
+    return net
+
+
+@pytest.fixture
+def video_spec() -> GmfSpec:
+    """3-frame GMF video cycle: big I frame + two small frames."""
+    return GmfSpec(
+        min_separations=(ms(30),) * 3,
+        deadlines=(ms(100),) * 3,
+        jitters=(ms(1),) * 3,
+        payload_bits=(120_000, 40_000, 40_000),
+    )
+
+
+@pytest.fixture
+def voip_like_spec() -> GmfSpec:
+    """Single-frame (sporadic) voice cycle."""
+    return GmfSpec(
+        min_separations=(ms(20),),
+        deadlines=(ms(50),),
+        jitters=(0.0,),
+        payload_bits=(1_280,),
+    )
+
+
+@pytest.fixture
+def video_flow(two_switch_net, video_spec) -> Flow:
+    return Flow(
+        name="video",
+        spec=video_spec,
+        route=("h0", "s0", "s1", "h2"),
+        priority=5,
+    )
+
+
+@pytest.fixture
+def voip_flow_fx(two_switch_net, voip_like_spec) -> Flow:
+    return Flow(
+        name="voip",
+        spec=voip_like_spec,
+        route=("h1", "s0", "s1", "h3"),
+        priority=7,
+    )

@@ -1,0 +1,136 @@
+"""Cross-cutting analysis invariants (property-style).
+
+* rotation invariance: the GMF cycle has no distinguished origin, so
+  rotating a flow's frame numbering permutes per-frame bounds without
+  changing them;
+* monotonicity: bounds never improve when payloads, jitters or
+  interference grow;
+* determinism and cache-independence of the context.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import AnalysisContext, AnalysisOptions
+from repro.core.holistic import holistic_analysis
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.util.units import mbps, ms
+
+
+def video_flow(route, name="v", jitters=(ms(1),) * 3, payloads=(120_000, 40_000, 40_000)):
+    return Flow(
+        name=name,
+        spec=GmfSpec(
+            min_separations=(ms(30),) * 3,
+            deadlines=(ms(200),) * 3,
+            jitters=jitters,
+            payload_bits=payloads,
+        ),
+        route=route,
+        priority=5,
+    )
+
+
+class TestRotationInvariance:
+    @pytest.mark.parametrize("offset", [1, 2])
+    def test_single_flow_rotation(self, two_switch_net, offset):
+        base = video_flow(("h0", "s0", "s1", "h2"))
+        rotated = base.with_spec(base.spec.rotate(offset))
+        r_base = holistic_analysis(two_switch_net, [base])
+        r_rot = holistic_analysis(two_switch_net, [rotated])
+        n = base.spec.n_frames
+        for k in range(n):
+            assert r_rot.response("v", k) == pytest.approx(
+                r_base.response("v", (k + offset) % n)
+            )
+
+    def test_interferer_rotation_leaves_victim_bound(self, two_switch_net):
+        """Interference terms (MX/NX/extra) are rotation-invariant, so
+        rotating a *competitor* cannot change the victim's bound."""
+        victim = video_flow(("h0", "s0", "s1", "h2"), "victim")
+        comp = video_flow(("h1", "s0", "s1", "h3"), "comp")
+        r1 = holistic_analysis(two_switch_net, [victim, comp])
+        r2 = holistic_analysis(
+            two_switch_net, [victim, comp.with_spec(comp.spec.rotate(1))]
+        )
+        assert r2.response("victim") == pytest.approx(r1.response("victim"))
+
+
+class TestMonotonicity:
+    def test_bound_monotone_in_payload(self, two_switch_net):
+        small = video_flow(("h0", "s0", "s1", "h2"), payloads=(60_000, 20_000, 20_000))
+        large = video_flow(("h0", "s0", "s1", "h2"), payloads=(120_000, 40_000, 40_000))
+        r_small = holistic_analysis(two_switch_net, [small]).response("v")
+        r_large = holistic_analysis(two_switch_net, [large]).response("v")
+        assert r_large > r_small
+
+    def test_bound_monotone_in_own_jitter(self, two_switch_net):
+        calm = video_flow(("h0", "s0", "s1", "h2"), jitters=(0.0,) * 3)
+        jittery = video_flow(("h0", "s0", "s1", "h2"), jitters=(ms(5),) * 3)
+        r_calm = holistic_analysis(two_switch_net, [calm]).response("v")
+        r_jit = holistic_analysis(two_switch_net, [jittery]).response("v")
+        assert r_jit >= r_calm + ms(5) - 1e-12  # at least the RSUM term
+
+    def test_bound_monotone_in_interferer_count(self, two_switch_net):
+        victim = video_flow(("h0", "s0", "s1", "h2"), "victim")
+        bounds = []
+        competitors = []
+        for i in range(3):
+            res = holistic_analysis(
+                two_switch_net, [victim, *competitors]
+            )
+            bounds.append(res.response("victim"))
+            competitors.append(
+                video_flow(("h1", "s0", "s1", "h3"), f"c{i}").with_priority(9)
+            )
+        assert bounds[0] <= bounds[1] <= bounds[2]
+        assert bounds[2] > bounds[0]
+
+    @pytest.mark.parametrize("extra_priority", [-3, -1, 0, 1, 3])
+    def test_bound_antitone_in_priority(self, two_switch_net, extra_priority):
+        """Raising the victim's priority never hurts it."""
+        victim = video_flow(("h0", "s0", "s1", "h2"), "victim")
+        comp = video_flow(("h1", "s0", "s1", "h3"), "comp")  # prio 5
+        lo = holistic_analysis(
+            two_switch_net, [victim.with_priority(5), comp]
+        ).response("victim")
+        hi = holistic_analysis(
+            two_switch_net, [victim.with_priority(5 + abs(extra_priority)), comp]
+        ).response("victim")
+        assert hi <= lo + 1e-12
+
+
+class TestContextHygiene:
+    def test_fresh_contexts_identical(self, two_switch_net):
+        flow = video_flow(("h0", "s0", "s1", "h2"))
+        r1 = holistic_analysis(two_switch_net, [flow]).response("v")
+        r2 = holistic_analysis(two_switch_net, [flow]).response("v")
+        assert r1 == r2
+
+    def test_with_flows_resets_jitters(self, two_switch_net):
+        """Reusing a network across analyses must not leak jitter state."""
+        flow = video_flow(("h0", "s0", "s1", "h2"))
+        ctx = AnalysisContext(two_switch_net, [flow])
+        holistic_analysis(two_switch_net, [flow], context=ctx)
+        fresh = ctx.with_flows([flow])
+        assert fresh.jitters.snapshot() == {}
+
+    def test_demand_cache_consistency(self, two_switch_net):
+        flow = video_flow(("h0", "s0", "s1", "h2"))
+        ctx = AnalysisContext(two_switch_net, [flow])
+        d1 = ctx.demand(flow, "s0", "s1")
+        d2 = ctx.demand(flow, "s0", "s1")
+        assert d1 is d2
+
+    def test_strict_option_changes_packetization(self, two_switch_net):
+        flow = video_flow(("h0", "s0", "s1", "h2"))
+        loose = AnalysisContext(two_switch_net, [flow])
+        strict = AnalysisContext(
+            two_switch_net, [flow], AnalysisOptions(strict_paper=True)
+        )
+        assert (
+            strict.demand(flow, "s0", "s1").csum
+            <= loose.demand(flow, "s0", "s1").csum
+        )

@@ -1,0 +1,109 @@
+"""Baseline analyses: sporadic/cycle collapse dominance."""
+
+import pytest
+
+from repro.baselines.bounds import demand_utilization_bound
+from repro.baselines.sporadic import (
+    cycle_collapse,
+    sporadic_collapse,
+    sporadic_holistic_analysis,
+)
+from repro.core.holistic import holistic_analysis
+from repro.model.flow import Flow
+from repro.util.units import ms
+from repro.workloads.mpeg import paper_fig3_spec
+
+
+@pytest.fixture
+def mpeg_flow(two_switch_net):
+    return Flow(
+        name="mpeg",
+        spec=paper_fig3_spec(deadline=ms(150)),
+        route=("h0", "s0", "s1", "h2"),
+        priority=5,
+    )
+
+
+class TestSporadicCollapse:
+    def test_period_is_min_separation(self, mpeg_flow):
+        c = sporadic_collapse(mpeg_flow)
+        assert c.spec.n_frames == 1
+        assert c.spec.min_separations[0] == min(
+            mpeg_flow.spec.min_separations
+        )
+
+    def test_payload_is_max(self, mpeg_flow):
+        c = sporadic_collapse(mpeg_flow)
+        assert c.spec.payload_bits[0] == max(mpeg_flow.spec.payload_bits)
+
+    def test_deadline_is_tightest(self, mpeg_flow):
+        c = sporadic_collapse(mpeg_flow)
+        assert c.spec.deadlines[0] == min(mpeg_flow.spec.deadlines)
+
+    def test_route_and_priority_preserved(self, mpeg_flow):
+        c = sporadic_collapse(mpeg_flow)
+        assert c.route == mpeg_flow.route
+        assert c.priority == mpeg_flow.priority
+        assert c.name == mpeg_flow.name
+
+    def test_utilization_dominates_gmf(self, mpeg_flow, two_switch_net):
+        """The collapse reserves strictly more bandwidth for bursty
+        video (the paper's motivation)."""
+        from repro.core.context import AnalysisContext
+
+        ctx = AnalysisContext(two_switch_net, [mpeg_flow])
+        ctx_c = AnalysisContext(two_switch_net, [sporadic_collapse(mpeg_flow)])
+        u_gmf = ctx.demand(mpeg_flow, "s0", "s1").utilization
+        u_col = ctx_c.demand(
+            sporadic_collapse(mpeg_flow), "s0", "s1"
+        ).utilization
+        assert u_col > 2 * u_gmf
+
+
+class TestCycleCollapse:
+    def test_period_is_tsum(self, mpeg_flow):
+        c = cycle_collapse(mpeg_flow)
+        assert c.spec.min_separations[0] == pytest.approx(
+            mpeg_flow.spec.tsum
+        )
+
+    def test_payload_is_cycle_sum(self, mpeg_flow):
+        c = cycle_collapse(mpeg_flow)
+        assert c.spec.payload_bits[0] == sum(mpeg_flow.spec.payload_bits)
+
+
+class TestBaselineAnalysis:
+    def test_sporadic_bound_dominates_gmf(self, two_switch_net, mpeg_flow):
+        """Pessimism: the sporadic baseline's bound is at least the GMF
+        bound for the worst frame."""
+        gmf = holistic_analysis(two_switch_net, [mpeg_flow])
+        spor = sporadic_holistic_analysis(two_switch_net, [mpeg_flow])
+        assert (
+            spor.result("mpeg").worst_response
+            >= gmf.result("mpeg").worst_response - 1e-12
+        )
+
+    def test_unknown_collapse_rejected(self, two_switch_net, mpeg_flow):
+        with pytest.raises(ValueError):
+            sporadic_holistic_analysis(
+                two_switch_net, [mpeg_flow], collapse="wavelet"
+            )
+
+    def test_cycle_analysis_runs(self, two_switch_net, mpeg_flow):
+        res = sporadic_holistic_analysis(
+            two_switch_net, [mpeg_flow], collapse="cycle"
+        )
+        assert "mpeg" in res.flow_results
+
+
+class TestUtilizationBound:
+    def test_light_load_accepted(self, two_switch_net, mpeg_flow):
+        assert demand_utilization_bound(two_switch_net, [mpeg_flow])
+
+    def test_empty_set_accepted(self, two_switch_net):
+        assert demand_utilization_bound(two_switch_net, [])
+
+    def test_threshold_rejects(self, two_switch_net, mpeg_flow):
+        assert not demand_utilization_bound(
+            two_switch_net, [mpeg_flow], threshold=1e-6
+        )

@@ -1,0 +1,123 @@
+"""Command-line interface over scenario files."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_scenario
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.util.units import mbps, ms
+
+
+@pytest.fixture
+def scenario_file(two_switch_net, tmp_path):
+    flow = Flow(
+        name="video",
+        spec=GmfSpec(
+            min_separations=(ms(30),),
+            deadlines=(ms(100),),
+            jitters=(0.0,),
+            payload_bits=(60_000,),
+        ),
+        route=("h0", "s0", "s1", "h2"),
+        priority=5,
+    )
+    path = tmp_path / "scenario.json"
+    save_scenario(path, two_switch_net, [flow])
+    return str(path)
+
+
+@pytest.fixture
+def overloaded_file(two_switch_net, tmp_path):
+    flows = [
+        Flow(
+            name=f"hog{i}",
+            spec=GmfSpec(
+                min_separations=(ms(20),),
+                deadlines=(ms(100),),
+                jitters=(0.0,),
+                payload_bits=(1_500_000,),
+            ),
+            route=("h0", "s0", "s1", "h2") if i == 0 else ("h1", "s0", "s1", "h3"),
+            priority=i,
+        )
+        for i in range(2)
+    ]
+    path = tmp_path / "overloaded.json"
+    save_scenario(path, two_switch_net, flows)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_schedulable_exit_zero(self, scenario_file, capsys):
+        assert main(["analyze", scenario_file]) == 0
+        out = capsys.readouterr().out
+        assert "SCHEDULABLE" in out
+        assert "video" in out
+
+    def test_unschedulable_exit_one(self, overloaded_file, capsys):
+        assert main(["analyze", overloaded_file]) == 1
+        assert "NOT SCHEDULABLE" in capsys.readouterr().out
+
+    def test_strict_flag(self, scenario_file, capsys):
+        assert main(["analyze", scenario_file, "--strict"]) == 0
+
+
+class TestSimulate:
+    def test_runs_and_reports(self, scenario_file, capsys):
+        assert main(["simulate", scenario_file, "-d", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "video" in out
+        assert "deadline misses observed: 0" in out
+
+    def test_rotation_mode(self, scenario_file, capsys):
+        assert (
+            main(["simulate", scenario_file, "-d", "0.3", "--mode", "rotation"])
+            == 0
+        )
+
+
+class TestValidate:
+    def test_no_violations(self, scenario_file, capsys):
+        assert main(["validate", scenario_file, "-d", "0.3"]) == 0
+        assert "violations: 0" in capsys.readouterr().out
+
+    def test_diverged_analysis(self, overloaded_file, capsys):
+        assert main(["validate", overloaded_file, "-d", "0.1"]) == 1
+
+
+class TestReport:
+    def test_lists_bottleneck(self, scenario_file, capsys):
+        assert main(["report", scenario_file]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out
+
+    def test_overload_flagged(self, overloaded_file, capsys):
+        assert main(["report", overloaded_file]) == 1
+
+
+class TestPlan:
+    def test_already_schedulable(self, scenario_file, capsys):
+        assert main(["plan", scenario_file]) == 0
+        out = capsys.readouterr().out
+        assert "minimum uniform link-speed scale" in out
+
+    def test_overloaded_needs_faster_links(self, overloaded_file, capsys):
+        assert main(["plan", overloaded_file]) == 0
+        out = capsys.readouterr().out
+        # The required scale must be > 1 for the overloaded set.
+        scale = float(out.split("schedulability:")[1].split()[0])
+        assert scale > 1.0
+
+
+class TestParser:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_file(self, tmp_path):
+        bad = tmp_path / "nope.json"
+        with pytest.raises(Exception):
+            main(["analyze", str(bad)])

@@ -1,0 +1,118 @@
+"""Click switch structural model and multiprocessor partitioning."""
+
+import pytest
+
+from repro.model.network import SwitchConfig
+from repro.switch.click import ClickSwitch, TaskKind
+from repro.switch.multiproc import (
+    circ_with_processors,
+    max_linkspeed_supported,
+    partition_interfaces,
+)
+from repro.util.units import us
+
+
+class TestClickSwitch:
+    def test_paper_example_circ(self):
+        """Fig. 5 / Sec. 3.3: 4 interfaces -> CIRC = 14.8 us."""
+        sw = ClickSwitch("n4", ["a", "b", "c", "d"])
+        assert sw.circ == pytest.approx(14.8e-6)
+
+    def test_two_tasks_per_interface(self):
+        sw = ClickSwitch("s", ["a", "b", "c"])
+        assert len(sw.tasks) == 6
+        kinds = [t.kind for t in sw.tasks]
+        assert kinds.count(TaskKind.INGRESS) == 3
+        assert kinds.count(TaskKind.EGRESS) == 3
+
+    def test_task_costs(self):
+        cfg = SwitchConfig(c_route=us(2.7), c_send=us(1.0))
+        sw = ClickSwitch("s", ["a"], cfg)
+        ingress = next(t for t in sw.tasks if t.kind is TaskKind.INGRESS)
+        egress = next(t for t in sw.tasks if t.kind is TaskKind.EGRESS)
+        assert ingress.cost == pytest.approx(2.7e-6)
+        assert egress.cost == pytest.approx(1.0e-6)
+
+    def test_queues_per_interface(self):
+        sw = ClickSwitch("s", ["a", "b"])
+        assert set(sw.rx_fifo) == {"a", "b"}
+        assert set(sw.tx_fifo) == {"a", "b"}
+        assert set(sw.output_queue) == {"a", "b"}
+
+    def test_single_scheduler_single_processor(self):
+        sw = ClickSwitch("s", ["a", "b"])
+        assert len(sw.schedulers) == 1
+        assert len(sw.schedulers[0]) == 4  # 2 tasks * 2 interfaces
+
+    def test_multiprocessor_partitioning(self):
+        cfg = SwitchConfig(n_processors=2)
+        sw = ClickSwitch("s", ["a", "b", "c", "d"], cfg)
+        assert len(sw.schedulers) == 2
+        # Both tasks of an interface on the same processor.
+        for itf in sw.interfaces:
+            sched = sw.scheduler_for(itf)
+            names = {t.name for t in sched.tasks()}
+            assert f"ingress:{itf}" in names
+            assert f"egress:{itf}" in names
+
+    def test_multiprocessor_circ_reduced(self):
+        cfg2 = SwitchConfig(n_processors=2)
+        sw2 = ClickSwitch("s", ["a", "b", "c", "d"], cfg2)
+        sw1 = ClickSwitch("t", ["a", "b", "c", "d"])
+        assert sw2.circ == pytest.approx(sw1.circ / 2)
+
+    def test_indivisible_partitioning_rejected(self):
+        cfg = SwitchConfig(n_processors=3)
+        with pytest.raises(ValueError, match="divisible"):
+            ClickSwitch("s", ["a", "b", "c", "d"], cfg)
+
+    def test_duplicate_interfaces_rejected(self):
+        with pytest.raises(ValueError):
+            ClickSwitch("s", ["a", "a"])
+
+    def test_no_interfaces_rejected(self):
+        with pytest.raises(ValueError):
+            ClickSwitch("s", [])
+
+    def test_total_backlog_counts_all_queues(self):
+        from repro.switch.queues import QueuedFrame
+
+        sw = ClickSwitch("s", ["a", "b"])
+        f = QueuedFrame("x", 100, 0, 0, 0, 1)
+        sw.rx_fifo["a"].push(f)
+        sw.output_queue["b"].push(f)
+        sw.tx_fifo["a"].push(f)
+        assert sw.total_backlog() == 3
+
+    def test_describe(self):
+        text = ClickSwitch("s", ["a", "b"]).describe()
+        assert "2 interfaces" in text
+
+
+class TestMultiproc:
+    def test_paper_48_port_example(self):
+        """Conclusions: 48 ports / 16 cpus -> CIRC = 11.1 us."""
+        plan = partition_interfaces(48, 16)
+        assert plan.circ == pytest.approx(11.1e-6)
+        assert plan.interfaces_per_processor == 3
+
+    def test_gigabit_claim(self):
+        """Conclusions: such a switch comfortably handles 1 Gbit/s."""
+        assert max_linkspeed_supported(48, 16) >= 1e9
+
+    def test_single_processor_cannot_do_gigabit(self):
+        """A 48-port single-CPU software switch cannot keep 1 Gbit/s
+        links busy (CIRC would be 177.6 us >> MFT)."""
+        assert max_linkspeed_supported(48, 1) < 1e9
+
+    def test_circ_scales_inverse_with_processors(self):
+        c1 = circ_with_processors(16, 1)
+        c4 = circ_with_processors(16, 4)
+        assert c4 == pytest.approx(c1 / 4)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            partition_interfaces(48, 5)
+
+    def test_describe(self):
+        assert "48-port" in partition_interfaces(48, 16).describe()

@@ -1,0 +1,34 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples contain their own assertions (bounds dominate simulation,
+GMF admits at least as much as sporadic, ...), so a clean exit is a
+meaningful check, not just an import test.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 4  # quickstart + >= 3 scenarios
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,168 @@
+"""Experiment harness: each E1-E9 runs and exhibits the expected shape."""
+
+import math
+
+import pytest
+
+from repro.experiments.ablation import run_ablation
+from repro.experiments.acceptance import run_acceptance_sweep
+from repro.experiments.convergence import run_convergence_study
+from repro.experiments.endtoend import run_endtoend_example
+from repro.experiments.runner import EXPERIMENTS, run_all
+from repro.experiments.sensitivity import run_circ_sensitivity, run_hop_sweep
+from repro.experiments.validation import run_validation
+from repro.experiments.worked_example import run_circ_examples, run_worked_example
+
+
+class TestE1WorkedExample:
+    def test_tsum_matches_paper(self):
+        res = run_worked_example()
+        assert res.tsum == pytest.approx(0.270)
+
+    def test_nine_frames(self):
+        res = run_worked_example()
+        assert res.demand.n_frames == 9
+
+    def test_render_contains_cycle_sums(self):
+        text = run_worked_example().render()
+        assert "TSUM" in text and "270" in text
+
+
+class TestE2Circ:
+    def test_values(self):
+        res = run_circ_examples()
+        assert res.example_switch.circ == pytest.approx(14.8e-6)
+        assert res.network_processor.circ == pytest.approx(11.1e-6)
+        assert res.gigabit_feasible_speed > 1e9
+
+    def test_render(self):
+        assert "14.8" in run_circ_examples().render()
+
+
+class TestE3EndToEnd:
+    def test_schedulable(self):
+        res = run_endtoend_example()
+        assert res.analysis.schedulable
+
+    def test_render_has_breakdown(self):
+        text = run_endtoend_example().render()
+        assert "first_hop" in text and "in(n4)" in text
+
+
+class TestE4Validation:
+    def test_soundness_holds(self):
+        res = run_validation(seeds=(0, 1), duration=1.0)
+        assert res.all_sound, res.violations
+        assert res.rows
+
+    def test_tightness_in_unit_interval(self):
+        res = run_validation(seeds=(0,), duration=1.0, modes=("event",))
+        assert 0 < res.mean_tightness <= 1.0
+
+
+class TestE5Acceptance:
+    def test_gmf_dominates_sporadic(self):
+        res = run_acceptance_sweep(
+            utilizations=(0.3, 0.6), trials=4
+        )
+        assert res.dominance_holds()
+
+    def test_util_envelope(self):
+        """No sound analysis admits what the necessary condition rejects."""
+        res = run_acceptance_sweep(utilizations=(0.4, 0.8), trials=4)
+        for p in res.points:
+            assert p.accepted["gmf"] <= p.accepted["util"]
+
+
+class TestE6CircSensitivity:
+    def test_monotone_in_circ(self):
+        res = run_circ_sensitivity(
+            cost_scales=(0.5, 1.0, 4.0), processor_counts=(1, 2)
+        )
+        assert res.monotone_in_circ()
+
+    def test_multiproc_reduces_circ(self):
+        res = run_circ_sensitivity(
+            cost_scales=(1.0,), processor_counts=(1, 2)
+        )
+        by_label = {r.label: r for r in res.rows}
+        assert (
+            by_label["2 processor(s)"].circ_us
+            < by_label["1 processor(s)"].circ_us
+        )
+
+
+class TestE7Hops:
+    def test_linear_growth(self):
+        res = run_hop_sweep(switch_counts=(1, 2, 4))
+        assert res.roughly_linear()
+        bounds = [r.bound for r in res.rows]
+        assert bounds == sorted(bounds)
+
+
+class TestE8Ablation:
+    def test_strict_below_corrected(self):
+        res = run_ablation()
+        for flow, corrected in res.variant("corrected").items():
+            assert res.variant("strict_paper")[flow] <= corrected + 1e-12
+
+    def test_no_jitter_below_corrected(self):
+        res = run_ablation()
+        for flow, corrected in res.variant("corrected").items():
+            assert res.variant("no_jitter")[flow] <= corrected + 1e-12
+
+    def test_jitter_matters_somewhere(self):
+        res = run_ablation()
+        deltas = [
+            res.variant("corrected")[f] - res.variant("no_jitter")[f]
+            for f in res.variant("corrected")
+        ]
+        assert max(deltas) > 0
+
+
+class TestE9Convergence:
+    def test_divergence_detected(self):
+        res = run_convergence_study()
+        assert res.divergence_detected_correctly()
+        assert any(not p.utilization_ok for p in res.points)
+
+    def test_bounds_monotone(self):
+        res = run_convergence_study()
+        assert res.bounds_monotone_in_load()
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        expected = {f"E{i}" for i in range(1, 10)} | {"E4b", "E5b"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_run_subset(self):
+        text = run_all(["E1", "E2"], quick=True)
+        assert "==== E1 ====" in text and "==== E2 ====" in text
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            run_all(["E99"])
+
+
+class TestE4bStageTightness:
+    def test_sound_and_decreasing(self):
+        from repro.experiments.validation import run_stage_tightness
+
+        result = run_stage_tightness(duration=1.0)
+        assert result.sound
+        assert len(result.rows) == 3  # n4, n6, n3 of the Fig. 2 route
+        ratios = [r.tightness for r in result.rows]
+        assert ratios == sorted(ratios, reverse=True)
+
+
+class TestE5bBurstiness:
+    def test_gap_widens_and_baseline_exact_at_one(self):
+        from repro.experiments.acceptance import run_burstiness_sweep
+
+        res = run_burstiness_sweep(
+            burstiness_levels=(1.0, 8.0), trials=5
+        )
+        assert res.gap_widens()
+        first = res.points[0]
+        assert first.ratio("gmf") == first.ratio("sporadic")

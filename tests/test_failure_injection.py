@@ -1,0 +1,146 @@
+"""Failure injection: bounded NIC FIFOs, overflow, 802.1p level limits.
+
+The analysis assumes lossless queues (a consequence of schedulability:
+bounded backlog).  These tests exercise what the *simulator substrate*
+does outside that assumption — drops are counted, dropped packets stay
+incomplete, and the rest of the system keeps working.
+"""
+
+import pytest
+
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.model.network import Network, SwitchConfig
+from repro.sim.simulator import SimConfig, Simulator, simulate
+from repro.sim.stats import collect_stats
+from repro.util.units import mbps, ms, us
+
+
+def slow_switch_net():
+    """A switch whose processor is far too slow for the offered load."""
+    net = Network()
+    net.add_endhost("h0")
+    net.add_endhost("h1")
+    net.add_switch("sw", SwitchConfig(c_route=us(500), c_send=us(500)))
+    net.add_duplex_link("h0", "sw", speed_bps=mbps(100))
+    net.add_duplex_link("sw", "h1", speed_bps=mbps(100))
+    return net
+
+
+def flood_flow(payload=10_000, period=ms(0.4)):
+    return Flow(
+        name="flood",
+        spec=GmfSpec(
+            min_separations=(period,),
+            deadlines=(1.0,),
+            jitters=(0.0,),
+            payload_bits=(payload,),
+        ),
+        route=("h0", "sw", "h1"),
+        priority=3,
+    )
+
+
+class TestFifoOverflow:
+    def test_drops_counted(self):
+        net = slow_switch_net()
+        sim = Simulator(
+            net,
+            [flood_flow()],
+            SimConfig(duration=0.3, nic_fifo_capacity=4, drain_factor=0.0),
+        )
+        sim.run()
+        stats = collect_stats(sim)
+        assert stats.total_drops > 0
+
+    def test_dropped_packets_incomplete(self):
+        net = slow_switch_net()
+        sim = Simulator(
+            net,
+            [flood_flow()],
+            SimConfig(duration=0.3, nic_fifo_capacity=4, drain_factor=0.0),
+        )
+        trace = sim.run()
+        assert trace.count_incomplete("flood") > 0
+
+    def test_unbounded_fifos_never_drop(self):
+        net = slow_switch_net()
+        sim = Simulator(
+            net, [flood_flow()], SimConfig(duration=0.3, drain_factor=0.0)
+        )
+        sim.run()
+        assert collect_stats(sim).total_drops == 0
+
+    def test_surviving_packets_still_measured(self):
+        net = slow_switch_net()
+        sim = Simulator(
+            net,
+            [flood_flow()],
+            SimConfig(duration=0.3, nic_fifo_capacity=4, drain_factor=1.0),
+        )
+        trace = sim.run()
+        assert trace.count_completed("flood") > 0
+        assert trace.worst_response("flood") > 0
+
+    def test_schedulable_load_fits_small_fifos(self, two_switch_net):
+        """A load the analysis admits produces bounded backlog, so even
+        modest FIFOs never overflow."""
+        from repro.core.holistic import holistic_analysis
+
+        flow = Flow(
+            name="ok",
+            spec=GmfSpec(
+                min_separations=(ms(20),),
+                deadlines=(ms(100),),
+                jitters=(0.0,),
+                payload_bits=(40_000,),
+            ),
+            route=("h0", "s0", "s1", "h2"),
+            priority=3,
+        )
+        assert holistic_analysis(two_switch_net, [flow]).schedulable
+        sim = Simulator(
+            two_switch_net, [flow], SimConfig(duration=1.0, nic_fifo_capacity=64)
+        )
+        sim.run()
+        assert collect_stats(sim).total_drops == 0
+
+
+class TestPriorityLevels:
+    def test_out_of_range_priority_raises(self, two_switch_net):
+        flow = Flow(
+            name="f",
+            spec=GmfSpec(
+                min_separations=(ms(20),),
+                deadlines=(ms(100),),
+                jitters=(0.0,),
+                payload_bits=(10_000,),
+            ),
+            route=("h0", "s0", "s1", "h2"),
+            priority=12,  # beyond 8 levels
+        )
+        with pytest.raises(ValueError, match="priority"):
+            simulate(
+                two_switch_net,
+                [flow],
+                config=SimConfig(duration=0.1, priority_levels=8),
+            )
+
+    def test_in_range_priority_works(self, two_switch_net):
+        flow = Flow(
+            name="f",
+            spec=GmfSpec(
+                min_separations=(ms(20),),
+                deadlines=(ms(100),),
+                jitters=(0.0,),
+                payload_bits=(10_000,),
+            ),
+            route=("h0", "s0", "s1", "h2"),
+            priority=7,
+        )
+        trace = simulate(
+            two_switch_net,
+            [flow],
+            config=SimConfig(duration=0.2, priority_levels=8),
+        )
+        assert trace.count_completed() > 0

@@ -1,0 +1,159 @@
+"""First-hop analysis (Sec. 3.2, Eqs. 14-20)."""
+
+import math
+
+import pytest
+
+from repro.core.context import AnalysisContext, AnalysisOptions, link_resource
+from repro.core.first_hop import first_hop_response_time, first_hop_utilization
+from repro.core.results import StageKind
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec, sporadic_spec
+from repro.model.network import Network
+from repro.util.units import mbps, ms
+
+
+def ctx_with(net, flows, **opts):
+    return AnalysisContext(net, flows, AnalysisOptions(**opts) if opts else None)
+
+
+def simple_flow(name="f", payload=10_000, period=ms(20), prio=3, route=("h0", "sw", "h2"), jitter=0.0):
+    return Flow(
+        name=name,
+        spec=GmfSpec(
+            min_separations=(period,),
+            deadlines=(ms(100),),
+            jitters=(jitter,),
+            payload_bits=(payload,),
+        ),
+        route=route,
+        priority=prio,
+    )
+
+
+class TestIsolatedFlow:
+    def test_single_flow_response_is_c(self, one_switch_net):
+        """With no competition, R = C (queue empty, q=0, w=0)."""
+        flow = simple_flow()
+        ctx = ctx_with(one_switch_net, [flow])
+        res = first_hop_response_time(ctx, flow, 0)
+        c = ctx.demand(flow, "h0", "sw").c[0]
+        assert res.response == pytest.approx(c)
+        assert res.converged
+        assert res.kind is StageKind.FIRST_HOP
+
+    def test_propagation_added(self):
+        net = Network()
+        net.add_endhost("h0")
+        net.add_switch("sw")
+        net.add_endhost("h2")
+        net.add_duplex_link("h0", "sw", speed_bps=mbps(100), prop_delay=50e-6)
+        net.add_duplex_link("sw", "h2", speed_bps=mbps(100))
+        flow = simple_flow()
+        ctx = ctx_with(net, [flow])
+        res = first_hop_response_time(ctx, flow, 0)
+        c = ctx.demand(flow, "h0", "sw").c[0]
+        assert res.response == pytest.approx(c + 50e-6)
+
+    def test_resource_key(self, one_switch_net):
+        flow = simple_flow()
+        ctx = ctx_with(one_switch_net, [flow])
+        res = first_hop_response_time(ctx, flow, 0)
+        assert res.resource == link_resource("h0", "sw")
+
+
+class TestInterference:
+    def test_sharing_source_link_increases_response(self, one_switch_net):
+        a = simple_flow("a", prio=5)
+        alone = first_hop_response_time(ctx_with(one_switch_net, [a]), a, 0)
+        b = simple_flow("b", prio=1)  # lower priority still interferes
+        shared = first_hop_response_time(ctx_with(one_switch_net, [a, b]), a, 0)
+        assert shared.response > alone.response
+
+    def test_priority_ignored_on_first_hop(self, one_switch_net):
+        """Any work-conserving discipline: lower-priority flows interfere
+        identically to higher-priority ones."""
+        a = simple_flow("a", prio=5)
+        lo = simple_flow("b", prio=0)
+        hi = simple_flow("b", prio=9)
+        r_lo = first_hop_response_time(ctx_with(one_switch_net, [a, lo]), a, 0)
+        r_hi = first_hop_response_time(ctx_with(one_switch_net, [a, hi]), a, 0)
+        assert r_lo.response == pytest.approx(r_hi.response)
+
+    def test_flows_on_other_links_do_not_interfere(self, one_switch_net):
+        a = simple_flow("a")
+        other = simple_flow("b", route=("h1", "sw", "h2"))
+        alone = first_hop_response_time(ctx_with(one_switch_net, [a]), a, 0)
+        both = first_hop_response_time(ctx_with(one_switch_net, [a, other]), a, 0)
+        assert both.response == pytest.approx(alone.response)
+
+    def test_jitter_of_interferer_increases_response(self, one_switch_net):
+        a = simple_flow("a", payload=40_000, period=ms(5))
+        calm = simple_flow("b", payload=40_000, period=ms(5), jitter=0.0)
+        jittery = simple_flow("b", payload=40_000, period=ms(5), jitter=ms(4.9))
+        r_calm = first_hop_response_time(ctx_with(one_switch_net, [a, calm]), a, 0)
+        r_jit = first_hop_response_time(
+            ctx_with(one_switch_net, [a, jittery]), a, 0
+        )
+        assert r_jit.response >= r_calm.response
+
+    def test_multi_frame_own_flow_busy_period(self, one_switch_net):
+        """A GMF flow with a burst (zero separation) must check q > 0."""
+        flow = Flow(
+            name="burst",
+            spec=GmfSpec(
+                min_separations=(0.0, ms(20)),
+                deadlines=(ms(100),) * 2,
+                jitters=(0.0,) * 2,
+                payload_bits=(11_000, 11_000),
+            ),
+            route=("h0", "sw", "h2"),
+        )
+        ctx = ctx_with(one_switch_net, [flow])
+        res = first_hop_response_time(ctx, flow, 0)
+        # Both frames can arrive together; the frame under analysis may
+        # wait behind the cycle's other frame.
+        assert res.converged
+
+
+class TestUtilizationCondition:
+    def test_utilization_sums_all_flows(self, one_switch_net):
+        a = simple_flow("a")
+        b = simple_flow("b")
+        ctx = ctx_with(one_switch_net, [a, b])
+        u = first_hop_utilization(ctx, "h0", "sw")
+        da = ctx.demand(a, "h0", "sw")
+        assert u == pytest.approx(2 * da.utilization)
+
+    def test_overload_diverges(self, one_switch_net):
+        """Eq. 20 violated -> diverged stage with infinite response."""
+        hog = simple_flow("hog", payload=2_500_000, period=ms(20))
+        a = simple_flow("a")
+        ctx = ctx_with(one_switch_net, [a, hog])
+        assert first_hop_utilization(ctx, "h0", "sw") >= 1.0
+        res = first_hop_response_time(ctx, a, 0)
+        assert not res.converged
+        assert math.isinf(res.response)
+
+    def test_near_saturation_converges(self, one_switch_net):
+        """Just below Eq. 20's boundary the analysis still terminates."""
+        heavy = simple_flow("heavy", payload=1_800_000, period=ms(20))
+        ctx = ctx_with(one_switch_net, [heavy], horizon_factor=10_000.0)
+        u = first_hop_utilization(ctx, "h0", "sw")
+        assert 0.8 < u < 1.0
+        res = first_hop_response_time(ctx, heavy, 0)
+        assert res.converged
+
+
+class TestBusyPeriod:
+    def test_busy_period_at_least_c(self, one_switch_net):
+        flow = simple_flow()
+        ctx = ctx_with(one_switch_net, [flow])
+        res = first_hop_response_time(ctx, flow, 0)
+        assert res.busy_period >= ctx.demand(flow, "h0", "sw").c[0]
+
+    def test_instances_checked(self, one_switch_net):
+        flow = simple_flow()
+        ctx = ctx_with(one_switch_net, [flow])
+        res = first_hop_response_time(ctx, flow, 0)
+        assert res.n_instances >= 1

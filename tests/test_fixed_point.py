@@ -1,0 +1,83 @@
+"""The generic fixed-point driver all analyses build on."""
+
+import math
+
+import pytest
+
+from repro.util.fixed_point import (
+    FixedPointDiverged,
+    iterate_fixed_point,
+)
+
+
+class TestConvergence:
+    def test_constant_function(self):
+        res = iterate_fixed_point(lambda x: 5.0, seed=0.0)
+        assert res.value == 5.0
+
+    def test_seed_already_fixed(self):
+        res = iterate_fixed_point(lambda x: x, seed=3.0)
+        assert res.value == 3.0
+        assert res.iterations == 1
+
+    def test_classic_response_time_shape(self):
+        """R = C + ceil(R/T) * C_hi: the textbook recurrence."""
+        c, t_hi, c_hi = 2.0, 5.0, 1.0
+        res = iterate_fixed_point(
+            lambda r: c + math.ceil(r / t_hi) * c_hi, seed=c
+        )
+        # R = 2 + ceil(R/5): R=3 -> 2+1=3 fixed.
+        assert res.value == 3.0
+
+    def test_step_function_converges(self):
+        res = iterate_fixed_point(
+            lambda x: 1.0 + math.floor(x / 2.0), seed=0.0
+        )
+        assert res.value == 1.0
+
+    def test_iterations_counted(self):
+        calls = []
+        def f(x):
+            calls.append(x)
+            return min(x + 1.0, 4.0)
+        res = iterate_fixed_point(f, seed=0.0)
+        assert res.value == 4.0
+        assert res.iterations == len(calls)
+
+
+class TestDivergence:
+    def test_horizon_exceeded(self):
+        with pytest.raises(FixedPointDiverged) as exc:
+            iterate_fixed_point(lambda x: x + 1.0, seed=0.0, horizon=10.0)
+        assert exc.value.last_value > 10.0
+
+    def test_max_iterations_exceeded(self):
+        with pytest.raises(FixedPointDiverged):
+            iterate_fixed_point(
+                lambda x: x + 1e-6, seed=0.0, max_iterations=50
+            )
+
+    def test_divergence_records_iterations(self):
+        with pytest.raises(FixedPointDiverged) as exc:
+            iterate_fixed_point(
+                lambda x: x + 1.0, seed=0.0, max_iterations=7, horizon=1e9
+            )
+        assert exc.value.iterations == 7
+
+    def test_what_appears_in_message(self):
+        with pytest.raises(FixedPointDiverged, match="my recurrence"):
+            iterate_fixed_point(
+                lambda x: x + 1.0, seed=0.0, horizon=3.0, what="my recurrence"
+            )
+
+
+class TestMonotonicityGuard:
+    def test_decreasing_update_raises(self):
+        with pytest.raises(ValueError, match="monotone"):
+            iterate_fixed_point(lambda x: x - 1.0, seed=10.0)
+
+    def test_tiny_float_noise_tolerated(self):
+        # A one-ulp decrease must not trip the guard.
+        values = iter([1.0, 1.0 - 1e-16, 1.0 - 1e-16])
+        res = iterate_fixed_point(lambda x: next(values), seed=0.0)
+        assert res.value == pytest.approx(1.0)

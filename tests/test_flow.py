@@ -1,0 +1,156 @@
+"""Flow objects: route navigation (succ/prec), priorities, hep/lp sets."""
+
+import pytest
+
+from repro.model.flow import (
+    Flow,
+    Transport,
+    check_unique_names,
+    flows_on_link,
+    hep_flows,
+    lp_flows,
+)
+from repro.model.gmf import sporadic_spec
+
+
+def make_flow(name="f", route=("h0", "s0", "s1", "h2"), priority=3, **kw):
+    return Flow(
+        name=name,
+        spec=sporadic_spec(period=0.02, deadline=0.05, payload_bits=1000),
+        route=route,
+        priority=priority,
+        **kw,
+    )
+
+
+class TestRouteNavigation:
+    def test_source_destination(self):
+        f = make_flow()
+        assert f.source == "h0"
+        assert f.destination == "h2"
+
+    def test_succ(self):
+        f = make_flow()
+        assert f.succ("h0") == "s0"
+        assert f.succ("s1") == "h2"
+
+    def test_succ_of_destination_raises(self):
+        with pytest.raises(ValueError, match="destination"):
+            make_flow().succ("h2")
+
+    def test_prec(self):
+        f = make_flow()
+        assert f.prec("s0") == "h0"
+
+    def test_prec_of_source_raises(self):
+        with pytest.raises(ValueError, match="source"):
+            make_flow().prec("h0")
+
+    def test_off_route_node_raises(self):
+        with pytest.raises(ValueError, match="not on route"):
+            make_flow().succ("h9")
+
+    def test_uses_link_directional(self):
+        f = make_flow()
+        assert f.uses_link("s0", "s1")
+        assert not f.uses_link("s1", "s0")
+
+    def test_links_in_order(self):
+        assert make_flow().links() == [("h0", "s0"), ("s0", "s1"), ("s1", "h2")]
+
+    def test_intermediate_switches(self):
+        assert make_flow().intermediate_switches() == ("s0", "s1")
+
+    def test_hops(self):
+        assert make_flow().hops() == 3
+
+    def test_short_route_rejected(self):
+        with pytest.raises(ValueError):
+            make_flow(route=("h0",))
+
+    def test_loop_route_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            make_flow(route=("h0", "s0", "h0"))
+
+
+class TestPriorities:
+    def test_default_priority_everywhere(self):
+        f = make_flow(priority=4)
+        assert f.priority_on("h0", "s0") == 4
+        assert f.priority_on("s1", "h2") == 4
+
+    def test_per_link_override(self):
+        f = make_flow(priority=4, link_priorities={("s0", "s1"): 6})
+        assert f.priority_on("s0", "s1") == 6
+        assert f.priority_on("h0", "s0") == 4
+
+    def test_override_off_route_rejected(self):
+        with pytest.raises(ValueError, match="not on its route"):
+            make_flow(link_priorities={("s1", "s0"): 2})
+
+    def test_priority_on_foreign_link_raises(self):
+        with pytest.raises(ValueError):
+            make_flow().priority_on("h1", "s0")
+
+    def test_with_priority_copies(self):
+        f = make_flow(priority=1)
+        g = f.with_priority(9)
+        assert g.priority == 9 and f.priority == 1
+        assert g.route == f.route
+
+    def test_with_spec_replaces_spec(self):
+        f = make_flow()
+        new_spec = sporadic_spec(period=0.5, deadline=1.0, payload_bits=64)
+        g = f.with_spec(new_spec)
+        assert g.spec.tsum == pytest.approx(0.5)
+        assert g.name == f.name
+
+
+class TestFlowSets:
+    def setup_method(self):
+        self.a = make_flow("a", priority=5)
+        self.b = make_flow("b", priority=5)
+        self.c = make_flow("c", priority=2)
+        self.d = make_flow("d", route=("h1", "s0", "s1", "h3"), priority=9)
+        self.flows = [self.a, self.b, self.c, self.d]
+
+    def test_flows_on_link(self):
+        shared = flows_on_link(self.flows, "s0", "s1")
+        assert {f.name for f in shared} == {"a", "b", "c", "d"}
+        first = flows_on_link(self.flows, "h0", "s0")
+        assert {f.name for f in first} == {"a", "b", "c"}
+
+    def test_hep_includes_equal_priority(self):
+        hep = hep_flows(self.flows, self.a, "s0", "s1")
+        assert {f.name for f in hep} == {"b", "d"}
+
+    def test_hep_excludes_self(self):
+        hep = hep_flows(self.flows, self.a, "s0", "s1")
+        assert all(f.name != "a" for f in hep)
+
+    def test_lp_strictly_lower(self):
+        lp = lp_flows(self.flows, self.a, "s0", "s1")
+        assert {f.name for f in lp} == {"c"}
+
+    def test_hep_lp_partition(self):
+        """Eq. 2/3: hep and lp partition the other flows on the link."""
+        hep = {f.name for f in hep_flows(self.flows, self.a, "s0", "s1")}
+        lp = {f.name for f in lp_flows(self.flows, self.a, "s0", "s1")}
+        assert hep | lp == {"b", "c", "d"}
+        assert hep & lp == set()
+
+    def test_unique_names_ok(self):
+        check_unique_names(self.flows)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            check_unique_names([self.a, make_flow("a")])
+
+
+class TestTransport:
+    def test_default_udp(self):
+        assert make_flow().transport is Transport.UDP
+
+    def test_describe(self):
+        text = make_flow("video").describe()
+        assert "video" in text and "h0->s0" in text

@@ -1,0 +1,176 @@
+"""GMF traffic model: validation, derived quantities, rotation invariance."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.gmf import GmfSpec, frames_overview, gmf_from_uniform, sporadic_spec
+
+
+def make_spec(n=3, t=0.03, d=0.1, j=0.0, s=8000):
+    return GmfSpec(
+        min_separations=(t,) * n,
+        deadlines=(d,) * n,
+        jitters=(j,) * n,
+        payload_bits=(s,) * n,
+    )
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one frame"):
+            GmfSpec((), (), (), ())
+
+    def test_tuple_length_mismatch(self):
+        with pytest.raises(ValueError, match="deadlines"):
+            GmfSpec((0.03,), (0.1, 0.1), (0.0,), (800,))
+
+    def test_negative_separation_rejected(self):
+        with pytest.raises(ValueError):
+            GmfSpec((-0.01,), (0.1,), (0.0,), (800,))
+
+    def test_all_zero_separations_rejected(self):
+        with pytest.raises(ValueError, match="TSUM"):
+            GmfSpec((0.0, 0.0), (0.1, 0.1), (0.0, 0.0), (800, 800))
+
+    def test_some_zero_separations_allowed(self):
+        """Bursty cycles with zero gaps are legal GMF (back-to-back frames)."""
+        spec = GmfSpec((0.0, 0.03), (0.1, 0.1), (0.0, 0.0), (800, 800))
+        assert spec.tsum == pytest.approx(0.03)
+
+    def test_zero_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            GmfSpec((0.03,), (0.0,), (0.0,), (800,))
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            GmfSpec((0.03,), (0.1,), (-1e-3,), (800,))
+
+    def test_non_integer_payload_rejected(self):
+        with pytest.raises(TypeError):
+            GmfSpec((0.03,), (0.1,), (0.0,), (800.5,))
+
+    def test_zero_payload_rejected(self):
+        with pytest.raises(ValueError):
+            GmfSpec((0.03,), (0.1,), (0.0,), (0,))
+
+    def test_infinite_separation_rejected(self):
+        with pytest.raises(ValueError):
+            GmfSpec((math.inf,), (0.1,), (0.0,), (800,))
+
+
+class TestDerived:
+    def test_n_frames(self, video_spec):
+        assert video_spec.n_frames == 3
+
+    def test_tsum_video(self, video_spec):
+        assert video_spec.tsum == pytest.approx(0.090)
+
+    def test_paper_tsum_270ms(self):
+        """Fig. 3 example: 9 frames x 30 ms -> TSUM = 270 ms (Eq. 6)."""
+        spec = make_spec(n=9, t=0.030)
+        assert spec.tsum == pytest.approx(0.270)
+
+    def test_max_jitter(self):
+        spec = GmfSpec((0.03,) * 2, (0.1,) * 2, (1e-3, 5e-3), (800, 800))
+        assert spec.max_jitter == pytest.approx(5e-3)
+
+    def test_min_separation(self):
+        spec = GmfSpec((0.03, 0.01), (0.1,) * 2, (0.0,) * 2, (800, 800))
+        assert spec.min_separation == pytest.approx(0.01)
+
+    def test_max_payload(self, video_spec):
+        assert video_spec.max_payload_bits == 120_000
+
+    def test_describe_mentions_frames(self, video_spec):
+        assert "n=3" in video_spec.describe()
+
+
+class TestSeparationWindow:
+    def test_single_frame_window_is_zero(self, video_spec):
+        for k in range(3):
+            assert video_spec.separation_window(k, 1) == 0.0
+
+    def test_two_frames(self, video_spec):
+        assert video_spec.separation_window(0, 2) == pytest.approx(0.030)
+
+    def test_wraps_around_cycle(self):
+        spec = GmfSpec((0.01, 0.02, 0.03), (0.1,) * 3, (0.0,) * 3, (8, 8, 8))
+        # Window of 3 frames starting at frame 2 spans T2 then T0.
+        assert spec.separation_window(2, 3) == pytest.approx(0.03 + 0.01)
+        assert spec.separation_window(2, 2) == pytest.approx(0.03)
+
+    def test_zero_count_rejected(self, video_spec):
+        with pytest.raises(ValueError):
+            video_spec.separation_window(0, 0)
+
+
+class TestRotation:
+    def test_rotation_preserves_tsum(self, video_spec):
+        for off in range(5):
+            assert video_spec.rotate(off).tsum == pytest.approx(video_spec.tsum)
+
+    def test_rotation_permutes_payloads(self, video_spec):
+        rot = video_spec.rotate(1)
+        assert rot.payload_bits == (40_000, 40_000, 120_000)
+
+    def test_full_rotation_is_identity(self, video_spec):
+        assert video_spec.rotate(3) == video_spec
+
+    @given(offset=st.integers(-10, 10))
+    def test_rotation_multiset_invariant(self, offset):
+        spec = GmfSpec(
+            (0.01, 0.02, 0.03, 0.04),
+            (0.1, 0.2, 0.3, 0.4),
+            (0.0, 1e-3, 2e-3, 3e-3),
+            (100, 200, 300, 400),
+        )
+        rot = spec.rotate(offset)
+        assert sorted(rot.payload_bits) == sorted(spec.payload_bits)
+        assert sorted(rot.min_separations) == sorted(spec.min_separations)
+
+
+class TestHelpers:
+    def test_sporadic_spec(self):
+        spec = sporadic_spec(period=0.02, deadline=0.05, payload_bits=1280)
+        assert spec.n_frames == 1
+        assert spec.tsum == pytest.approx(0.02)
+
+    def test_gmf_from_uniform(self):
+        spec = gmf_from_uniform(
+            separations=[0.03, 0.03], deadline=0.1, payload_bits=[100, 200]
+        )
+        assert spec.deadlines == (0.1, 0.1)
+        assert spec.payload_bits == (100, 200)
+
+    def test_gmf_from_uniform_length_mismatch(self):
+        with pytest.raises(ValueError):
+            gmf_from_uniform(
+                separations=[0.03], deadline=0.1, payload_bits=[100, 200]
+            )
+
+    def test_frames_overview_rows(self, video_spec):
+        rows = list(frames_overview(video_spec))
+        assert len(rows) == 3
+        assert rows[0] == (0, 0.030, 0.100, 0.001, 120_000)
+
+
+class TestHypothesisValidSpecs:
+    @given(
+        n=st.integers(1, 6),
+        t=st.floats(1e-4, 1.0),
+        s=st.integers(64, 10**6),
+        j=st.floats(0, 0.1),
+    )
+    @settings(max_examples=50)
+    def test_uniform_specs_always_valid(self, n, t, s, j):
+        spec = GmfSpec(
+            min_separations=(t,) * n,
+            deadlines=(1.0,) * n,
+            jitters=(j,) * n,
+            payload_bits=(s,) * n,
+        )
+        assert spec.tsum == pytest.approx(n * t)
+        assert spec.rotate(1).tsum == pytest.approx(spec.tsum)

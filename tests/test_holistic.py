@@ -1,0 +1,131 @@
+"""Holistic fixed point (Sec. 3.5) and its convergence behaviour."""
+
+import math
+
+import pytest
+
+from repro.core.context import AnalysisOptions
+from repro.core.holistic import holistic_analysis
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.util.units import mbps, ms
+
+
+def make_flow(route, name, payload=20_000, prio=3, period=ms(20), jitter=0.0):
+    return Flow(
+        name=name,
+        spec=GmfSpec(
+            min_separations=(period,),
+            deadlines=(ms(200),),
+            jitters=(jitter,),
+            payload_bits=(payload,),
+        ),
+        route=route,
+        priority=prio,
+    )
+
+
+class TestConvergence:
+    def test_single_flow_converges_quickly(self, two_switch_net):
+        res = holistic_analysis(
+            two_switch_net, [make_flow(("h0", "s0", "s1", "h2"), "a")]
+        )
+        assert res.converged
+        assert res.iterations <= 3
+
+    def test_results_for_all_flows(self, two_switch_net):
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), "a"),
+            make_flow(("h1", "s0", "s1", "h3"), "b"),
+        ]
+        res = holistic_analysis(two_switch_net, flows)
+        assert set(res.flow_results) == {"a", "b"}
+
+    def test_fixed_point_stable_under_rerun(self, two_switch_net):
+        """Running the analysis twice gives identical bounds
+        (determinism)."""
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), "a", prio=5),
+            make_flow(("h1", "s0", "s1", "h3"), "b", prio=2, jitter=ms(1)),
+        ]
+        r1 = holistic_analysis(two_switch_net, flows)
+        r2 = holistic_analysis(two_switch_net, flows)
+        for name in ("a", "b"):
+            assert r1.response(name) == pytest.approx(r2.response(name))
+
+    def test_interacting_flows_need_more_iterations(self, two_switch_net):
+        """Cross-interference through jitter forces >= 2 iterations."""
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), "a", prio=5, payload=100_000),
+            make_flow(("h1", "s0", "s1", "h3"), "b", prio=5, payload=100_000),
+        ]
+        res = holistic_analysis(two_switch_net, flows)
+        assert res.converged
+        assert res.iterations >= 2
+
+    def test_bounds_grow_with_jitter_iterations(self, two_switch_net):
+        """The holistic bound is at least the zero-downstream-jitter
+        first pass (monotone iteration)."""
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), "a", prio=5, payload=100_000),
+            make_flow(("h1", "s0", "s1", "h3"), "b", prio=5, payload=100_000),
+        ]
+        first_pass = holistic_analysis(
+            two_switch_net,
+            flows,
+            AnalysisOptions(holistic_max_iterations=1),
+        )
+        full = holistic_analysis(two_switch_net, flows)
+        for name in ("a", "b"):
+            assert full.response(name) >= first_pass.response(name) - 1e-12
+
+
+class TestDivergence:
+    def test_overload_reported_unschedulable(self, two_switch_net):
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), "victim", prio=1),
+            make_flow(("h1", "s0", "s1", "h3"), "hog", prio=9,
+                      payload=2_500_000),
+        ]
+        res = holistic_analysis(two_switch_net, flows)
+        assert not res.converged
+        assert not res.schedulable
+        assert math.isinf(res.response("victim"))
+
+    def test_divergence_stops_early(self, two_switch_net):
+        """Monotone divergence must not burn the full iteration budget."""
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), "victim", prio=1),
+            make_flow(("h1", "s0", "s1", "h3"), "hog", prio=9,
+                      payload=2_500_000),
+        ]
+        res = holistic_analysis(two_switch_net, flows)
+        assert res.iterations <= 3
+
+
+class TestResultAccessors:
+    def test_response_accessor(self, two_switch_net, video_spec):
+        flow = Flow("v", video_spec, ("h0", "s0", "s1", "h2"), priority=5)
+        res = holistic_analysis(two_switch_net, [flow])
+        assert res.response("v") == pytest.approx(
+            res.result("v").worst_response
+        )
+        assert res.response("v", 1) == pytest.approx(
+            res.result("v").frame(1).response
+        )
+
+    def test_summary_rows(self, two_switch_net):
+        res = holistic_analysis(
+            two_switch_net, [make_flow(("h0", "s0", "s1", "h2"), "a")]
+        )
+        rows = res.summary_rows()
+        assert len(rows) == 1
+        name, worst, slack, ok = rows[0]
+        assert name == "a" and ok
+
+    def test_unknown_flow_raises(self, two_switch_net):
+        res = holistic_analysis(
+            two_switch_net, [make_flow(("h0", "s0", "s1", "h2"), "a")]
+        )
+        with pytest.raises(KeyError):
+            res.result("ghost")

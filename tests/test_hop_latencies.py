@@ -1,0 +1,82 @@
+"""Per-hop latency records and their agreement with per-stage bounds."""
+
+import pytest
+
+from repro.core.holistic import holistic_analysis
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.sim.simulator import SimConfig, simulate
+from repro.util.units import mbps, ms
+
+
+def make_flow(route, payload=40_000, name="f"):
+    return Flow(
+        name=name,
+        spec=GmfSpec(
+            min_separations=(ms(20),),
+            deadlines=(ms(200),),
+            jitters=(0.0,),
+            payload_bits=(payload,),
+        ),
+        route=route,
+        priority=5,
+    )
+
+
+class TestHopRecords:
+    def test_every_route_node_stamped(self, two_switch_net):
+        flow = make_flow(("h0", "s0", "s1", "h2"))
+        trace = simulate(two_switch_net, [flow], duration=0.2)
+        p = trace.completed_packets("f")[0]
+        assert set(p.node_arrivals) == {"s0", "s1", "h2"}
+
+    def test_hop_times_monotone(self, two_switch_net):
+        flow = make_flow(("h0", "s0", "s1", "h2"))
+        trace = simulate(two_switch_net, [flow], duration=0.2)
+        for p in trace.completed_packets("f"):
+            lat = p.hop_latencies(flow.route)
+            values = [v for _, v in lat]
+            assert values == sorted(values)
+            assert all(v > 0 for v in values)
+
+    def test_final_hop_equals_response(self, two_switch_net):
+        flow = make_flow(("h0", "s0", "s1", "h2"))
+        trace = simulate(two_switch_net, [flow], duration=0.2)
+        for p in trace.completed_packets("f"):
+            lat = dict(p.hop_latencies(flow.route))
+            assert lat["h2"] == pytest.approx(p.response)
+
+    def test_multifragment_stamps_at_last_fragment(self, two_switch_net):
+        """The stamp is the *last* fragment's arrival, not the first's."""
+        flow = make_flow(("h0", "s0", "s1", "h2"), payload=120_000)
+        trace = simulate(two_switch_net, [flow], duration=0.2)
+        p = trace.completed_packets("f")[0]
+        # The packet has 11 fragments; its s0 arrival must exceed the
+        # single-fragment wire time by ~the serialisation of the rest.
+        from repro.core.packetization import packetize
+
+        pkt = packetize(120_000)
+        full_wire = pkt.wire_bits / mbps(100)
+        assert p.node_arrivals["s0"] - p.arrival >= full_wire - 1e-9
+
+
+class TestPerStageAgreement:
+    def test_cumulative_hops_within_cumulative_stage_bounds(self, two_switch_net):
+        """Simulated cumulative latency at each switch must stay below
+        the analysis' cumulative stage bound at the matching point."""
+        flow = make_flow(("h0", "s0", "s1", "h2"))
+        res = holistic_analysis(two_switch_net, [flow])
+        frame = res.result("f").frame(0)
+        # Cumulative bound after: first hop (arrival at s0), after
+        # egress(s0,s1) (arrival at s1), after egress(s1,h2) (h2).
+        stages = frame.stages
+        cumulative = {}
+        acc = flow.spec.jitters[0]
+        for s in stages:
+            acc += s.response
+            if s.resource[0] == "link":
+                cumulative[s.resource[2]] = acc
+        trace = simulate(two_switch_net, [flow], duration=0.5)
+        for p in trace.completed_packets("f"):
+            for node, latency in p.hop_latencies(flow.route):
+                assert latency <= cumulative[node] + 1e-9

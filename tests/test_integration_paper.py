@@ -1,0 +1,96 @@
+"""Integration tests reproducing the paper's recoverable numbers.
+
+Every value the scan preserves is asserted exactly:
+* TSUM = 270 ms for the Fig. 3 MPEG example (Eq. 6);
+* CIRC = 14.8 us for the 4-interface example switch (Sec. 3.3);
+* CIRC = 11.1 us for the 48-port / 16-processor switch (conclusions);
+* the 12304-bit maximum Ethernet frame / 11840-bit payload split and
+  the MFT formula (Sec. 3.1 / Eq. 1).
+"""
+
+import pytest
+
+from repro.core.context import AnalysisContext
+from repro.core.demand import build_link_demand
+from repro.core.holistic import holistic_analysis
+from repro.core.packetization import max_frame_transmission_time
+from repro.experiments.endtoend import build_example_scenario
+from repro.switch.multiproc import max_linkspeed_supported, partition_interfaces
+from repro.util.units import mbps, us
+from repro.workloads.mpeg import paper_fig3_flow
+from repro.workloads.topologies import paper_fig1_network
+
+
+class TestPaperValues:
+    def test_tsum_270ms(self):
+        flow = paper_fig3_flow(("n0", "n4", "n6", "n3"))
+        dem = build_link_demand(flow, 1e7)
+        assert dem.tsum == pytest.approx(0.270)
+
+    def test_circ_14_8us(self):
+        net = paper_fig1_network()
+        # n4 has interfaces to n0, n1, n6 = 3; build the 4-interface
+        # example switch directly instead:
+        plan = partition_interfaces(4, 1)
+        assert plan.circ == pytest.approx(14.8e-6)
+
+    def test_circ_11_1us_and_gigabit(self):
+        plan = partition_interfaces(48, 16)
+        assert plan.circ == pytest.approx(11.1e-6)
+        assert max_linkspeed_supported(48, 16) > 1e9
+
+    def test_mft_on_worked_example_link(self):
+        """Eq. 1 at linkspeed(0,4) = 10^7: MFT = 1.2304 ms."""
+        assert max_frame_transmission_time(1e7) == pytest.approx(1.2304e-3)
+
+
+class TestFig2FlowEndToEnd:
+    def test_fig2_route_analysable(self):
+        """The Fig. 2 flow (0 -> 4 -> 6 -> 3) has a finite bound on the
+        Fig. 1 network at the worked example's 10 Mbit/s."""
+        net = paper_fig1_network()  # 10 Mbit/s defaults
+        flow = paper_fig3_flow(("n0", "n4", "n6", "n3"), deadline=0.2)
+        res = holistic_analysis(net, [flow])
+        assert res.converged
+        bound = res.response("mpeg")
+        # The I+P packet is ~18 ms of wire per hop; three hops plus
+        # blocking: the bound must be tens of ms but well under 200 ms.
+        assert 0.03 < bound < 0.2
+
+    def test_stage_count_matches_fig6(self):
+        """Fig. 6 for a 2-switch route: 1 first hop + 2x(ingress+egress)."""
+        net = paper_fig1_network()
+        flow = paper_fig3_flow(("n0", "n4", "n6", "n3"), deadline=0.5)
+        res = holistic_analysis(net, [flow])
+        assert len(res.result("mpeg").frame(0).stages) == 5
+
+    def test_example_scenario_schedulable(self):
+        net, flows = build_example_scenario(speed_bps=mbps(100))
+        res = holistic_analysis(net, flows)
+        assert res.schedulable
+
+    def test_i_frame_dominates_flow_response(self):
+        """The I+P packet (frame 0) has the largest bound in the cycle."""
+        net, flows = build_example_scenario(speed_bps=mbps(100))
+        res = holistic_analysis(net, flows)
+        frames = res.result("mpeg").frames
+        assert frames[0].response == max(f.response for f in frames)
+
+
+class TestAnalysisPropertiesOnExample:
+    def test_bound_monotone_in_linkspeed(self):
+        slow = build_example_scenario(speed_bps=mbps(50))
+        fast = build_example_scenario(speed_bps=mbps(200))
+        r_slow = holistic_analysis(*slow).response("mpeg")
+        r_fast = holistic_analysis(*fast).response("mpeg")
+        assert r_fast < r_slow
+
+    def test_bound_monotone_in_priority(self):
+        net, flows = build_example_scenario()
+        res_hi = holistic_analysis(net, flows)
+        # Demote the mpeg flow below bulk.
+        demoted = [
+            f.with_priority(0) if f.name == "mpeg" else f for f in flows
+        ]
+        res_lo = holistic_analysis(net, demoted)
+        assert res_lo.response("mpeg") >= res_hi.response("mpeg")

@@ -1,0 +1,136 @@
+"""Scenario JSON serialization round-trips and validation."""
+
+import json
+
+import pytest
+
+from repro.io import (
+    ScenarioError,
+    flow_from_dict,
+    flow_to_dict,
+    load_scenario,
+    network_from_dict,
+    network_to_dict,
+    save_scenario,
+    scenario_to_dict,
+)
+from repro.model.flow import Flow, Transport
+from repro.model.gmf import GmfSpec
+from repro.model.network import Network, NodeKind, SwitchConfig
+from repro.util.units import mbps, ms, us
+
+
+@pytest.fixture
+def scenario(two_switch_net):
+    flow = Flow(
+        name="video",
+        spec=GmfSpec(
+            min_separations=(ms(30),) * 2,
+            deadlines=(ms(100),) * 2,
+            jitters=(ms(1), 0.0),
+            payload_bits=(120_000, 40_000),
+        ),
+        route=("h0", "s0", "s1", "h2"),
+        priority=5,
+        link_priorities={("s0", "s1"): 7},
+        transport=Transport.RTP,
+    )
+    return two_switch_net, [flow]
+
+
+class TestRoundTrip:
+    def test_network_round_trip(self, scenario):
+        net, _ = scenario
+        doc = network_to_dict(net)
+        rebuilt = network_from_dict(doc)
+        assert sorted(rebuilt.node_names()) == sorted(net.node_names())
+        for link in net.links():
+            assert rebuilt.linkspeed(link.src, link.dst) == link.speed_bps
+
+    def test_switch_config_preserved(self):
+        net = Network()
+        net.add_switch(
+            "sw", SwitchConfig(c_route=us(5.4), c_send=us(2.0), n_processors=2)
+        )
+        rebuilt = network_from_dict(network_to_dict(net))
+        cfg = rebuilt.node("sw").switch
+        assert cfg.c_route == pytest.approx(5.4e-6)
+        assert cfg.c_send == pytest.approx(2.0e-6)
+        assert cfg.n_processors == 2
+
+    def test_flow_round_trip(self, scenario):
+        _, flows = scenario
+        rebuilt = flow_from_dict(flow_to_dict(flows[0]))
+        assert rebuilt == flows[0]
+
+    def test_file_round_trip(self, scenario, tmp_path):
+        net, flows = scenario
+        path = tmp_path / "scenario.json"
+        save_scenario(path, net, flows)
+        net2, flows2 = load_scenario(path)
+        assert flows2 == flows
+        assert sorted(net2.node_names()) == sorted(net.node_names())
+
+    def test_analysis_identical_after_round_trip(self, scenario, tmp_path):
+        from repro.core.holistic import holistic_analysis
+
+        net, flows = scenario
+        path = tmp_path / "scenario.json"
+        save_scenario(path, net, flows)
+        net2, flows2 = load_scenario(path)
+        r1 = holistic_analysis(net, flows)
+        r2 = holistic_analysis(net2, flows2)
+        assert r1.response("video") == pytest.approx(r2.response("video"))
+
+
+class TestValidation:
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ScenarioError, match="invalid JSON"):
+            load_scenario(path)
+
+    def test_missing_network(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"flows": []}))
+        with pytest.raises(ScenarioError, match="network"):
+            load_scenario(path)
+
+    def test_unknown_node_kind(self):
+        with pytest.raises(ScenarioError, match="unknown kind"):
+            network_from_dict(
+                {"nodes": [{"name": "x", "kind": "toaster"}], "links": []}
+            )
+
+    def test_missing_required_key(self):
+        with pytest.raises(ScenarioError, match="missing required key"):
+            flow_from_dict({"name": "f"})
+
+    def test_route_validated_on_load(self, tmp_path, scenario):
+        net, flows = scenario
+        doc = scenario_to_dict(net, flows)
+        doc["flows"][0]["route"] = ["h0", "h2"]  # no such link
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(Exception):
+            load_scenario(path)
+
+    def test_duplex_links(self):
+        net = network_from_dict(
+            {
+                "nodes": [
+                    {"name": "a", "kind": "endhost"},
+                    {"name": "b", "kind": "endhost"},
+                ],
+                "links": [
+                    {"src": "a", "dst": "b", "speed_bps": 1e6, "duplex": True}
+                ],
+            }
+        )
+        assert net.has_link("a", "b") and net.has_link("b", "a")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ScenarioError, match="expected"):
+            network_from_dict(
+                {"nodes": [{"name": 42, "kind": "endhost"}], "links": []}
+            )

@@ -1,0 +1,82 @@
+"""Problem-instance validation and latency floors."""
+
+import pytest
+
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.model.validation import (
+    minimum_path_latency,
+    validate_problem,
+)
+from repro.util.units import ms
+
+
+def make_flow(route, name="f", deadline=ms(100), payload=10_000):
+    return Flow(
+        name=name,
+        spec=GmfSpec(
+            min_separations=(ms(20),),
+            deadlines=(deadline,),
+            jitters=(0.0,),
+            payload_bits=(payload,),
+        ),
+        route=route,
+    )
+
+
+class TestValidateProblem:
+    def test_clean_instance(self, two_switch_net):
+        report = validate_problem(
+            two_switch_net, [make_flow(("h0", "s0", "s1", "h2"))]
+        )
+        assert report.ok
+        assert report.issues == ()
+
+    def test_duplicate_names(self, two_switch_net):
+        report = validate_problem(
+            two_switch_net,
+            [
+                make_flow(("h0", "s0", "s1", "h2"), "x"),
+                make_flow(("h1", "s0", "s1", "h3"), "x"),
+            ],
+        )
+        assert not report.ok
+        assert any("duplicate" in i.message for i in report.errors)
+
+    def test_bad_route(self, two_switch_net):
+        report = validate_problem(two_switch_net, [make_flow(("h0", "h2"))])
+        assert not report.ok
+        assert report.errors[0].flow == "f"
+
+    def test_impossible_deadline_warns(self, two_switch_net):
+        flow = make_flow(("h0", "s0", "s1", "h2"), deadline=1e-9)
+        report = validate_problem(two_switch_net, [flow])
+        assert report.ok  # warning, not error
+        assert any("never schedulable" in w.message for w in report.warnings)
+
+
+class TestLatencyFloor:
+    def test_floor_components(self, two_switch_net):
+        flow = make_flow(("h0", "s0", "s1", "h2"))
+        floor = minimum_path_latency(two_switch_net, flow, 0)
+        from repro.core.packetization import packetize
+
+        wire = 3 * packetize(10_000).wire_bits / 1e8
+        tasks = 2 * (2.7e-6 + 1.0e-6)
+        assert floor == pytest.approx(wire + tasks)
+
+    def test_floor_below_any_simulation(self, two_switch_net):
+        from repro.sim.simulator import simulate
+
+        flow = make_flow(("h0", "s0", "s1", "h2"))
+        floor = minimum_path_latency(two_switch_net, flow, 0)
+        trace = simulate(two_switch_net, [flow], duration=0.3)
+        assert min(trace.responses("f")) >= floor - 1e-12
+
+    def test_floor_below_analysis_bound(self, two_switch_net):
+        from repro.core.holistic import holistic_analysis
+
+        flow = make_flow(("h0", "s0", "s1", "h2"))
+        floor = minimum_path_latency(two_switch_net, flow, 0)
+        res = holistic_analysis(two_switch_net, [flow])
+        assert res.response("f") >= floor

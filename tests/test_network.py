@@ -1,0 +1,120 @@
+"""Network model: nodes, links, NINTERFACES, CIRC."""
+
+import pytest
+
+from repro.model.network import Link, Network, Node, NodeKind, SwitchConfig
+from repro.util.units import mbps, us
+
+
+class TestSwitchConfig:
+    def test_paper_circ_example(self):
+        """Sec. 3.3: 4 interfaces * (2.7 + 1.0) us = 14.8 us."""
+        cfg = SwitchConfig()
+        assert cfg.circ(4) == pytest.approx(14.8e-6)
+
+    def test_conclusions_48_port_16_cpu(self):
+        """Conclusions: 48 ports / 16 cpus -> CIRC = 11.1 us."""
+        cfg = SwitchConfig(n_processors=16)
+        assert cfg.circ(48) == pytest.approx(11.1e-6)
+
+    def test_indivisible_interfaces_rejected(self):
+        cfg = SwitchConfig(n_processors=3)
+        with pytest.raises(ValueError, match="divisible"):
+            cfg.circ(4)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchConfig(c_route=-1e-6)
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchConfig(n_processors=0)
+
+    def test_zero_interfaces_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchConfig().circ(0)
+
+
+class TestNode:
+    def test_switch_gets_default_config(self):
+        n = Node("s", NodeKind.SWITCH)
+        assert n.switch is not None
+        assert n.is_switch
+
+    def test_endhost_with_switch_config_rejected(self):
+        with pytest.raises(ValueError):
+            Node("h", NodeKind.ENDHOST, switch=SwitchConfig())
+
+
+class TestLink:
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "a", speed_bps=1e6)
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", speed_bps=0)
+
+    def test_negative_prop_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", speed_bps=1e6, prop_delay=-1.0)
+
+
+class TestNetwork:
+    def test_duplicate_node_rejected(self, one_switch_net):
+        with pytest.raises(ValueError, match="duplicate"):
+            one_switch_net.add_endhost("h0")
+
+    def test_duplicate_link_rejected(self, one_switch_net):
+        with pytest.raises(ValueError, match="duplicate link"):
+            one_switch_net.add_link("h0", "sw", speed_bps=mbps(10))
+
+    def test_link_to_unknown_node_rejected(self, one_switch_net):
+        with pytest.raises(KeyError):
+            one_switch_net.add_link("h0", "nope", speed_bps=mbps(10))
+
+    def test_linkspeed_query(self, one_switch_net):
+        assert one_switch_net.linkspeed("h0", "sw") == mbps(100)
+
+    def test_prop_query_default_zero(self, one_switch_net):
+        assert one_switch_net.prop("h0", "sw") == 0.0
+
+    def test_missing_link_raises(self, one_switch_net):
+        with pytest.raises(KeyError, match="no link"):
+            one_switch_net.link("h0", "h1")
+
+    def test_unknown_node_raises(self, one_switch_net):
+        with pytest.raises(KeyError, match="unknown node"):
+            one_switch_net.node("ghost")
+
+    def test_neighbors(self, one_switch_net):
+        assert one_switch_net.neighbors("sw") == {"h0", "h1", "h2"}
+
+    def test_n_interfaces_duplex(self, one_switch_net):
+        assert one_switch_net.n_interfaces("sw") == 3
+
+    def test_n_interfaces_counts_incoming_only_links(self):
+        net = Network()
+        net.add_switch("sw")
+        net.add_endhost("h")
+        net.add_link("h", "sw", speed_bps=mbps(10))  # simplex into sw
+        assert net.n_interfaces("sw") == 1
+
+    def test_circ_for_switch(self, one_switch_net):
+        # 3 interfaces * 3.7 us
+        assert one_switch_net.circ("sw") == pytest.approx(3 * 3.7e-6)
+
+    def test_circ_for_endhost_rejected(self, one_switch_net):
+        with pytest.raises(ValueError, match="not a switch"):
+            one_switch_net.circ("h0")
+
+    def test_describe_lists_everything(self, one_switch_net):
+        text = one_switch_net.describe()
+        assert "sw [switch]" in text
+        assert "h0 -> sw" in text
+
+    def test_has_helpers(self, one_switch_net):
+        assert one_switch_net.has_node("h0")
+        assert not one_switch_net.has_node("zz")
+        assert one_switch_net.has_link("h0", "sw")
+        assert not one_switch_net.has_link("h0", "h1")

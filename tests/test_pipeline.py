@@ -1,0 +1,153 @@
+"""The Fig. 6 end-to-end composition algorithm."""
+
+import math
+
+import pytest
+
+from repro.core.context import AnalysisContext, AnalysisOptions, ingress_resource, link_resource
+from repro.core.pipeline import analyze_flow, analyze_flow_frame
+from repro.core.results import StageKind
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.util.units import mbps, ms
+
+
+def make_flow(route, name="f", payload=10_000, jitter=0.0, prio=3):
+    return Flow(
+        name=name,
+        spec=GmfSpec(
+            min_separations=(ms(20),),
+            deadlines=(ms(100),),
+            jitters=(jitter,),
+            payload_bits=(payload,),
+        ),
+        route=route,
+        priority=prio,
+    )
+
+
+class TestStageStructure:
+    def test_stage_sequence_two_switches(self, two_switch_net):
+        """Fig. 6 for S->W1->W2->D: first hop, in(W1), link(W1,W2),
+        in(W2), link(W2,D)."""
+        flow = make_flow(("h0", "s0", "s1", "h2"))
+        ctx = AnalysisContext(two_switch_net, [flow])
+        result = analyze_flow(ctx, flow)
+        kinds = [s.kind for s in result.frame(0).stages]
+        assert kinds == [
+            StageKind.FIRST_HOP,
+            StageKind.INGRESS,
+            StageKind.EGRESS,
+            StageKind.INGRESS,
+            StageKind.EGRESS,
+        ]
+        resources = [s.resource for s in result.frame(0).stages]
+        assert resources == [
+            link_resource("h0", "s0"),
+            ingress_resource("s0"),
+            link_resource("s0", "s1"),
+            ingress_resource("s1"),
+            link_resource("s1", "h2"),
+        ]
+
+    def test_one_switch_route(self, one_switch_net):
+        flow = make_flow(("h0", "sw", "h2"))
+        ctx = AnalysisContext(one_switch_net, [flow])
+        result = analyze_flow(ctx, flow)
+        kinds = [s.kind for s in result.frame(0).stages]
+        assert kinds == [StageKind.FIRST_HOP, StageKind.INGRESS, StageKind.EGRESS]
+
+    def test_direct_route_first_hop_only(self):
+        from repro.model.network import Network
+
+        net = Network()
+        net.add_endhost("a")
+        net.add_endhost("b")
+        net.add_duplex_link("a", "b", speed_bps=mbps(100))
+        flow = make_flow(("a", "b"))
+        ctx = AnalysisContext(net, [flow])
+        result = analyze_flow(ctx, flow)
+        assert [s.kind for s in result.frame(0).stages] == [StageKind.FIRST_HOP]
+
+
+class TestResponseComposition:
+    def test_response_is_jitter_plus_stage_sum(self, two_switch_net):
+        """Fig. 6 line 3: RSUM starts at GJ_i^k."""
+        flow = make_flow(("h0", "s0", "s1", "h2"), jitter=ms(2))
+        ctx = AnalysisContext(two_switch_net, [flow])
+        fr = analyze_flow(ctx, flow).frame(0)
+        stage_sum = sum(s.response for s in fr.stages)
+        assert fr.response == pytest.approx(ms(2) + stage_sum)
+
+    def test_jitter_table_updated_along_route(self, two_switch_net):
+        """Fig. 6 lines 8/13/17: the jitter at each resource equals the
+        accumulated upstream response."""
+        flow = make_flow(("h0", "s0", "s1", "h2"), jitter=ms(2))
+        ctx = AnalysisContext(two_switch_net, [flow])
+        fr = analyze_flow(ctx, flow).frame(0)
+        # At the first link the jitter is just the source jitter.
+        assert ctx.jitters.get("f", link_resource("h0", "s0"))[0] == pytest.approx(ms(2))
+        # At in(s0) it is GJ + first-hop response.
+        expect = ms(2) + fr.stages[0].response
+        assert ctx.jitters.get("f", ingress_resource("s0"))[0] == pytest.approx(expect)
+        # At link(s1,h2): GJ + sum of the first four stages.
+        expect = ms(2) + sum(s.response for s in fr.stages[:4])
+        assert ctx.jitters.get("f", link_resource("s1", "h2"))[0] == pytest.approx(expect)
+
+    def test_deadline_check(self, two_switch_net):
+        flow = make_flow(("h0", "s0", "s1", "h2"))
+        ctx = AnalysisContext(two_switch_net, [flow])
+        result = analyze_flow(ctx, flow)
+        assert result.schedulable
+        assert result.frame(0).slack > 0
+
+    def test_analyze_flow_frame_matches_full(self, two_switch_net, video_spec):
+        flow = Flow("v", video_spec, ("h0", "s0", "s1", "h2"), priority=5)
+        ctx = AnalysisContext(two_switch_net, [flow])
+        full = analyze_flow(ctx, flow)
+        single = analyze_flow_frame(ctx, flow, 1)
+        assert single.response == pytest.approx(full.frame(1).response)
+
+    def test_frame_index_validated(self, two_switch_net, video_spec):
+        flow = Flow("v", video_spec, ("h0", "s0", "s1", "h2"))
+        ctx = AnalysisContext(two_switch_net, [flow])
+        with pytest.raises(IndexError):
+            analyze_flow_frame(ctx, flow, 7)
+
+
+class TestDivergencePropagation:
+    def test_downstream_stages_inf_after_divergence(self, two_switch_net):
+        """A diverged stage poisons everything downstream."""
+        victim = make_flow(("h0", "s0", "s1", "h2"), name="victim", prio=1)
+        hog = make_flow(
+            ("h1", "s0", "s1", "h3"), name="hog", prio=9,
+            payload=2_500_000,  # saturates s0->s1
+        )
+        ctx = AnalysisContext(two_switch_net, [victim, hog])
+        result = analyze_flow(ctx, victim)
+        fr = result.frame(0)
+        assert math.isinf(fr.response)
+        # The egress on the shared link diverges; later stages are inf.
+        diverged_at = next(
+            i for i, s in enumerate(fr.stages) if not s.converged
+        )
+        for s in fr.stages[diverged_at:]:
+            assert not s.converged
+
+    def test_unschedulable_not_schedulable(self, two_switch_net):
+        victim = make_flow(("h0", "s0", "s1", "h2"), name="victim", prio=1)
+        hog = make_flow(("h1", "s0", "s1", "h3"), name="hog", prio=9,
+                        payload=2_500_000)
+        ctx = AnalysisContext(two_switch_net, [victim, hog])
+        assert not analyze_flow(ctx, victim).schedulable
+
+
+class TestStageBreakdownHelper:
+    def test_labels(self, two_switch_net):
+        flow = make_flow(("h0", "s0", "s1", "h2"))
+        ctx = AnalysisContext(two_switch_net, [flow])
+        fr = analyze_flow(ctx, flow).frame(0)
+        labels = [label for label, _ in fr.stage_breakdown()]
+        assert labels[0].startswith("first_hop")
+        assert labels[1] == "in(s0)"
+        assert "egress link(s0,s1)" in labels

@@ -1,0 +1,132 @@
+"""Capacity planning: link-speed and payload scaling searches."""
+
+import math
+
+import pytest
+
+from repro.core.planning import (
+    max_admissible_scale,
+    minimum_link_speed_scale,
+    scale_link_speeds,
+    scale_payloads,
+    worst_slack_per_flow,
+)
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.util.units import mbps, ms
+
+
+def make_flow(route, name="f", payload=60_000, deadline=ms(50)):
+    return Flow(
+        name=name,
+        spec=GmfSpec(
+            min_separations=(ms(20),),
+            deadlines=(deadline,),
+            jitters=(0.0,),
+            payload_bits=(payload,),
+        ),
+        route=route,
+        priority=3,
+    )
+
+
+class TestScaling:
+    def test_scale_link_speeds(self, two_switch_net):
+        scaled = scale_link_speeds(two_switch_net, 2.0)
+        assert scaled.linkspeed("s0", "s1") == 2 * two_switch_net.linkspeed(
+            "s0", "s1"
+        )
+        # Topology preserved.
+        assert sorted(scaled.node_names()) == sorted(
+            two_switch_net.node_names()
+        )
+
+    def test_scale_payloads(self, two_switch_net):
+        flows = [make_flow(("h0", "s0", "s1", "h2"))]
+        scaled = scale_payloads(flows, 0.5)
+        assert scaled[0].spec.payload_bits[0] == 30_000
+
+    def test_invalid_scale(self, two_switch_net):
+        with pytest.raises(ValueError):
+            scale_link_speeds(two_switch_net, 0.0)
+        with pytest.raises(ValueError):
+            scale_payloads([], -1.0)
+
+
+class TestMinimumLinkSpeed:
+    def test_already_schedulable_returns_at_most_one(self, two_switch_net):
+        flows = [make_flow(("h0", "s0", "s1", "h2"))]
+        scale = minimum_link_speed_scale(two_switch_net, flows)
+        assert scale is not None
+        assert scale <= 1.0
+
+    def test_returned_scale_is_schedulable(self, two_switch_net):
+        from repro.core.holistic import holistic_analysis
+
+        flows = [make_flow(("h0", "s0", "s1", "h2"), deadline=ms(3))]
+        scale = minimum_link_speed_scale(two_switch_net, flows)
+        assert scale is not None
+        assert holistic_analysis(
+            scale_link_speeds(two_switch_net, scale), flows
+        ).schedulable
+
+    def test_overloaded_needs_more_than_one(self, two_switch_net):
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), "a", payload=1_200_000),
+            make_flow(("h1", "s0", "s1", "h3"), "b", payload=1_200_000),
+        ]
+        scale = minimum_link_speed_scale(two_switch_net, flows)
+        assert scale is not None and scale > 1.0
+
+    def test_impossible_deadline_returns_none(self, two_switch_net):
+        """Deadline below the switch task costs: speed cannot help."""
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), deadline=1e-6)
+        ]
+        assert minimum_link_speed_scale(two_switch_net, flows) is None
+
+    def test_empty_flow_set(self, two_switch_net):
+        assert minimum_link_speed_scale(two_switch_net, []) == 1.0
+
+
+class TestMaxAdmissibleScale:
+    def test_headroom_exists(self, two_switch_net):
+        flows = [make_flow(("h0", "s0", "s1", "h2"))]
+        scale = max_admissible_scale(two_switch_net, flows)
+        assert scale is not None and scale > 1.0
+
+    def test_returned_scale_is_schedulable(self, two_switch_net):
+        from repro.core.holistic import holistic_analysis
+
+        flows = [make_flow(("h0", "s0", "s1", "h2"))]
+        scale = max_admissible_scale(two_switch_net, flows)
+        scaled = scale_payloads(flows, scale)
+        assert holistic_analysis(two_switch_net, scaled).schedulable
+
+    def test_tight_set_scale_below_one(self, two_switch_net):
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), "a", payload=1_500_000,
+                      deadline=ms(100)),
+            make_flow(("h1", "s0", "s1", "h3"), "b", payload=1_500_000,
+                      deadline=ms(100)),
+        ]
+        scale = max_admissible_scale(two_switch_net, flows)
+        assert scale is not None and scale < 1.0
+
+    def test_structural_problem_returns_none(self, two_switch_net):
+        flows = [make_flow(("h0", "s0", "s1", "h2"), deadline=1e-7)]
+        assert max_admissible_scale(two_switch_net, flows) is None
+
+    def test_empty_set_infinite(self, two_switch_net):
+        assert max_admissible_scale(two_switch_net, []) == math.inf
+
+
+class TestWorstSlack:
+    def test_slacks_reported(self, two_switch_net):
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), "a"),
+            make_flow(("h1", "s0", "s1", "h3"), "b", deadline=ms(200)),
+        ]
+        slacks = worst_slack_per_flow(two_switch_net, flows)
+        assert set(slacks) == {"a", "b"}
+        assert slacks["b"] > slacks["a"]  # looser deadline, more slack

@@ -1,0 +1,103 @@
+"""Priority-assignment policies."""
+
+import pytest
+
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec, sporadic_spec
+from repro.model.priorities import (
+    assign_deadline_monotonic,
+    assign_rate_monotonic,
+    clamp_to_levels,
+)
+
+
+def flow(name, *, deadline, period=0.02, n=1):
+    spec = GmfSpec(
+        min_separations=(period,) * n,
+        deadlines=(deadline,) * n,
+        jitters=(0.0,) * n,
+        payload_bits=(1000,) * n,
+    )
+    return Flow(name=name, spec=spec, route=("h0", "s0", "h1"), priority=0)
+
+
+class TestDeadlineMonotonic:
+    def test_tighter_deadline_higher_priority(self):
+        fs = assign_deadline_monotonic(
+            [flow("slow", deadline=0.5), flow("fast", deadline=0.01)]
+        )
+        by = {f.name: f.priority for f in fs}
+        assert by["fast"] > by["slow"]
+
+    def test_order_preserved(self):
+        fs = [flow("a", deadline=0.5), flow("b", deadline=0.1)]
+        out = assign_deadline_monotonic(fs)
+        assert [f.name for f in out] == ["a", "b"]
+
+    def test_distinct_priorities(self):
+        fs = assign_deadline_monotonic(
+            [flow(f"f{i}", deadline=0.1) for i in range(5)]
+        )
+        assert len({f.priority for f in fs}) == 5
+
+    def test_ties_broken_by_name_deterministic(self):
+        fs1 = assign_deadline_monotonic(
+            [flow("b", deadline=0.1), flow("a", deadline=0.1)]
+        )
+        fs2 = assign_deadline_monotonic(
+            [flow("a", deadline=0.1), flow("b", deadline=0.1)]
+        )
+        assert {f.name: f.priority for f in fs1} == {
+            f.name: f.priority for f in fs2
+        }
+
+
+class TestRateMonotonic:
+    def test_faster_flow_higher_priority(self):
+        fs = assign_rate_monotonic(
+            [flow("slow", deadline=0.1, period=0.1), flow("fast", deadline=0.1, period=0.005)]
+        )
+        by = {f.name: f.priority for f in fs}
+        assert by["fast"] > by["slow"]
+
+    def test_uses_mean_separation_for_gmf(self):
+        # 4 frames at 10 ms (mean 10 ms) vs 1 frame at 15 ms.
+        fs = assign_rate_monotonic(
+            [
+                flow("gmf", deadline=0.1, period=0.010, n=4),
+                flow("spor", deadline=0.1, period=0.015),
+            ]
+        )
+        by = {f.name: f.priority for f in fs}
+        assert by["gmf"] > by["spor"]
+
+
+class TestClampToLevels:
+    def test_empty(self):
+        assert clamp_to_levels([], 4) == []
+
+    def test_levels_bounded(self):
+        fs = [flow(f"f{i}", deadline=0.1 * (i + 1)) for i in range(10)]
+        fs = assign_deadline_monotonic(fs)
+        clamped = clamp_to_levels(fs, 4)
+        assert all(0 <= f.priority < 4 for f in clamped)
+
+    def test_order_preserving(self):
+        fs = assign_deadline_monotonic(
+            [flow(f"f{i}", deadline=0.1 * (i + 1)) for i in range(8)]
+        )
+        clamped = clamp_to_levels(fs, 3)
+        orig = {f.name: f.priority for f in fs}
+        new = {f.name: f.priority for f in clamped}
+        names = sorted(orig, key=orig.get)
+        for a, b in zip(names, names[1:]):
+            assert new[a] <= new[b]
+
+    def test_single_level_collapses_everything(self):
+        fs = [flow(f"f{i}", deadline=0.1 * (i + 1)) for i in range(5)]
+        clamped = clamp_to_levels(fs, 1)
+        assert {f.priority for f in clamped} == {0}
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            clamp_to_levels([], 0)

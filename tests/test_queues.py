@@ -1,0 +1,112 @@
+"""Switch queues: NIC FIFOs and 802.1p priority queues."""
+
+import pytest
+
+from repro.switch.queues import FifoQueue, PriorityQueue, QueuedFrame
+
+
+def frame(flow="f", prio=0, packet=0, frag=0, nfrags=1, bits=1000, t=0.0):
+    return QueuedFrame(
+        flow=flow,
+        wire_bits=bits,
+        priority=prio,
+        packet_id=packet,
+        fragment=frag,
+        n_fragments=nfrags,
+        enqueued_at=t,
+    )
+
+
+class TestFifoQueue:
+    def test_fifo_order(self):
+        q = FifoQueue()
+        q.push(frame(packet=1))
+        q.push(frame(packet=2))
+        assert q.pop().packet_id == 1
+        assert q.pop().packet_id == 2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            FifoQueue().pop()
+
+    def test_peek(self):
+        q = FifoQueue()
+        assert q.peek() is None
+        q.push(frame(packet=7))
+        assert q.peek().packet_id == 7
+        assert len(q) == 1  # peek does not remove
+
+    def test_capacity_drops_at_tail(self):
+        q = FifoQueue(capacity=2)
+        assert q.push(frame(packet=1))
+        assert q.push(frame(packet=2))
+        assert not q.push(frame(packet=3))
+        assert q.dropped == 1
+        assert [f.packet_id for f in q] == [1, 2]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FifoQueue(capacity=0)
+
+    def test_bool(self):
+        q = FifoQueue()
+        assert not q
+        q.push(frame())
+        assert q
+
+
+class TestPriorityQueue:
+    def test_highest_priority_first(self):
+        q = PriorityQueue()
+        q.push(frame(prio=1, packet=1))
+        q.push(frame(prio=7, packet=2))
+        q.push(frame(prio=3, packet=3))
+        assert q.pop().packet_id == 2
+        assert q.pop().packet_id == 3
+        assert q.pop().packet_id == 1
+
+    def test_fifo_within_level(self):
+        q = PriorityQueue()
+        for i in range(5):
+            q.push(frame(prio=4, packet=i))
+        assert [q.pop().packet_id for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_level_bound_enforced(self):
+        """Commercial switches expose 2-8 levels (paper intro)."""
+        q = PriorityQueue(n_levels=8)
+        q.push(frame(prio=7))
+        with pytest.raises(ValueError):
+            q.push(frame(prio=8))
+        with pytest.raises(ValueError):
+            q.push(frame(prio=-1))
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            PriorityQueue().pop()
+
+    def test_peek(self):
+        q = PriorityQueue()
+        assert q.peek() is None
+        q.push(frame(prio=2, packet=5))
+        q.push(frame(prio=9, packet=6))
+        assert q.peek().packet_id == 6
+        assert len(q) == 2
+
+    def test_backlog_bits(self):
+        q = PriorityQueue()
+        q.push(frame(bits=100))
+        q.push(frame(bits=250))
+        assert q.backlog_bits() == 350
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            PriorityQueue(n_levels=0)
+
+
+class TestQueuedFrame:
+    def test_with_enqueue_time_copies(self):
+        f = frame(t=1.0)
+        g = f.with_enqueue_time(2.5)
+        assert g.enqueued_at == 2.5
+        assert f.enqueued_at == 1.0
+        assert g.flow == f.flow and g.wire_bits == f.wire_bits

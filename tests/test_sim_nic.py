@@ -1,0 +1,110 @@
+"""Link transmitter: serialization, propagation, pull/idle hooks."""
+
+import pytest
+
+from repro.sim.engine import EventEngine
+from repro.sim.nic import LinkTransmitter
+from repro.switch.queues import QueuedFrame
+
+
+def frame(bits=10_000, packet=0):
+    return QueuedFrame(
+        flow="f", wire_bits=bits, priority=0, packet_id=packet,
+        fragment=0, n_fragments=1,
+    )
+
+
+class Harness:
+    def __init__(self, speed=1e6, prop=0.0):
+        self.engine = EventEngine()
+        self.queue = []
+        self.delivered = []
+        self.idle_calls = 0
+        self.tx = LinkTransmitter(
+            self.engine,
+            speed_bps=speed,
+            prop_delay=prop,
+            pull=self._pull,
+            deliver=lambda f: self.delivered.append((self.engine.now, f)),
+            on_idle=self._on_idle,
+        )
+
+    def _pull(self):
+        return self.queue.pop(0) if self.queue else None
+
+    def _on_idle(self):
+        self.idle_calls += 1
+
+    def send(self, f):
+        self.queue.append(f)
+        self.tx.kick()
+
+
+class TestSerialization:
+    def test_wire_time(self):
+        h = Harness(speed=1e6)
+        h.send(frame(bits=10_000))
+        h.engine.run()
+        t, _ = h.delivered[0]
+        assert t == pytest.approx(0.01)
+
+    def test_back_to_back_frames(self):
+        h = Harness(speed=1e6)
+        h.send(frame(bits=10_000, packet=1))
+        h.send(frame(bits=20_000, packet=2))
+        h.engine.run()
+        assert [f.packet_id for _, f in h.delivered] == [1, 2]
+        assert h.delivered[0][0] == pytest.approx(0.01)
+        assert h.delivered[1][0] == pytest.approx(0.03)
+
+    def test_non_preemptive(self):
+        """A frame arriving mid-transmission waits (MFT blocking basis)."""
+        h = Harness(speed=1e6)
+        h.send(frame(bits=50_000, packet=1))  # 50 ms
+        h.engine.schedule(0.001, lambda: h.send(frame(bits=1_000, packet=2)))
+        h.engine.run()
+        assert h.delivered[1][0] == pytest.approx(0.051)
+
+    def test_propagation_added(self):
+        h = Harness(speed=1e6, prop=0.002)
+        h.send(frame(bits=10_000))
+        h.engine.run()
+        assert h.delivered[0][0] == pytest.approx(0.012)
+
+    def test_kick_idempotent_while_busy(self):
+        h = Harness(speed=1e6)
+        h.send(frame(bits=10_000, packet=1))
+        h.tx.kick()
+        h.tx.kick()
+        h.engine.run()
+        assert len(h.delivered) == 1
+
+    def test_counters(self):
+        h = Harness()
+        h.send(frame(bits=100, packet=1))
+        h.send(frame(bits=200, packet=2))
+        h.engine.run()
+        assert h.tx.frames_sent == 2
+        assert h.tx.bits_sent == 300
+
+
+class TestIdleHook:
+    def test_on_idle_fired_when_queue_drains(self):
+        h = Harness()
+        h.send(frame())
+        h.engine.run()
+        assert h.idle_calls == 1
+
+    def test_on_idle_not_fired_between_back_to_back(self):
+        h = Harness()
+        h.send(frame(packet=1))
+        h.send(frame(packet=2))
+        h.engine.run()
+        assert h.idle_calls == 1  # only after the last frame
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ValueError):
+            LinkTransmitter(
+                EventEngine(), speed_bps=0, prop_delay=0,
+                pull=lambda: None, deliver=lambda f: None,
+            )

@@ -1,0 +1,124 @@
+"""Release policies: arrival sequences and jitter windows."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.gmf import GmfSpec
+from repro.sim.release import (
+    BurstJitterPolicy,
+    EagerRelease,
+    PeriodicRelease,
+    RandomRelease,
+    SpreadJitterPolicy,
+)
+
+
+@pytest.fixture
+def spec():
+    return GmfSpec(
+        min_separations=(0.01, 0.02, 0.03),
+        deadlines=(0.1,) * 3,
+        jitters=(0.0,) * 3,
+        payload_bits=(100, 200, 300),
+    )
+
+
+class TestEagerRelease:
+    def test_exact_minimum_separations(self, spec):
+        arrivals = list(EagerRelease().arrivals(spec, until=0.065))
+        assert arrivals == [
+            (0.0, 0),
+            (pytest.approx(0.01), 1),
+            (pytest.approx(0.03), 2),
+            (pytest.approx(0.06), 0),
+        ]
+
+    def test_phase_shifts_all(self, spec):
+        arrivals = list(EagerRelease(phase=0.005).arrivals(spec, until=0.02))
+        assert arrivals[0] == (0.005, 0)
+
+    def test_start_frame_rotates(self, spec):
+        arrivals = list(EagerRelease(start_frame=2).arrivals(spec, until=0.05))
+        assert arrivals[0] == (0.0, 2)
+        assert arrivals[1] == (pytest.approx(0.03), 0)
+
+    def test_cycle_repeats(self, spec):
+        arrivals = list(EagerRelease().arrivals(spec, until=0.4))
+        ks = [k for _, k in arrivals]
+        assert ks[:7] == [0, 1, 2, 0, 1, 2, 0]
+
+
+class TestPeriodicRelease:
+    def test_slack_stretches_separations(self, spec):
+        arrivals = list(
+            PeriodicRelease(slack_factor=2.0).arrivals(spec, until=0.05)
+        )
+        assert arrivals[1][0] == pytest.approx(0.02)
+
+    def test_slack_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicRelease(slack_factor=0.5)
+
+    def test_slack_one_equals_eager(self, spec):
+        eager = list(EagerRelease().arrivals(spec, until=0.1))
+        periodic = list(PeriodicRelease(slack_factor=1.0).arrivals(spec, until=0.1))
+        assert eager == periodic
+
+
+class TestRandomRelease:
+    def test_reproducible(self, spec):
+        a = list(RandomRelease(seed=42).arrivals(spec, until=0.3))
+        b = list(RandomRelease(seed=42).arrivals(spec, until=0.3))
+        assert a == b
+
+    def test_different_seeds_differ(self, spec):
+        a = list(RandomRelease(seed=1).arrivals(spec, until=0.3))
+        b = list(RandomRelease(seed=2).arrivals(spec, until=0.3))
+        assert a != b
+
+    def test_never_violates_minimum_separation(self, spec):
+        arrivals = list(RandomRelease(seed=7, spread=1.0).arrivals(spec, until=1.0))
+        for (t1, k1), (t2, _) in zip(arrivals, arrivals[1:]):
+            assert t2 - t1 >= spec.min_separations[k1] - 1e-12
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ValueError):
+            RandomRelease(spread=-0.1)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_separation_invariant_any_seed(self, seed, ):
+        spec = GmfSpec(
+            min_separations=(0.01, 0.005),
+            deadlines=(0.1,) * 2,
+            jitters=(0.0,) * 2,
+            payload_bits=(64, 64),
+        )
+        arrivals = list(RandomRelease(seed=seed).arrivals(spec, until=0.5))
+        for (t1, k1), (t2, _) in zip(arrivals, arrivals[1:]):
+            assert t2 - t1 >= spec.min_separations[k1] - 1e-12
+
+
+class TestJitterPolicies:
+    def test_burst_all_zero(self):
+        assert list(BurstJitterPolicy().offsets(5, 0.01)) == [0.0] * 5
+
+    def test_spread_first_at_zero(self):
+        offs = SpreadJitterPolicy().offsets(4, 0.01)
+        assert offs[0] == 0.0
+
+    def test_spread_within_half_open_window(self):
+        """Paper: fragments released during [t, t+GJ) — strictly less."""
+        offs = SpreadJitterPolicy().offsets(4, 0.01)
+        assert all(0.0 <= o < 0.01 for o in offs)
+
+    def test_spread_monotone(self):
+        offs = SpreadJitterPolicy().offsets(6, 0.01)
+        assert offs == sorted(offs)
+
+    def test_single_fragment_no_spread(self):
+        assert SpreadJitterPolicy().offsets(1, 0.01) == [0.0]
+
+    def test_zero_jitter_no_spread(self):
+        assert SpreadJitterPolicy().offsets(3, 0.0) == [0.0] * 3

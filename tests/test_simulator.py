@@ -1,0 +1,193 @@
+"""End-to-end simulator behaviour and its agreement with first principles."""
+
+import math
+
+import pytest
+
+from repro.core.packetization import packetize
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.model.network import Network
+from repro.sim.release import EagerRelease, PeriodicRelease
+from repro.sim.simulator import SimConfig, Simulator, simulate
+from repro.util.units import mbps, ms
+
+
+def make_flow(route, name="f", payload=10_000, period=ms(20), prio=3, jitter=0.0, n=1):
+    return Flow(
+        name=name,
+        spec=GmfSpec(
+            min_separations=(period,) * n,
+            deadlines=(ms(100),) * n,
+            jitters=(jitter,) * n,
+            payload_bits=(payload,) * n,
+        ),
+        route=route,
+        priority=prio,
+    )
+
+
+class TestBasicDelivery:
+    def test_all_packets_delivered(self, two_switch_net):
+        flow = make_flow(("h0", "s0", "s1", "h2"))
+        trace = simulate(two_switch_net, [flow], duration=1.0)
+        assert trace.count_completed() > 0
+        assert trace.count_incomplete() == 0
+
+    def test_packet_count_matches_arrivals(self, two_switch_net):
+        flow = make_flow(("h0", "s0", "s1", "h2"), period=ms(10))
+        trace = simulate(two_switch_net, [flow], duration=1.0)
+        # Arrivals at 0, 10ms, ..., ~1000ms: 100 or 101 packets depending
+        # on float accumulation at the horizon boundary.
+        assert trace.count_completed("f") in (100, 101)
+
+    def test_response_at_least_zero_load_latency(self, two_switch_net):
+        """No packet can beat wire time + switch processing."""
+        from repro.model.validation import minimum_path_latency
+
+        flow = make_flow(("h0", "s0", "s1", "h2"))
+        floor = minimum_path_latency(two_switch_net, flow, 0)
+        trace = simulate(two_switch_net, [flow], duration=0.5)
+        assert min(trace.responses("f")) >= floor - 1e-12
+
+    def test_isolated_flow_response_close_to_floor(self, two_switch_net):
+        """Event mode, no contention: response within 2x of the physical
+        floor (only rotation/pipelining slack on top)."""
+        from repro.model.validation import minimum_path_latency
+
+        flow = make_flow(("h0", "s0", "s1", "h2"))
+        floor = minimum_path_latency(two_switch_net, flow, 0)
+        trace = simulate(two_switch_net, [flow], duration=0.5)
+        assert trace.worst_response("f") <= 2 * floor
+
+    def test_direct_route_no_switch(self):
+        net = Network()
+        net.add_endhost("a")
+        net.add_endhost("b")
+        net.add_duplex_link("a", "b", speed_bps=mbps(100))
+        flow = make_flow(("a", "b"))
+        trace = simulate(net, [flow], duration=0.2)
+        pkt = packetize(10_000)
+        expected = pkt.wire_bits / mbps(100)
+        assert trace.worst_response("f") == pytest.approx(expected)
+
+
+class TestFragmentation:
+    def test_multifragment_packet_completes_once(self, two_switch_net):
+        flow = make_flow(("h0", "s0", "s1", "h2"), payload=120_000)
+        trace = simulate(two_switch_net, [flow], duration=0.5)
+        frags = packetize(120_000).n_eth_frames
+        assert frags > 1
+        for p in trace.completed_packets("f"):
+            assert p.n_fragments == frags
+            assert p.fragments_received == frags
+
+    def test_jitter_spreads_response(self, two_switch_net):
+        """Generalized jitter stretches the observed response (fragments
+        released across the window)."""
+        calm = make_flow(("h0", "s0", "s1", "h2"), payload=120_000, jitter=0.0)
+        jittery = make_flow(
+            ("h0", "s0", "s1", "h2"), payload=120_000, jitter=ms(5)
+        )
+        r_calm = simulate(two_switch_net, [calm], duration=0.5).worst_response("f")
+        r_jit = simulate(two_switch_net, [jittery], duration=0.5).worst_response("f")
+        assert r_jit > r_calm
+
+
+class TestContention:
+    def test_priority_protects_high_flow(self, two_switch_net):
+        """On the shared egress link the high-priority flow's worst
+        response is below the low-priority flow's."""
+        hi = make_flow(("h0", "s0", "s1", "h2"), "hi", prio=9,
+                       payload=40_000, period=ms(5))
+        lo = make_flow(("h1", "s0", "s1", "h3"), "lo", prio=1,
+                       payload=40_000, period=ms(5))
+        trace = simulate(two_switch_net, [hi, lo], duration=1.0)
+        assert trace.worst_response("hi") < trace.worst_response("lo")
+
+    def test_contention_increases_response(self, two_switch_net):
+        a = make_flow(("h0", "s0", "s1", "h2"), "a", payload=100_000, period=ms(5))
+        alone = simulate(two_switch_net, [a], duration=0.5).worst_response("a")
+        b = make_flow(("h1", "s0", "s1", "h3"), "b", payload=100_000,
+                      period=ms(5), prio=9)
+        both = simulate(two_switch_net, [a, b], duration=0.5).worst_response("a")
+        assert both > alone
+
+
+class TestDeterminism:
+    def test_identical_runs(self, two_switch_net):
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), "a", payload=50_000),
+            make_flow(("h1", "s0", "s1", "h3"), "b", payload=30_000, prio=7),
+        ]
+        t1 = simulate(two_switch_net, flows, duration=0.5)
+        t2 = simulate(two_switch_net, flows, duration=0.5)
+        assert t1.responses("a") == t2.responses("a")
+        assert t1.responses("b") == t2.responses("b")
+
+    def test_modes_comparable(self, two_switch_net):
+        """Rotation mode is never faster than event mode on the worst
+        response (it adds slot-alignment waits)."""
+        flow = make_flow(("h0", "s0", "s1", "h2"), payload=50_000)
+        ev = simulate(
+            two_switch_net, [flow],
+            config=SimConfig(duration=0.5, switch_mode="event"),
+        ).worst_response("f")
+        rot = simulate(
+            two_switch_net, [flow],
+            config=SimConfig(duration=0.5, switch_mode="rotation"),
+        ).worst_response("f")
+        assert rot >= ev - 1e-12
+
+
+class TestReleasePolicies:
+    def test_slower_release_reduces_contention(self, two_switch_net):
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), "a", payload=100_000, period=ms(5)),
+            make_flow(("h0", "s0", "s1", "h2"), "b", payload=100_000, period=ms(5)),
+        ]
+        eager = simulate(
+            two_switch_net, flows, duration=0.5,
+            release_policies={"a": EagerRelease(), "b": EagerRelease()},
+        ).worst_response("a")
+        relaxed = simulate(
+            two_switch_net, flows, duration=0.5,
+            release_policies={
+                "a": EagerRelease(),
+                "b": PeriodicRelease(slack_factor=3.0, phase=ms(2.5)),
+            },
+        ).worst_response("a")
+        assert relaxed <= eager
+
+
+class TestConfigValidation:
+    def test_bad_duration(self):
+        with pytest.raises(ValueError):
+            SimConfig(duration=0)
+
+    def test_bad_mode(self, two_switch_net):
+        with pytest.raises(ValueError, match="unknown switch mode"):
+            Simulator(
+                two_switch_net,
+                [make_flow(("h0", "s0", "s1", "h2"))],
+                SimConfig(duration=1.0, switch_mode="warp"),
+            )
+
+    def test_duplicate_flow_names_rejected(self, two_switch_net):
+        with pytest.raises(ValueError):
+            simulate(
+                two_switch_net,
+                [
+                    make_flow(("h0", "s0", "s1", "h2"), "x"),
+                    make_flow(("h1", "s0", "s1", "h3"), "x"),
+                ],
+                duration=0.1,
+            )
+
+    def test_invalid_route_rejected(self, two_switch_net):
+        with pytest.raises(Exception):
+            simulate(
+                two_switch_net,
+                [make_flow(("h0", "h2"))],
+                duration=0.1,
+            )

@@ -1,0 +1,128 @@
+"""Stride scheduler: proportional share, round-robin collapse."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.switch.stride import STRIDE1, StrideScheduler, StrideTask
+
+
+class TestStrideTask:
+    def test_stride_is_large_constant_over_tickets(self):
+        t = StrideTask("a", tickets=4)
+        assert t.stride == STRIDE1 // 4
+
+    def test_pass_initialised_to_stride(self):
+        """Paper Sec. 2.2: 'the pass of a task is initialized to its
+        stride' at boot."""
+        t = StrideTask("a", tickets=2)
+        assert t.passes == t.stride
+
+    def test_zero_tickets_rejected(self):
+        with pytest.raises(ValueError):
+            StrideTask("a", tickets=0)
+
+
+class TestRoundRobin:
+    def test_equal_tickets_round_robin(self):
+        """Footnote 1: all tickets = 1 collapses to round-robin."""
+        s = StrideScheduler()
+        for name in "abcd":
+            s.add_task(name)
+        order = [s.dispatch().name for _ in range(8)]
+        assert order == list("abcd") * 2
+
+    def test_is_round_robin_flag(self):
+        s = StrideScheduler()
+        s.add_task("a")
+        s.add_task("b")
+        assert s.is_round_robin()
+        s.add_task("c", tickets=3)
+        assert not s.is_round_robin()
+
+    def test_worst_case_gap_round_robin(self):
+        s = StrideScheduler()
+        for name in "abcd":
+            s.add_task(name)
+        assert s.worst_case_gap("a") == 4
+
+
+class TestProportionalShare:
+    def test_two_to_one(self):
+        """Paper: 'a task with ticket=2 will execute twice as frequently
+        as a task with ticket=1'."""
+        s = StrideScheduler()
+        s.add_task("heavy", tickets=2)
+        s.add_task("light", tickets=1)
+        counts = s.dispatch_counts(300)
+        assert counts["heavy"] == pytest.approx(200, abs=2)
+        assert counts["light"] == pytest.approx(100, abs=2)
+
+    @given(
+        tickets=st.lists(st.integers(1, 8), min_size=2, max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_share_error_bounded(self, tickets):
+        """Stride scheduling's throughput error is O(1) dispatches."""
+        s = StrideScheduler()
+        for i, tk in enumerate(tickets):
+            s.add_task(f"t{i}", tickets=tk)
+        total = sum(tickets)
+        n = 50 * total
+        counts = s.dispatch_counts(n)
+        for i, tk in enumerate(tickets):
+            expected = n * tk / total
+            assert abs(counts[f"t{i}"] - expected) <= len(tickets) + 1
+
+    def test_dispatch_counts_does_not_mutate(self):
+        s = StrideScheduler()
+        s.add_task("a")
+        s.add_task("b")
+        before = [(t.name, t.passes) for t in s.tasks()]
+        s.dispatch_counts(100)
+        after = [(t.name, t.passes) for t in s.tasks()]
+        assert before == after
+
+
+class TestManagement:
+    def test_duplicate_task_rejected(self):
+        s = StrideScheduler()
+        s.add_task("a")
+        with pytest.raises(ValueError):
+            s.add_task("a")
+
+    def test_remove_task(self):
+        s = StrideScheduler()
+        s.add_task("a")
+        s.add_task("b")
+        s.remove_task("a")
+        assert [t.name for t in s.tasks()] == ["b"]
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            StrideScheduler().remove_task("x")
+
+    def test_empty_dispatch_raises(self):
+        with pytest.raises(RuntimeError):
+            StrideScheduler().dispatch()
+
+    def test_peek_does_not_advance(self):
+        s = StrideScheduler()
+        s.add_task("a")
+        s.add_task("b")
+        assert s.peek().name == "a"
+        assert s.peek().name == "a"
+        assert s.dispatch().name == "a"
+
+    def test_payload_attached(self):
+        s = StrideScheduler()
+        marker = object()
+        s.add_task("a", payload=marker)
+        assert s.task("a").payload is marker
+
+    def test_worst_case_gap_general(self):
+        s = StrideScheduler()
+        s.add_task("a", tickets=1)
+        s.add_task("b", tickets=3)
+        # total 4 tickets; a's gap bounded by ceil(4/1)+1 = 5.
+        assert s.worst_case_gap("a") == 5

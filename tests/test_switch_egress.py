@@ -1,0 +1,166 @@
+"""Switch-egress analysis (Sec. 3.4, Eqs. 28-35)."""
+
+import math
+
+import pytest
+
+from repro.core.context import AnalysisContext, AnalysisOptions, link_resource
+from repro.core.results import StageKind
+from repro.core.switch_egress import egress_response_time, egress_utilization
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.util.units import mbps, ms
+
+
+def make_flow(name="f", payload=10_000, period=ms(20), prio=3, route=("h0", "sw", "h2")):
+    return Flow(
+        name=name,
+        spec=GmfSpec(
+            min_separations=(period,),
+            deadlines=(ms(100),),
+            jitters=(0.0,),
+            payload_bits=(payload,),
+        ),
+        route=route,
+        priority=prio,
+    )
+
+
+def ctx_with(net, flows, **opts):
+    return AnalysisContext(net, flows, AnalysisOptions(**opts) if opts else None)
+
+
+class TestSingleFlow:
+    def test_includes_mft_blocking_and_circ(self, one_switch_net):
+        """Alone: R = MFT + C + F*CIRC (blocking + wire + task slots)."""
+        flow = make_flow(payload=10_000)
+        ctx = ctx_with(one_switch_net, [flow])
+        res = egress_response_time(ctx, flow, 0, "sw")
+        dem = ctx.demand(flow, "sw", "h2")
+        circ = one_switch_net.circ("sw")
+        expected = dem.mft + dem.c[0] + dem.n_eth[0] * circ
+        assert res.response == pytest.approx(expected)
+        assert res.kind is StageKind.EGRESS
+        assert res.resource == link_resource("sw", "h2")
+
+    def test_strict_paper_omits_own_circ(self, one_switch_net):
+        flow = make_flow(payload=10_000)
+        ctx = ctx_with(one_switch_net, [flow], strict_paper=True)
+        res = egress_response_time(ctx, flow, 0, "sw")
+        dem = ctx.demand(flow, "sw", "h2")
+        assert res.response == pytest.approx(dem.mft + dem.c[0])
+
+    def test_propagation_added(self):
+        from repro.model.network import Network
+
+        net = Network()
+        net.add_endhost("h0")
+        net.add_switch("sw")
+        net.add_endhost("h2")
+        net.add_duplex_link("h0", "sw", speed_bps=mbps(100))
+        net.add_duplex_link("sw", "h2", speed_bps=mbps(100), prop_delay=1e-4)
+        flow = make_flow()
+        with_prop = egress_response_time(ctx_with(net, [flow]), flow, 0, "sw")
+        net2 = Network()
+        net2.add_endhost("h0")
+        net2.add_switch("sw")
+        net2.add_endhost("h2")
+        net2.add_duplex_link("h0", "sw", speed_bps=mbps(100))
+        net2.add_duplex_link("sw", "h2", speed_bps=mbps(100))
+        without = egress_response_time(ctx_with(net2, [flow]), flow, 0, "sw")
+        assert with_prop.response - without.response == pytest.approx(1e-4)
+
+
+class TestPriorities:
+    def test_higher_priority_interferes(self, one_switch_net):
+        a = make_flow("a", prio=3)
+        hi = make_flow("hi", prio=8, route=("h1", "sw", "h2"))
+        alone = egress_response_time(ctx_with(one_switch_net, [a]), a, 0, "sw")
+        shared = egress_response_time(
+            ctx_with(one_switch_net, [a, hi]), a, 0, "sw"
+        )
+        assert shared.response > alone.response
+
+    def test_equal_priority_interferes(self, one_switch_net):
+        """hep (Eq. 2) includes equal priorities."""
+        a = make_flow("a", prio=3)
+        eq = make_flow("eq", prio=3, route=("h1", "sw", "h2"))
+        shared = egress_response_time(
+            ctx_with(one_switch_net, [a, eq]), a, 0, "sw"
+        )
+        alone = egress_response_time(ctx_with(one_switch_net, [a]), a, 0, "sw")
+        assert shared.response > alone.response
+
+    def test_lower_priority_only_blocks_via_mft(self, one_switch_net):
+        """A lower-priority flow adds nothing beyond the MFT already
+        charged (non-preemptive blocking is one max frame)."""
+        a = make_flow("a", prio=5)
+        lo = make_flow("lo", prio=1, route=("h1", "sw", "h2"))
+        alone = egress_response_time(ctx_with(one_switch_net, [a]), a, 0, "sw")
+        shared = egress_response_time(
+            ctx_with(one_switch_net, [a, lo]), a, 0, "sw"
+        )
+        assert shared.response == pytest.approx(alone.response)
+
+    def test_per_link_priority_override_used(self, one_switch_net):
+        a = make_flow("a", prio=5)
+        # b is low priority by default but re-marked high on the egress link.
+        b = Flow(
+            name="b",
+            spec=make_flow("x").spec,
+            route=("h1", "sw", "h2"),
+            priority=1,
+            link_priorities={("sw", "h2"): 9},
+        )
+        shared = egress_response_time(
+            ctx_with(one_switch_net, [a, b]), a, 0, "sw"
+        )
+        alone = egress_response_time(ctx_with(one_switch_net, [a]), a, 0, "sw")
+        assert shared.response > alone.response
+
+
+class TestUtilization:
+    def test_includes_own_and_hep(self, one_switch_net):
+        a = make_flow("a", prio=3)
+        hi = make_flow("hi", prio=8, route=("h1", "sw", "h2"))
+        lo = make_flow("lo", prio=0, route=("h1", "sw", "h2"))
+        ctx = ctx_with(one_switch_net, [a, hi, lo])
+        u = egress_utilization(ctx, a, "sw")
+        da = ctx.demand(a, "sw", "h2").utilization
+        dhi = ctx.demand(hi, "sw", "h2").utilization
+        assert u == pytest.approx(da + dhi)
+
+    def test_hep_overload_diverges(self, one_switch_net):
+        a = make_flow("a", prio=1, payload=10_000)
+        hog = make_flow("hog", prio=9, payload=2_500_000, period=ms(20),
+                        route=("h1", "sw", "h2"))
+        ctx = ctx_with(one_switch_net, [a, hog])
+        assert egress_utilization(ctx, a, "sw") >= 1.0
+        res = egress_response_time(ctx, a, 0, "sw")
+        assert not res.converged
+        assert math.isinf(res.response)
+
+    def test_high_priority_unaffected_by_lp_overload(self, one_switch_net):
+        """The hog is *lower* priority: the victim still converges
+        (Eq. 35's per-flow condition)."""
+        a = make_flow("a", prio=9, payload=10_000)
+        hog = make_flow("hog", prio=1, payload=2_600_000, period=ms(25),
+                        route=("h1", "sw", "h2"))
+        ctx = ctx_with(one_switch_net, [a, hog])
+        res = egress_response_time(ctx, a, 0, "sw")
+        assert res.converged
+        assert egress_utilization(ctx, a, "sw") < 1.0
+
+
+class TestBusyPeriod:
+    def test_seeded_with_mft(self, one_switch_net):
+        flow = make_flow()
+        ctx = ctx_with(one_switch_net, [flow])
+        res = egress_response_time(ctx, flow, 0, "sw")
+        assert res.busy_period >= ctx.demand(flow, "sw", "h2").mft
+
+    def test_instances_at_least_one(self, one_switch_net):
+        flow = make_flow()
+        ctx = ctx_with(one_switch_net, [flow])
+        res = egress_response_time(ctx, flow, 0, "sw")
+        assert res.n_instances >= 1

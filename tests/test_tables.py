@@ -1,0 +1,44 @@
+"""ASCII table formatter."""
+
+import pytest
+
+from repro.util.tables import Table
+
+
+class TestTable:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_row_arity_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_title_rendered(self):
+        t = Table(["x"], title="hello")
+        assert t.render().splitlines()[0] == "hello"
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add_row([0.123456789])
+        assert "0.123457" in t.render()
+
+    def test_bool_formatting(self):
+        t = Table(["ok"])
+        t.add_row([True])
+        t.add_row([False])
+        body = t.render()
+        assert "yes" in body and "no" in body
+
+    def test_alignment_widths(self):
+        t = Table(["col"])
+        t.add_row(["a-very-long-cell"])
+        lines = t.render().splitlines()
+        header, row = lines[1], lines[3]
+        assert len(header) == len(row)
+
+    def test_str_matches_render(self):
+        t = Table(["a"])
+        t.add_row([1])
+        assert str(t) == t.render()

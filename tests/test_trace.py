@@ -1,0 +1,119 @@
+"""Simulation trace records and aggregates."""
+
+import math
+
+import pytest
+
+from repro.sim.trace import PacketRecord, SimulationTrace
+
+
+def record(pid, flow="f", frame=0, arrival=0.0, completed=None, nfrags=1):
+    r = PacketRecord(
+        packet_id=pid,
+        flow=flow,
+        frame=frame,
+        arrival=arrival,
+        n_fragments=nfrags,
+    )
+    if completed is not None:
+        r.fragments_received = nfrags
+        r.completed = completed
+    return r
+
+
+@pytest.fixture
+def trace():
+    t = SimulationTrace(duration=1.0)
+    t.packets = [
+        record(0, flow="a", frame=0, arrival=0.0, completed=0.010),
+        record(1, flow="a", frame=1, arrival=0.1, completed=0.105),
+        record(2, flow="a", frame=0, arrival=0.2, completed=0.230),
+        record(3, flow="b", frame=0, arrival=0.0, completed=0.001),
+        record(4, flow="a", frame=1, arrival=0.9),  # in flight
+    ]
+    return t
+
+
+class TestResponses:
+    def test_response_property(self):
+        assert record(0, arrival=1.0, completed=1.25).response == pytest.approx(0.25)
+
+    def test_incomplete_response_none(self):
+        assert record(0).response is None
+
+    def test_responses_by_flow(self, trace):
+        assert len(trace.responses("a")) == 3
+
+    def test_responses_by_frame(self, trace):
+        assert trace.responses("a", 0) == [
+            pytest.approx(0.010),
+            pytest.approx(0.030),
+        ]
+
+    def test_worst_response(self, trace):
+        assert trace.worst_response("a") == pytest.approx(0.030)
+
+    def test_worst_response_empty_is_neg_inf(self, trace):
+        assert trace.worst_response("ghost") == -math.inf
+
+    def test_mean_response(self, trace):
+        assert trace.mean_response("b") == pytest.approx(0.001)
+
+    def test_mean_response_empty_nan(self, trace):
+        assert math.isnan(trace.mean_response("ghost"))
+
+
+class TestCounts:
+    def test_completed(self, trace):
+        assert trace.count_completed() == 4
+        assert trace.count_completed("a") == 3
+
+    def test_incomplete(self, trace):
+        assert trace.count_incomplete() == 1
+        assert trace.count_incomplete("a") == 1
+        assert trace.count_incomplete("b") == 0
+
+    def test_flows(self, trace):
+        assert trace.flows() == ["a", "b"]
+
+
+class TestDeadlineMisses:
+    def test_counts_misses(self, trace):
+        # Flow a frame 0: responses 10 ms (ok) and 30 ms (miss) against
+        # the 20 ms deadline; frame 1: 5 ms ok against 10 ms.
+        misses = trace.deadline_misses({"a": (0.020, 0.010)})
+        assert misses == 1
+
+    def test_counts_misses_exact(self):
+        t = SimulationTrace(duration=1.0)
+        t.packets = [
+            record(0, flow="a", frame=0, arrival=0.0, completed=0.010),
+            record(1, flow="a", frame=0, arrival=0.1, completed=0.130),
+        ]
+        assert t.deadline_misses({"a": (0.020,)}) == 1
+
+    def test_unknown_flow_ignored(self, trace):
+        assert trace.deadline_misses({"zz": (1.0,)}) == 0
+
+
+class TestPercentiles:
+    def test_median_and_tail(self, trace):
+        # Flow a responses: 10, 5, 30 ms -> sorted [5, 10, 30].
+        assert trace.response_percentile("a", 50) == pytest.approx(0.010)
+        assert trace.response_percentile("a", 100) == pytest.approx(0.030)
+        assert trace.response_percentile("a", 1) == pytest.approx(0.005)
+
+    def test_empty_flow_nan(self, trace):
+        assert math.isnan(trace.response_percentile("ghost", 50))
+
+    def test_invalid_q(self, trace):
+        from repro.sim.trace import percentile
+
+        with pytest.raises(ValueError):
+            percentile([1.0], 0.0)
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_percentile_monotone_in_q(self, trace):
+        values = [trace.response_percentile("a", q) for q in (10, 50, 90, 100)]
+        assert values == sorted(values)

@@ -1,0 +1,69 @@
+"""Unit helpers: conversions and formatting."""
+
+import math
+
+import pytest
+
+from repro.util.units import (
+    bits_from_bytes,
+    bytes_from_bits,
+    fmt_duration,
+    fmt_rate,
+    gbps,
+    mbps,
+    ms,
+    us,
+)
+
+
+class TestConversions:
+    def test_us(self):
+        assert us(2.7) == pytest.approx(2.7e-6)
+
+    def test_ms(self):
+        assert ms(30) == pytest.approx(0.030)
+
+    def test_mbps(self):
+        assert mbps(10) == 10_000_000
+
+    def test_gbps(self):
+        assert gbps(1) == 1_000_000_000
+
+    def test_bits_from_bytes(self):
+        assert bits_from_bytes(1500) == 12_000
+
+    def test_bytes_from_bits_roundtrip(self):
+        assert bytes_from_bits(bits_from_bytes(1538)) == 1538
+
+    def test_paper_circ_example(self):
+        """Sec. 3.3: 4 * (2.7 + 1.0) us = 14.8 us."""
+        assert 4 * (us(2.7) + us(1.0)) == pytest.approx(14.8e-6)
+
+
+class TestFormatting:
+    def test_fmt_duration_seconds(self):
+        assert fmt_duration(1.5) == "1.500 s"
+
+    def test_fmt_duration_ms(self):
+        assert fmt_duration(0.270) == "270.000 ms"
+
+    def test_fmt_duration_us(self):
+        assert fmt_duration(14.8e-6) == "14.800 us"
+
+    def test_fmt_duration_ns(self):
+        assert fmt_duration(5e-9) == "5.000 ns"
+
+    def test_fmt_duration_nan(self):
+        assert fmt_duration(float("nan")) == "nan"
+
+    def test_fmt_rate_mbit(self):
+        assert fmt_rate(10_000_000) == "10.000 Mbit/s"
+
+    def test_fmt_rate_gbit(self):
+        assert fmt_rate(1_000_000_000) == "1.000 Gbit/s"
+
+    def test_fmt_rate_kbit(self):
+        assert fmt_rate(64_000) == "64.000 kbit/s"
+
+    def test_fmt_rate_bit(self):
+        assert fmt_rate(300) == "300.000 bit/s"

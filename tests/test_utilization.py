@@ -1,0 +1,106 @@
+"""Convergence conditions (Eqs. 20/34/35) and the network report."""
+
+import pytest
+
+from repro.core.context import AnalysisContext
+from repro.core.utilization import (
+    link_utilization,
+    network_convergence_report,
+)
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.util.units import mbps, ms
+
+
+def make_flow(route, name, payload=100_000, prio=3, period=ms(20)):
+    return Flow(
+        name=name,
+        spec=GmfSpec(
+            min_separations=(period,),
+            deadlines=(ms(200),),
+            jitters=(0.0,),
+            payload_bits=(payload,),
+        ),
+        route=route,
+        priority=prio,
+    )
+
+
+class TestLinkUtilization:
+    def test_matches_demand_sum(self, two_switch_net):
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), "a"),
+            make_flow(("h1", "s0", "s1", "h3"), "b"),
+        ]
+        ctx = AnalysisContext(two_switch_net, flows)
+        u = link_utilization(ctx, "s0", "s1")
+        expected = sum(
+            ctx.demand(f, "s0", "s1").utilization for f in flows
+        )
+        assert u == pytest.approx(expected)
+
+    def test_empty_link_zero(self, two_switch_net):
+        ctx = AnalysisContext(two_switch_net, [])
+        assert link_utilization(ctx, "s0", "s1") == 0.0
+
+
+class TestNetworkReport:
+    def test_covers_all_resources_of_route(self, two_switch_net):
+        flow = make_flow(("h0", "s0", "s1", "h2"), "a")
+        ctx = AnalysisContext(two_switch_net, [flow])
+        report = network_convergence_report(ctx)
+        kinds = {e.resource[0] for e in report.entries}
+        assert kinds == {"link", "in"}
+        # first hop + 2 ingresses + 2 egress links = 5 resources
+        assert len(report.entries) == 5
+
+    def test_all_convergent_light_load(self, two_switch_net):
+        flow = make_flow(("h0", "s0", "s1", "h2"), "a", payload=10_000)
+        ctx = AnalysisContext(two_switch_net, [flow])
+        report = network_convergence_report(ctx)
+        assert report.all_convergent
+        assert 0 < report.max_utilization < 1
+
+    def test_bottleneck_identified(self, two_switch_net):
+        """Both flows share s0->s1, which must be the bottleneck."""
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), "a", prio=5),
+            make_flow(("h1", "s0", "s1", "h3"), "b", prio=5),
+        ]
+        ctx = AnalysisContext(two_switch_net, flows)
+        report = network_convergence_report(ctx)
+        bn = report.bottleneck()
+        assert bn.resource in (("link", "s0", "s1"),)
+
+    def test_overload_flagged(self, two_switch_net):
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), "a", payload=1_500_000),
+            make_flow(("h1", "s0", "s1", "h3"), "b", payload=1_500_000),
+        ]
+        ctx = AnalysisContext(two_switch_net, flows)
+        report = network_convergence_report(ctx)
+        assert not report.all_convergent
+        assert report.max_utilization >= 1.0
+
+    def test_empty_flow_set(self, two_switch_net):
+        ctx = AnalysisContext(two_switch_net, [])
+        report = network_convergence_report(ctx)
+        assert report.entries == ()
+        assert report.all_convergent
+        assert report.bottleneck() is None
+
+    def test_egress_entry_uses_worst_hep(self, two_switch_net):
+        """The egress utilisation recorded is the lowest-priority flow's
+        view (own + everything above it)."""
+        flows = [
+            make_flow(("h0", "s0", "s1", "h2"), "hi", prio=9, payload=200_000),
+            make_flow(("h1", "s0", "s1", "h3"), "lo", prio=1, payload=50_000),
+        ]
+        ctx = AnalysisContext(two_switch_net, flows)
+        report = network_convergence_report(ctx)
+        entry = next(
+            e for e in report.entries if e.resource == ("link", "s0", "s1")
+        )
+        u_hi = ctx.demand(flows[0], "s0", "s1").utilization
+        u_lo = ctx.demand(flows[1], "s0", "s1").utilization
+        assert entry.utilization == pytest.approx(u_hi + u_lo)

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Run the perf suite and record the trajectory in BENCH_scaling.json.
+
+The analysis engine is an *online* admission controller, so performance
+is a product feature and regressions must be visible in review.  This
+runner executes the two perf-tracking benchmark files —
+``bench_scaling.py`` (offline analysis / simulator scaling) and
+``bench_admission.py`` (the online admission hot path) — via
+pytest-benchmark and appends a labelled entry to ``BENCH_scaling.json``
+at the repo root.  Each PR that touches the hot paths should add an
+entry::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --label pr3-my-change
+
+Re-running with an existing label replaces that entry (labels are
+unique).  When an entry labelled ``seed`` (or anything passed via
+``--baseline``) exists, the runner prints the speedup of every shared
+benchmark against it, so "did this PR actually help" is one command.
+
+The headline numbers tracked across PRs:
+
+* ``test_analysis_scaling_flows[16]`` — one offline holistic analysis;
+* ``test_admission_sequential[64]``  — draining 64 admission requests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_scaling.json"
+BENCH_FILES = (
+    "benchmarks/bench_scaling.py",
+    "benchmarks/bench_admission.py",
+)
+
+
+def run_benchmarks(extra_pytest_args: list[str]) -> dict[str, dict]:
+    """Run the perf files; return ``{test id: stats}`` keyed like
+    ``bench_scaling.py::test_analysis_scaling_flows[16]``."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        json_path = Path(tmp.name)
+    try:
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *BENCH_FILES,
+            "--benchmark-only",
+            "--benchmark-json",
+            str(json_path),
+            # Keep wall time bounded: the point is a comparable number,
+            # not a publication-grade distribution.
+            "--benchmark-min-rounds=3",
+            "--benchmark-max-time=1.0",
+            "-q",
+            *extra_pytest_args,
+        ]
+        proc = subprocess.run(cmd, cwd=REPO_ROOT)
+        if proc.returncode != 0:
+            raise SystemExit(f"pytest failed with exit code {proc.returncode}")
+        data = json.loads(json_path.read_text())
+    finally:
+        json_path.unlink(missing_ok=True)
+
+    results: dict[str, dict] = {}
+    for bench in data.get("benchmarks", []):
+        # fullname is "benchmarks/bench_x.py::test[param]"; strip the dir
+        # so entries stay stable if the directory is ever renamed.
+        name = bench["fullname"].split("/")[-1]
+        stats = bench["stats"]
+        results[name] = {
+            "mean_s": stats["mean"],
+            "min_s": stats["min"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    return results
+
+
+def load_trajectory(path: Path) -> dict:
+    if path.exists():
+        return json.loads(path.read_text())
+    return {
+        "description": (
+            "Perf trajectory of the analysis/admission engine. "
+            "One entry per labelled run of benchmarks/run_bench.py; "
+            "'mean_s' is pytest-benchmark's mean seconds per round."
+        ),
+        "command": "PYTHONPATH=src python benchmarks/run_bench.py --label <label>",
+        "entries": [],
+    }
+
+
+def git_revision() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def print_comparison(entries: list[dict], label: str, baseline: str) -> None:
+    by_label = {e["label"]: e for e in entries}
+    if baseline not in by_label or label == baseline:
+        return
+    base = by_label[baseline]["benchmarks"]
+    cur = by_label[label]["benchmarks"]
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        return
+    print(f"\nSpeedup vs {baseline!r} (mean seconds per round):")
+    width = max(len(n) for n in shared)
+    for name in shared:
+        b, c = base[name]["mean_s"], cur[name]["mean_s"]
+        ratio = b / c if c > 0 else float("inf")
+        print(f"  {name:<{width}}  {b:.6f} -> {c:.6f}  ({ratio:.2f}x)")
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--label",
+        required=True,
+        help="name of this run in the trajectory (e.g. 'seed', 'pr2')",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"trajectory file (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="seed",
+        help="entry label to print speedups against (default 'seed')",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra args forwarded to pytest (e.g. -k admission)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(args.pytest_args)
+    trajectory = load_trajectory(args.output)
+    entry = {
+        "label": args.label,
+        "git": git_revision(),
+        "benchmarks": results,
+    }
+    entries = [e for e in trajectory["entries"] if e["label"] != args.label]
+    entries.append(entry)
+    trajectory["entries"] = entries
+    args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"\nRecorded {len(results)} benchmarks as {args.label!r} in {args.output}")
+    print_comparison(entries, args.label, args.baseline)
+
+
+if __name__ == "__main__":
+    main()

@@ -27,7 +27,7 @@ from repro.core.packetization import (
     transmission_time,
     udp_packet_bits,
 )
-from repro.core.demand import LinkDemand, build_link_demand
+from repro.core.demand import InterferenceSet, LinkDemand, build_link_demand
 from repro.core.context import AnalysisContext, AnalysisOptions, ResourceKey
 from repro.core.results import (
     FlowResult,
@@ -36,9 +36,9 @@ from repro.core.results import (
     StageResult,
     StageKind,
 )
-from repro.core.first_hop import first_hop_response_time
-from repro.core.switch_ingress import ingress_response_time
-from repro.core.switch_egress import egress_response_time
+from repro.core.first_hop import first_hop_response_time, first_hop_stage
+from repro.core.switch_ingress import ingress_response_time, ingress_stage
+from repro.core.switch_egress import egress_response_time, egress_stage
 from repro.core.pipeline import analyze_flow_frame, analyze_flow
 from repro.core.holistic import holistic_analysis
 from repro.core.admission import AdmissionController, AdmissionDecision
@@ -57,6 +57,7 @@ __all__ = [
     "FlowResult",
     "FrameResult",
     "HolisticResult",
+    "InterferenceSet",
     "LinkDemand",
     "Packetization",
     "PacketizationConfig",
@@ -67,12 +68,15 @@ __all__ = [
     "analyze_flow_frame",
     "build_link_demand",
     "egress_response_time",
+    "egress_stage",
     "egress_utilization",
     "eth_frame_count",
     "first_hop_response_time",
+    "first_hop_stage",
     "first_hop_utilization",
     "holistic_analysis",
     "ingress_response_time",
+    "ingress_stage",
     "link_utilization",
     "max_frame_transmission_time",
     "network_convergence_report",

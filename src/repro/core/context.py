@@ -65,6 +65,26 @@ class AnalysisOptions:
         Iteration cap per fixed point.
     holistic_max_iterations:
         Cap on the outer holistic jitter iterations (Sec. 3.5).
+    accelerate_fixed_points:
+        Use the safeguarded certified-floor acceleration of
+        ``util/fixed_point.py`` for the busy-period recurrences.  The
+        accelerated iteration provably converges to the same least
+        fixed point as plain Picard; disable to run the plain seed
+        solver (used by the engine-equivalence tests).
+    incremental_holistic:
+        Drive the Sec. 3.5 outer iteration with the dependency-aware
+        worklist engine (see ``core/holistic.py``), re-analysing only
+        flows whose interfering jitters changed.  Produces bit-identical
+        results to the full sweep; disable to force the full sweep.
+    memoize_stages:
+        Cache each (flow, resource) stage analysis on its exact varying
+        inputs — the flow's own per-frame jitters at the resource and
+        every participant's ``extra_j`` there (all other stage inputs
+        are fixed for the context's lifetime).  A holistic round that
+        re-walks a flow then recomputes only the stages whose inputs
+        actually moved; untouched stages replay their cached
+        :class:`~repro.core.results.StageResult` objects bit for bit.
+        Purely a perf knob — disable to re-run every stage analysis.
     """
 
     strict_paper: bool = False
@@ -72,6 +92,9 @@ class AnalysisOptions:
     horizon_factor: float = 1000.0
     max_fp_iterations: int = 100_000
     holistic_max_iterations: int = 200
+    accelerate_fixed_points: bool = True
+    incremental_holistic: bool = True
+    memoize_stages: bool = True
 
     @property
     def packetization(self) -> PacketizationConfig:
@@ -86,6 +109,16 @@ class JitterTable:
     specified source jitter ``GJ_i^k``; everywhere else it defaults to 0
     until the pipeline walk fills it in (holistic initialisation,
     Sec. 3.5).
+
+    The table tracks its own writes so the holistic engine can run
+    per-round fixed-point detection without copying the whole table:
+    :meth:`begin_round` resets the accounting, :meth:`round_delta`
+    mirrors the magnitude :meth:`max_abs_delta` would report against a
+    round-start snapshot (a first explicit write counts as its own
+    magnitude, matching the snapshot semantics), and
+    :meth:`drain_changed_keys` yields the keys whose *effective* value
+    (as seen through :meth:`get`) changed bit-wise — the worklist
+    engine's dirtiness signal.
     """
 
     def __init__(self, flows: Sequence[Flow]):
@@ -94,6 +127,8 @@ class JitterTable:
             f.name: link_resource(f.route[0], f.route[1]) for f in flows
         }
         self._table: dict[tuple[str, ResourceKey], tuple[float, ...]] = {}
+        self._round_delta = 0.0
+        self._changed: set[tuple[str, ResourceKey]] = set()
 
     def get(self, flow_name: str, resource: ResourceKey) -> tuple[float, ...]:
         """Per-frame jitters of a flow at a resource."""
@@ -115,7 +150,54 @@ class JitterTable:
                 f"flow {flow_name!r}: {len(jit)} jitters for "
                 f"{spec.n_frames} frames"
             )
-        self._table[(flow_name, resource)] = jit
+        key = (flow_name, resource)
+        old = self._table.get(key)
+        if old is None:
+            # First explicit write: the snapshot-based delta counts a
+            # newly-appearing entry as its own magnitude, but dirtiness
+            # is judged against the implicit default `get` returned.
+            delta = max((abs(x) for x in jit), default=0.0)
+            if jit != self.get(flow_name, resource):
+                self._changed.add(key)
+        else:
+            delta = 0.0
+            for x, y in zip(jit, old):
+                if math.isinf(x) and math.isinf(y):
+                    continue
+                delta = max(delta, abs(x - y))
+            if jit != old:
+                self._changed.add(key)
+        if delta > self._round_delta:
+            self._round_delta = delta
+        self._table[key] = jit
+
+    def begin_round(self) -> None:
+        """Reset per-round write accounting (holistic engine)."""
+        self._round_delta = 0.0
+        self._changed.clear()
+
+    def round_delta(self) -> float:
+        """Largest change any write made since :meth:`begin_round`."""
+        return self._round_delta
+
+    def drain_changed_keys(self) -> set[tuple[str, ResourceKey]]:
+        """Keys whose effective value changed since :meth:`begin_round`."""
+        changed = self._changed
+        self._changed = set()
+        return changed
+
+    def warm_start_from(self, other: "JitterTable") -> None:
+        """Seed entries from a converged table of a *subset* flow set.
+
+        Admission hot path: the admitted flows' converged jitters are a
+        sound starting point for the tentative (superset) analysis —
+        adding a flow only increases interference, so the old least
+        fixed point lies below the new one and the monotone iteration
+        started from it converges to the same result, in fewer rounds.
+        """
+        for (name, resource), jit in other._table.items():
+            if name in self._specs:
+                self._table[(name, resource)] = jit
 
     def extra(self, flow_name: str, resource: ResourceKey) -> float:
         """``extra_j(N, i)``: the largest per-frame jitter at the resource."""
@@ -163,6 +245,8 @@ class AnalysisContext:
         network: Network,
         flows: Sequence[Flow],
         options: AnalysisOptions | None = None,
+        *,
+        _shared_demand_cache: dict | None = None,
     ):
         from repro.model.routing import validate_route  # cycle-free import
 
@@ -174,8 +258,22 @@ class AnalysisContext:
         self.options = options or AnalysisOptions()
         self.jitters = JitterTable(self.flows)
         self._by_name = {f.name: f for f in self.flows}
-        self._demand_cache: dict[tuple[str, str, str], LinkDemand] = {}
+        # Maps flow name -> {(n1, n2) -> (flow object, LinkDemand)}.
+        # Keyed by name first so an admission release/rejection evicts a
+        # flow's profiles in O(1) instead of scanning the whole cache.
+        # The flow object is kept for an identity check: the cache may
+        # be structurally shared across contexts (admission hot path),
+        # and a released name could later be reused by a different flow.
+        self._demand_cache: dict[
+            str, dict[tuple[str, str], tuple[Flow, LinkDemand]]
+        ] = _shared_demand_cache if _shared_demand_cache is not None else {}
         self._link_flows_cache: dict[tuple[str, str], tuple[Flow, ...]] = {}
+        self._hep_cache: dict[tuple[str, str, str], tuple[Flow, ...]] = {}
+        # (flow name, resource) -> (jitter inputs, stage results); see
+        # AnalysisOptions.memoize_stages.  Never shared across contexts:
+        # the cached results embed the flow *set* (interferer demand
+        # tables), which with_flows changes.
+        self._stage_cache: dict[tuple[str, ResourceKey], tuple] = {}
 
     # ------------------------------------------------------------------
     # Flow / topology queries
@@ -197,18 +295,32 @@ class AnalysisContext:
 
     def hep(self, flow: Flow, n1: str, n2: str) -> tuple[Flow, ...]:
         """``hep(tau_i, N1, N2)`` (Eq. 2), excluding ``flow`` itself."""
-        return tuple(hep_flows(self.flows, flow, n1, n2))
+        key = (flow.name, n1, n2)
+        if key not in self._hep_cache:
+            self._hep_cache[key] = tuple(hep_flows(self.flows, flow, n1, n2))
+        return self._hep_cache[key]
 
     def demand(self, flow: Flow, n1: str, n2: str) -> LinkDemand:
         """Cached :class:`LinkDemand` of ``flow`` on ``link(n1, n2)``."""
-        key = (flow.name, n1, n2)
-        if key not in self._demand_cache:
-            self._demand_cache[key] = build_link_demand(
+        per_flow = self._demand_cache.get(flow.name)
+        if per_flow is None:
+            per_flow = self._demand_cache[flow.name] = {}
+        entry = per_flow.get((n1, n2))
+        if entry is None or entry[0] is not flow:
+            entry = (
                 flow,
-                self.network.linkspeed(n1, n2),
-                self.options.packetization,
+                build_link_demand(
+                    flow,
+                    self.network.linkspeed(n1, n2),
+                    self.options.packetization,
+                ),
             )
-        return self._demand_cache[key]
+            per_flow[(n1, n2)] = entry
+        return entry[1]
+
+    def evict_demands(self, flow_name: str) -> None:
+        """Drop a flow's cached demand profiles (admission release)."""
+        self._demand_cache.pop(flow_name, None)
 
     def circ(self, node: str) -> float:
         """``CIRC(N)`` of a switch node (round-robin configuration)."""
@@ -248,9 +360,27 @@ class AnalysisContext:
     # ------------------------------------------------------------------
     # Derived contexts
     # ------------------------------------------------------------------
-    def with_flows(self, flows: Sequence[Flow]) -> "AnalysisContext":
-        """A fresh context for a different flow set (admission control)."""
-        return AnalysisContext(self.network, flows, self.options)
+    def with_flows(
+        self, flows: Sequence[Flow], *, share_demand_cache: bool = False
+    ) -> "AnalysisContext":
+        """A fresh context for a different flow set (admission control).
+
+        The jitter table and flow-set-dependent caches are always fresh.
+        With ``share_demand_cache`` the per-(flow, link) demand profiles
+        — which depend only on the flow and the link, not on the flow
+        set — are structurally shared with this context, so an online
+        admission controller only builds profiles for the candidate
+        flow.  Entries are identity-checked against the flow object, so
+        a reused name can never serve a stale profile.
+        """
+        return AnalysisContext(
+            self.network,
+            flows,
+            self.options,
+            _shared_demand_cache=(
+                self._demand_cache if share_demand_cache else None
+            ),
+        )
 
     def with_options(self, options: AnalysisOptions) -> "AnalysisContext":
         """A fresh context (cleared caches) with different options."""

@@ -21,6 +21,13 @@ The analysis is a busy-period exploration:
 
 Applicability (Eq. 20): the sum of ``CSUM/TSUM`` over all flows on the
 link must be below 1, otherwise the busy period grows without bound.
+
+:func:`first_hop_stage` analyses **all frames of the flow in one call**:
+the interferer set, jitter shifts, batched
+:class:`~repro.core.demand.InterferenceSet` tables and acceleration
+certificates are built once per stage and reused across every frame's
+busy-period and queuing-time fixed points.  The per-frame
+:func:`first_hop_response_time` wrapper is kept for targeted tests.
 """
 
 from __future__ import annotations
@@ -28,9 +35,10 @@ from __future__ import annotations
 import math
 
 from repro.core.context import AnalysisContext, link_resource
+from repro.core.demand import InterferenceSet
 from repro.core.results import StageKind, StageResult, diverged_stage
 from repro.model.flow import Flow
-from repro.util.fixed_point import FixedPointDiverged, iterate_fixed_point
+from repro.util.fixed_point import LinearLowerBound, solve_cached
 
 
 def first_hop_utilization(ctx: AnalysisContext, n1: str, n2: str) -> float:
@@ -44,92 +52,137 @@ def first_hop_utilization(ctx: AnalysisContext, n1: str, n2: str) -> float:
     )
 
 
-def first_hop_response_time(
-    ctx: AnalysisContext, flow: Flow, frame: int
-) -> StageResult:
-    """``R_i^{k,link(S, succ(tau_i, S))}`` (Eq. 19) for ``frame`` = k.
+def first_hop_stage(ctx: AnalysisContext, flow: Flow) -> list[StageResult]:
+    """``R_i^{k,link(S, succ(tau_i, S))}`` (Eq. 19) for every frame ``k``.
 
-    Returns a diverged stage (response ``inf``) when Eq. 20 fails or the
+    Returns diverged stages (response ``inf``) when Eq. 20 fails or the
     fixed points exceed the context's divergence horizon.
     """
     src = flow.source
     dst = flow.succ(src)
     resource = link_resource(src, dst)
+    n = flow.spec.n_frames
 
     interferers = ctx.flows_on_link(src, dst)  # includes `flow` itself
     dem_i = ctx.demand(flow, src, dst)
-    c_k = dem_i.c[frame]
     tsum_i = dem_i.tsum
     horizon = ctx.horizon_for(flow)
 
     # Eq. 20 applicability check.
     if first_hop_utilization(ctx, src, dst) >= 1.0:
-        return diverged_stage(StageKind.FIRST_HOP, resource)
+        return [diverged_stage(StageKind.FIRST_HOP, resource)] * n
 
     extras = {j.name: ctx.extra(j, resource) for j in interferers}
     if any(math.isinf(e) for e in extras.values()):
         # An upstream divergence already propagated into a jitter.
-        return diverged_stage(StageKind.FIRST_HOP, resource)
+        return [diverged_stage(StageKind.FIRST_HOP, resource)] * n
 
-    demands = {j.name: ctx.demand(j, src, dst) for j in interferers}
     # Corrected mode uses the uncapped arrival-work bound; strict mode
     # keeps the printed Eq. 10/11 cap (see LinkDemand.mx_work).
     strict = ctx.options.strict_paper
+    all_set = InterferenceSet(
+        [ctx.demand(j, src, dst) for j in interferers],
+        [extras[j.name] for j in interferers],
+        strict=strict,
+    )
+    others = [j for j in interferers if j.name != flow.name]
+    others_set = InterferenceSet(
+        [ctx.demand(j, src, dst) for j in others],
+        [extras[j.name] for j in others],
+        strict=strict,
+    )
+    accelerate = ctx.options.accelerate_fixed_points
+    busy_accel = None
+    others_rate = others_intercept = 0.0
+    if accelerate:
+        busy_accel = LinearLowerBound(*all_set.mx_support())
+        others_rate, others_intercept = others_set.mx_support()
 
-    def mx_of(j_name: str, t: float) -> float:
-        dem = demands[j_name]
-        return dem.mx(t) if strict else dem.mx_work(t)
+    # Frames with equal C_i^k share the busy-period fixed point and all
+    # frames share the per-instance queuing fixed points (they depend
+    # only on the q*CSUM backlog), so both are memoized per stage call —
+    # the recomputation they replace is deterministic in those inputs.
+    busy_cache: dict[float, float | None] = {}
+    w_cache: dict[float, float | None] = {}
 
-    # Eq. 15: busy period = least fixed point of the total demand.
-    def busy_update(t: float) -> float:
-        return sum(mx_of(j.name, t + extras[j.name]) for j in interferers)
-
-    try:
-        busy = iterate_fixed_point(
-            busy_update,
+    def busy_for(c_k: float, what: str) -> float | None:
+        return solve_cached(
+            busy_cache,
+            c_k,
+            all_set.mx_sum,
             seed=c_k,
             horizon=horizon,
             max_iterations=ctx.options.max_fp_iterations,
-            what=f"first-hop busy period of {flow.name}[{frame}] on {src}->{dst}",
-        ).value
-    except FixedPointDiverged:
-        return diverged_stage(StageKind.FIRST_HOP, resource)
+            what=what,
+            accelerator=busy_accel,
+        )
 
-    # Number of instances of frame k within the busy period.
-    q_max = max(1, math.ceil(busy / tsum_i))
+    def w_for(own_backlog: float, what: str) -> float | None:
+        return solve_cached(
+            w_cache,
+            own_backlog,
+            lambda w: own_backlog + others_set.mx_sum(w),
+            seed=own_backlog,  # Eq. 16
+            horizon=horizon,
+            max_iterations=ctx.options.max_fp_iterations,
+            what=what,
+            accelerator=(
+                LinearLowerBound(others_rate, others_intercept + own_backlog)
+                if accelerate
+                else None
+            ),
+        )
 
-    others = [j for j in interferers if j.name != flow.name]
-    worst = 0.0
-    for q in range(q_max):
-        own_backlog = q * dem_i.csum  # Eq. 16/17 own-cycle term
+    results: list[StageResult] = []
+    for frame in range(n):
+        c_k = dem_i.c[frame]
 
-        def queue_update(w: float) -> float:
-            return own_backlog + sum(
-                mx_of(j.name, w + extras[j.name]) for j in others
+        # Eq. 15: busy period = least fixed point of the total demand.
+        busy = busy_for(
+            c_k,
+            f"first-hop busy period of {flow.name}[{frame}] on {src}->{dst}",
+        )
+        if busy is None:
+            results.append(diverged_stage(StageKind.FIRST_HOP, resource))
+            continue
+
+        # Number of instances of frame k within the busy period.
+        q_max = max(1, math.ceil(busy / tsum_i))
+
+        worst = 0.0
+        diverged = False
+        for q in range(q_max):
+            own_backlog = q * dem_i.csum  # Eq. 16/17 own-cycle term
+            w_q = w_for(
+                own_backlog,
+                f"first-hop w({q}) of {flow.name}[{frame}] on {src}->{dst}",
             )
+            if w_q is None:
+                diverged = True
+                break
+            # Eq. 18: response of the q-th instance.
+            worst = max(worst, w_q - q * tsum_i + c_k)
 
-        try:
-            w_q = iterate_fixed_point(
-                queue_update,
-                seed=own_backlog,  # Eq. 16
-                horizon=horizon,
-                max_iterations=ctx.options.max_fp_iterations,
-                what=(
-                    f"first-hop w({q}) of {flow.name}[{frame}] on {src}->{dst}"
-                ),
-            ).value
-        except FixedPointDiverged:
-            return diverged_stage(StageKind.FIRST_HOP, resource)
-        # Eq. 18: response of the q-th instance.
-        worst = max(worst, w_q - q * tsum_i + c_k)
+        if diverged:
+            results.append(diverged_stage(StageKind.FIRST_HOP, resource))
+            continue
 
-    # Eq. 19: add the link's propagation delay.
-    response = worst + ctx.network.prop(src, dst)
-    return StageResult(
-        kind=StageKind.FIRST_HOP,
-        resource=resource,
-        response=response,
-        busy_period=busy,
-        n_instances=q_max,
-        converged=True,
-    )
+        # Eq. 19: add the link's propagation delay.
+        results.append(
+            StageResult(
+                kind=StageKind.FIRST_HOP,
+                resource=resource,
+                response=worst + ctx.network.prop(src, dst),
+                busy_period=busy,
+                n_instances=q_max,
+                converged=True,
+            )
+        )
+    return results
+
+
+def first_hop_response_time(
+    ctx: AnalysisContext, flow: Flow, frame: int
+) -> StageResult:
+    """``R_i^{k,link(S, succ(tau_i, S))}`` (Eq. 19) for ``frame`` = k."""
+    return first_hop_stage(ctx, flow)[frame]

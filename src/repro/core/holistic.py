@@ -13,6 +13,34 @@ Responses are monotone non-decreasing in the interfering jitters, and
 jitters are accumulated responses, so the iteration is monotone: it
 either converges to the least fixed point or grows past the divergence
 horizon (unschedulable).
+
+Worklist engine
+---------------
+``analyze_flow`` is a deterministic function of the flow's spec and the
+jitters of its interferers at the resources along its route, so a flow
+whose inputs did not change since its last analysis would reproduce its
+previous result bit for bit — re-running it is pure waste.  The default
+engine therefore precomputes the *read set* of every flow (which
+``(flow, resource)`` jitter entries its first-hop / ingress / egress
+stages consult, via ``flows_on_link`` and ``hep``), inverts it into a
+readers map, and each round re-analyses only the flows whose read set
+intersects the entries that changed bit-wise in the previous round.
+
+Convergence is judged exactly like the full sweep: a round whose
+largest write-delta is within :data:`JITTER_TOLERANCE` is the fixed
+point (the :class:`~repro.core.context.JitterTable` tracks write deltas
+with the same semantics the snapshot comparison had, including counting
+a first explicit write as its own magnitude).  Because skipped flows
+would have reproduced their cached results exactly, the worklist
+trajectory — per-round table state, round count, final bounds — is
+bit-identical to the full sweep's; the equivalence tests assert this.
+``AnalysisOptions.incremental_holistic=False`` forces the full sweep.
+
+The per-stage memo (``AnalysisOptions.memoize_stages``, implemented in
+``core/pipeline.py``) composes with either engine: when a re-walked
+flow reaches a stage whose exact jitter inputs are unchanged, the
+cached :class:`~repro.core.results.StageResult` objects are replayed
+instead of re-running the stage's fixed points.
 """
 
 from __future__ import annotations
@@ -20,7 +48,12 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from repro.core.context import AnalysisContext, AnalysisOptions
+from repro.core.context import (
+    AnalysisContext,
+    AnalysisOptions,
+    ingress_resource,
+    link_resource,
+)
 from repro.core.pipeline import analyze_flow
 from repro.core.results import FlowResult, HolisticResult
 from repro.model.flow import Flow
@@ -49,6 +82,13 @@ def holistic_analysis(
         as the starting point — useful for incremental admission).
     """
     ctx = context or AnalysisContext(network, flows, options)
+    if ctx.options.incremental_holistic:
+        return _worklist_analysis(ctx)
+    return _full_sweep_analysis(ctx)
+
+
+def _full_sweep_analysis(ctx: AnalysisContext) -> HolisticResult:
+    """The plain Sec. 3.5 iteration: every flow, every round."""
     max_iter = ctx.options.holistic_max_iterations
 
     results: dict[str, FlowResult] = {}
@@ -70,6 +110,89 @@ def holistic_analysis(
     return HolisticResult(
         flow_results=results, iterations=iterations, converged=converged
     )
+
+
+def _worklist_analysis(ctx: AnalysisContext) -> HolisticResult:
+    """Dependency-aware worklist evaluation of the Sec. 3.5 iteration."""
+    max_iter = ctx.options.holistic_max_iterations
+
+    # Invert the read sets into a readers map once per analysis.  With
+    # jitter modelling disabled every read returns 0 and the map is
+    # empty: nothing ever gets dirty and the engine stops after the
+    # confirming round, like the sweep.
+    readers: dict[tuple, set[str]] = {}
+    if ctx.options.use_jitter:
+        for f in ctx.flows:
+            for key in _read_set(ctx, f):
+                readers.setdefault(key, set()).add(f.name)
+
+    # The sweep analyses flows in order, so within a round a flow sees
+    # the *current-round* writes of flows earlier in the order
+    # (Gauss-Seidel).  The worklist mirrors that exactly: a changed
+    # entry dirties readers still ahead in the current round
+    # immediately, and readers already passed for the next round.
+    order = {f.name: i for i, f in enumerate(ctx.flows)}
+    results: dict[str, FlowResult] = {}
+    pending: set[str] = {f.name for f in ctx.flows}
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        ctx.jitters.begin_round()
+        next_pending: set[str] = set()
+        for f in ctx.flows:  # sweep order preserved (Gauss-Seidel reads)
+            if f.name not in pending:
+                continue
+            results[f.name] = analyze_flow(ctx, f)
+            position = order[f.name]
+            for key in ctx.jitters.drain_changed_keys():
+                for reader in readers.get(key, ()):
+                    if order[reader] > position:
+                        pending.add(reader)
+                    else:
+                        next_pending.add(reader)
+        if _any_diverged(results):
+            return HolisticResult(
+                flow_results=results, iterations=iterations, converged=False
+            )
+        if ctx.jitters.round_delta() <= JITTER_TOLERANCE:
+            converged = True
+            break
+        pending = next_pending
+    return HolisticResult(
+        flow_results=results, iterations=iterations, converged=converged
+    )
+
+
+def _read_set(ctx: AnalysisContext, flow: Flow) -> set[tuple]:
+    """The jitter-table entries ``flow``'s Fig. 6 walk reads.
+
+    Mirrors the stage analyses: the first hop reads every flow sharing
+    the first link, each switch ingress reads every flow sharing the
+    incoming link, each egress reads the ``hep`` set on the outgoing
+    link.  The flow's *own* entries are excluded: the walk overwrites
+    them from its spec and the upstream responses before reading them,
+    so they are outputs, not inputs.
+    """
+    keys: set[tuple] = set()
+    route = flow.route
+    src = route[0]
+    first = link_resource(src, route[1])
+    for j in ctx.flows_on_link(src, route[1]):
+        if j.name != flow.name:
+            keys.add((j.name, first))
+    if len(route) > 2:
+        n1, n2 = src, route[1]
+        while n2 != flow.destination:
+            n3 = flow.succ(n2)
+            ingress = ingress_resource(n2)
+            for j in ctx.flows_on_link(n1, n2):
+                if j.name != flow.name:
+                    keys.add((j.name, ingress))
+            egress = link_resource(n2, n3)
+            for j in ctx.hep(flow, n2, n3):
+                keys.add((j.name, egress))
+            n1, n2 = n2, n3
+    return keys
 
 
 def _any_diverged(results: dict[str, FlowResult]) -> bool:

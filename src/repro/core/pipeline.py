@@ -28,10 +28,10 @@ from __future__ import annotations
 import math
 
 from repro.core.context import AnalysisContext, ingress_resource, link_resource
-from repro.core.first_hop import first_hop_response_time
+from repro.core.first_hop import first_hop_stage
 from repro.core.results import FlowResult, FrameResult, StageResult
-from repro.core.switch_egress import egress_response_time
-from repro.core.switch_ingress import ingress_response_time
+from repro.core.switch_egress import egress_stage
+from repro.core.switch_ingress import ingress_stage
 from repro.model.flow import Flow
 
 
@@ -41,6 +41,11 @@ def analyze_flow(ctx: AnalysisContext, flow: Flow) -> FlowResult:
     Other flows' jitters are read from the context's current jitter
     table (the holistic iteration of Sec. 3.5 refreshes them); this
     flow's own per-resource jitters are written as the walk progresses.
+
+    Each stage is analysed for all frames in one call (the interferer
+    tables are shared across the flow's frames; see the stage modules),
+    then frames whose accumulated jitter already diverged upstream are
+    masked to diverged stages.
     """
     spec = flow.spec
     n = spec.n_frames
@@ -49,33 +54,48 @@ def analyze_flow(ctx: AnalysisContext, flow: Flow) -> FlowResult:
     jsum = [float(j) for j in spec.jitters]
     stages: list[list[StageResult]] = [[] for _ in range(n)]
 
-    def record(resource, results: list[StageResult]) -> None:
-        """Advance RSUM/JSUM by a stage's responses for every frame."""
-        for k in range(n):
-            stages[k].append(results[k])
-            rsum[k] += results[k].response
-            jsum[k] += results[k].response
+    memoize = ctx.options.memoize_stages
 
-    def run_stage(resource, analyze) -> None:
-        """Set this flow's jitters at ``resource``, then analyse each frame.
+    def run_stage(resource, participants, stage) -> None:
+        """Set this flow's jitters at ``resource``, analyse all frames,
+        and advance RSUM/JSUM by the responses.
 
         Fig. 6 lines 8/13/17: the jitter at a resource is the JSUM
         accumulated *before* the resource.
+
+        ``participants`` are the flows whose jitters at ``resource`` the
+        stage analysis reads (its only inputs that vary over the
+        context's lifetime, besides this flow's own jitters).  With
+        ``memoize_stages`` the stage is replayed from cache whenever
+        those inputs are unchanged since its last run.
         """
         ctx.jitters.set(flow.name, resource, jsum)
-        results = []
+        if memoize:
+            inputs = (
+                tuple(jsum),
+                tuple(ctx.extra(j, resource) for j in participants),
+            )
+            key = (flow.name, resource)
+            hit = ctx._stage_cache.get(key)
+            if hit is not None and hit[0] == inputs:
+                results = hit[1]
+            else:
+                results = stage()
+                ctx._stage_cache[key] = (inputs, results)
+        else:
+            results = stage()
         for k in range(n):
-            if math.isinf(jsum[k]):
-                # An upstream stage diverged; short-circuit.
+            result = results[k]
+            if math.isinf(jsum[k]) and not math.isinf(result.response):
+                # An upstream stage diverged for this frame but the
+                # stage analysis (e.g. with jitter modelling disabled)
+                # did not see it; short-circuit the frame.
                 from repro.core.results import diverged_stage
 
-                kind = (
-                    _stage_kind_for(resource)
-                )
-                results.append(diverged_stage(kind, resource))
-            else:
-                results.append(analyze(k))
-        record(resource, results)
+                result = diverged_stage(_stage_kind_for(resource), resource)
+            stages[k].append(result)
+            rsum[k] += result.response
+            jsum[k] += result.response
 
     route = flow.route
     src = route[0]
@@ -84,7 +104,8 @@ def analyze_flow(ctx: AnalysisContext, flow: Flow) -> FlowResult:
         # Degenerate source->destination route: first hop only.
         run_stage(
             link_resource(src, route[1]),
-            lambda k: first_hop_response_time(ctx, flow, k),
+            ctx.flows_on_link(src, route[1]),
+            lambda: first_hop_stage(ctx, flow),
         )
     else:
         n1, n2 = src, route[1]
@@ -93,15 +114,18 @@ def analyze_flow(ctx: AnalysisContext, flow: Flow) -> FlowResult:
             if n1 == src:
                 run_stage(
                     link_resource(n1, n2),
-                    lambda k: first_hop_response_time(ctx, flow, k),
+                    ctx.flows_on_link(n1, n2),
+                    lambda: first_hop_stage(ctx, flow),
                 )
             run_stage(
                 ingress_resource(n2),
-                lambda k, _n=n2: ingress_response_time(ctx, flow, k, _n),
+                ctx.flows_on_link(n1, n2),
+                lambda _n=n2: ingress_stage(ctx, flow, _n),
             )
             run_stage(
                 link_resource(n2, n3),
-                lambda k, _n=n2: egress_response_time(ctx, flow, k, _n),
+                (*ctx.hep(flow, n2, n3), flow),
+                lambda _n=n2: egress_stage(ctx, flow, _n),
             )
             n1, n2 = n2, n3
 

@@ -22,6 +22,11 @@ frames pay no CIRC self-suspension; the default model charges
 ``NSUM_i * CIRC`` per previous cycle and ``nframes_i^k * CIRC`` for the
 analysed packet, because the egress task serves the flow's own frames
 one ``CIRC`` apart as well.  ``strict_paper`` restores the printed form.
+
+:func:`egress_stage` analyses all frames of the flow in one call with
+batched :class:`~repro.core.demand.InterferenceSet` queries and the
+safeguarded fixed-point acceleration (see ``util/fixed_point.py``); the
+per-frame :func:`egress_response_time` wrapper is kept for tests.
 """
 
 from __future__ import annotations
@@ -29,9 +34,14 @@ from __future__ import annotations
 import math
 
 from repro.core.context import AnalysisContext, link_resource
+from repro.core.demand import InterferenceSet
 from repro.core.results import StageKind, StageResult, diverged_stage
 from repro.model.flow import Flow
-from repro.util.fixed_point import FixedPointDiverged, iterate_fixed_point
+from repro.util.fixed_point import (
+    FixedPointDiverged,
+    LinearLowerBound,
+    iterate_fixed_point,
+)
 
 
 def egress_utilization(ctx: AnalysisContext, flow: Flow, node: str) -> float:
@@ -48,49 +58,57 @@ def egress_utilization(ctx: AnalysisContext, flow: Flow, node: str) -> float:
     return total
 
 
-def egress_response_time(
-    ctx: AnalysisContext, flow: Flow, frame: int, node: str
-) -> StageResult:
-    """``R_i^{k,link(N, succ(tau_i, N))}`` (Eq. 33) for switch ``node``."""
+def egress_stage(
+    ctx: AnalysisContext, flow: Flow, node: str
+) -> list[StageResult]:
+    """``R_i^{k,link(N, succ(tau_i, N))}`` (Eq. 33) for every frame."""
     nxt = flow.succ(node)
     resource = link_resource(node, nxt)
     # The egress task refilling this link belongs to the outgoing
     # interface; all hep frames on the link are served by it too.
     circ = ctx.circ_task(node, nxt)
     strict = ctx.options.strict_paper
+    n = flow.spec.n_frames
 
     dem_i = ctx.demand(flow, node, nxt)
     mft = dem_i.mft
     tsum_i = dem_i.tsum
-    c_k = dem_i.c[frame]
-    frames_k = dem_i.n_eth[frame]
     horizon = ctx.horizon_for(flow)
 
     if egress_utilization(ctx, flow, node) >= 1.0:
-        return diverged_stage(StageKind.EGRESS, resource)
+        return [diverged_stage(StageKind.EGRESS, resource)] * n
 
     hep = ctx.hep(flow, node, nxt)
     participants = (*hep, flow)  # busy period includes own demand
     extras = {j.name: ctx.extra(j, resource) for j in participants}
     if any(math.isinf(e) for e in extras.values()):
-        return diverged_stage(StageKind.EGRESS, resource)
+        return [diverged_stage(StageKind.EGRESS, resource)] * n
 
-    demands = {j.name: ctx.demand(j, node, nxt) for j in participants}
+    all_set = InterferenceSet(
+        [ctx.demand(j, node, nxt) for j in participants],
+        [extras[j.name] for j in participants],
+        strict=strict,
+    )
+    hep_set = InterferenceSet(
+        [ctx.demand(j, node, nxt) for j in hep],
+        [extras[j.name] for j in hep],
+        strict=strict,
+    )
+    accelerate = ctx.options.accelerate_fixed_points
+    busy_accel = None
+    hep_rate = hep_intercept = 0.0
+    if accelerate:
+        rate, intercept = all_set.mixed_support(circ)
+        busy_accel = LinearLowerBound(rate, intercept + mft)
+        hep_rate, hep_intercept = hep_set.mixed_support(circ)
 
-    def demand_of(j_name: str, t: float) -> float:
-        """One flow's MX + NX*CIRC contribution at horizon ``t``.
-
-        Corrected mode uses the uncapped arrival-work bound (see
-        LinkDemand.mx_work); strict mode keeps the printed Eq. 10 cap.
-        """
-        dem = demands[j_name]
-        shifted = t + extras[j_name]
-        mx = dem.mx(shifted) if strict else dem.mx_work(shifted)
-        return mx + dem.nx(shifted) * circ
-
-    # Eq. 29: level-i busy period, seeded with MFT (Eq. 28).
+    # Eq. 29: level-i busy period, seeded with MFT (Eq. 28).  Neither
+    # the busy period nor the per-instance queuing times depend on the
+    # analysed frame (the seed is MFT and the backlog is q cycles of
+    # own demand), so they are computed once per stage; only the
+    # completion term (Eq. 32) is per-frame.
     def busy_update(t: float) -> float:
-        return mft + sum(demand_of(j.name, t) for j in participants)
+        return mft + all_set.mixed_sum(t, circ)
 
     try:
         busy = iterate_fixed_point(
@@ -98,49 +116,67 @@ def egress_response_time(
             seed=mft,
             horizon=horizon,
             max_iterations=ctx.options.max_fp_iterations,
-            what=f"egress busy period of {flow.name}[{frame}] on {node}->{nxt}",
+            what=f"egress busy period of {flow.name} on {node}->{nxt}",
+            accelerator=busy_accel,
         ).value
     except FixedPointDiverged:
-        return diverged_stage(StageKind.EGRESS, resource)
+        return [diverged_stage(StageKind.EGRESS, resource)] * n
 
     q_max = max(1, math.ceil(busy / tsum_i))
 
-    worst = 0.0
+    # max over q of (w(q) - q*TSUM_i); per-frame completion added below.
+    base = -math.inf
     for q in range(q_max):
         if strict:
             own_backlog = q * dem_i.csum  # Eq. 30/31 as printed
-            completion = c_k  # Eq. 32
         else:
             own_backlog = q * (dem_i.csum + dem_i.nsum * circ)
-            completion = c_k + frames_k * circ
 
         def queue_update(w: float) -> float:
-            return (
-                mft
-                + own_backlog
-                + sum(demand_of(j.name, w) for j in hep)
-            )
+            return mft + own_backlog + hep_set.mixed_sum(w, circ)
 
+        accel = (
+            LinearLowerBound(hep_rate, hep_intercept + mft + own_backlog)
+            if accelerate
+            else None
+        )
         try:
             w_q = iterate_fixed_point(
                 queue_update,
                 seed=mft + own_backlog,  # Eq. 30
                 horizon=horizon,
                 max_iterations=ctx.options.max_fp_iterations,
-                what=f"egress w({q}) of {flow.name}[{frame}] on {node}->{nxt}",
+                what=f"egress w({q}) of {flow.name} on {node}->{nxt}",
+                accelerator=accel,
             ).value
         except FixedPointDiverged:
-            return diverged_stage(StageKind.EGRESS, resource)
-        # Eq. 32: completion of the q-th instance.
-        worst = max(worst, w_q - q * tsum_i + completion)
+            return [diverged_stage(StageKind.EGRESS, resource)] * n
+        base = max(base, w_q - q * tsum_i)
 
-    # Eq. 33: add the link's propagation delay.
-    response = worst + ctx.network.prop(node, nxt)
-    return StageResult(
-        kind=StageKind.EGRESS,
-        resource=resource,
-        response=response,
-        busy_period=busy,
-        n_instances=q_max,
-        converged=True,
-    )
+    prop = ctx.network.prop(node, nxt)
+    results: list[StageResult] = []
+    for frame in range(n):
+        if strict:
+            completion = dem_i.c[frame]  # Eq. 32
+        else:
+            completion = dem_i.c[frame] + dem_i.n_eth[frame] * circ
+        # Eq. 32 max over q, then Eq. 33 propagation delay.
+        worst = max(0.0, base + completion)
+        results.append(
+            StageResult(
+                kind=StageKind.EGRESS,
+                resource=resource,
+                response=worst + prop,
+                busy_period=busy,
+                n_instances=q_max,
+                converged=True,
+            )
+        )
+    return results
+
+
+def egress_response_time(
+    ctx: AnalysisContext, flow: Flow, frame: int, node: str
+) -> StageResult:
+    """``R_i^{k,link(N, succ(tau_i, N))}`` (Eq. 33) for one frame."""
+    return egress_stage(ctx, flow, node)[frame]

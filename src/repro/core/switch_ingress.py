@@ -20,6 +20,11 @@ when every UDP packet is one Ethernet frame.  The default model accounts
 for all ``NSUM_i`` Ethernet frames of the flow's previous cycles and all
 ``nframes_i^k`` Ethernet frames of the analysed packet;
 ``AnalysisOptions.strict_paper`` restores the printed terms.
+
+:func:`ingress_stage` analyses all frames of the flow in one call with
+batched :class:`~repro.core.demand.InterferenceSet` queries and the
+safeguarded fixed-point acceleration (see ``util/fixed_point.py``); the
+per-frame :func:`ingress_response_time` wrapper is kept for tests.
 """
 
 from __future__ import annotations
@@ -27,9 +32,10 @@ from __future__ import annotations
 import math
 
 from repro.core.context import AnalysisContext, ingress_resource
+from repro.core.demand import InterferenceSet
 from repro.core.results import StageKind, StageResult, diverged_stage
 from repro.model.flow import Flow
-from repro.util.fixed_point import FixedPointDiverged, iterate_fixed_point
+from repro.util.fixed_point import LinearLowerBound, solve_cached
 
 
 def ingress_utilization(ctx: AnalysisContext, node: str, prev: str) -> float:
@@ -48,12 +54,12 @@ def ingress_utilization(ctx: AnalysisContext, node: str, prev: str) -> float:
     return total
 
 
-def ingress_response_time(
-    ctx: AnalysisContext, flow: Flow, frame: int, node: str
-) -> StageResult:
-    """``R_i^{k,in(N)}`` (Eq. 26): from all Ethernet frames of frame ``k``
-    received at switch ``node`` until all are enqueued in the priority
-    queue of the outgoing interface."""
+def ingress_stage(
+    ctx: AnalysisContext, flow: Flow, node: str
+) -> list[StageResult]:
+    """``R_i^{k,in(N)}`` (Eq. 26) for every frame ``k``: from all
+    Ethernet frames of the frame received at switch ``node`` until all
+    are enqueued in the priority queue of the outgoing interface."""
     prev = flow.prec(node)
     resource = ingress_resource(node)
     # The ingress task serving this flow belongs to the incoming
@@ -61,75 +67,128 @@ def ingress_response_time(
     # the per-interface stride bound under weighted tickets.
     circ = ctx.circ_task(node, prev)
     strict = ctx.options.strict_paper
+    n = flow.spec.n_frames
 
     interferers = ctx.flows_on_link(prev, node)  # includes `flow`
     dem_i = ctx.demand(flow, prev, node)
     tsum_i = dem_i.tsum
-    frames_k = dem_i.n_eth[frame]  # Ethernet frames of the analysed packet
     horizon = ctx.horizon_for(flow)
 
     if ingress_utilization(ctx, node, prev) >= 1.0:
-        return diverged_stage(StageKind.INGRESS, resource)
+        return [diverged_stage(StageKind.INGRESS, resource)] * n
 
     extras = {j.name: ctx.extra(j, resource) for j in interferers}
     if any(math.isinf(e) for e in extras.values()):
-        return diverged_stage(StageKind.INGRESS, resource)
+        return [diverged_stage(StageKind.INGRESS, resource)] * n
 
-    demands = {j.name: ctx.demand(j, prev, node) for j in interferers}
+    all_set = InterferenceSet(
+        [ctx.demand(j, prev, node) for j in interferers],
+        [extras[j.name] for j in interferers],
+        strict=strict,
+    )
+    others = [j for j in interferers if j.name != flow.name]
+    others_set = InterferenceSet(
+        [ctx.demand(j, prev, node) for j in others],
+        [extras[j.name] for j in others],
+        strict=strict,
+    )
+    accelerate = ctx.options.accelerate_fixed_points
+    busy_accel = None
+    others_rate = others_intercept = 0.0
+    if accelerate:
+        busy_accel = LinearLowerBound(*all_set.nx_support(circ))
+        others_rate, others_intercept = others_set.nx_support(circ)
 
     # Eq. 22: busy period counted in CIRC-weighted Ethernet frames.
     def busy_update(t: float) -> float:
-        return circ * sum(
-            demands[j.name].nx(t + extras[j.name]) for j in interferers
-        )
+        return circ * all_set.nx_sum(t)
 
-    seed = circ if strict else frames_k * circ
-    try:
-        busy = iterate_fixed_point(
+    # Both fixed points depend on the frame only through their seed /
+    # backlog value, so they are memoized on it per stage call (frames
+    # with equal Ethernet-frame counts share them).
+    busy_cache: dict[float, float | None] = {}
+    w_cache: dict[float, float | None] = {}
+
+    def busy_for(seed: float, what: str) -> float | None:
+        return solve_cached(
+            busy_cache,
+            seed,
             busy_update,
             seed=seed,
             horizon=horizon,
             max_iterations=ctx.options.max_fp_iterations,
-            what=f"ingress busy period of {flow.name}[{frame}] at {node}",
-        ).value
-    except FixedPointDiverged:
-        return diverged_stage(StageKind.INGRESS, resource)
+            what=what,
+            accelerator=busy_accel,
+        )
 
-    q_max = max(1, math.ceil(busy / tsum_i))  # Eq. 27
+    def w_for(own_backlog: float, what: str) -> float | None:
+        return solve_cached(
+            w_cache,
+            own_backlog,
+            lambda w: own_backlog + circ * others_set.nx_sum(w),
+            seed=own_backlog,
+            horizon=horizon,
+            max_iterations=ctx.options.max_fp_iterations,
+            what=what,
+            accelerator=(
+                LinearLowerBound(others_rate, others_intercept + own_backlog)
+                if accelerate
+                else None
+            ),
+        )
 
-    others = [j for j in interferers if j.name != flow.name]
-    worst = 0.0
-    for q in range(q_max):
-        if strict:
-            own_backlog = q * circ  # Eq. 23/24 as printed
-        else:
-            # q previous cycles = q*NSUM_i frames, plus the analysed
-            # packet's own frames except the last (finished by +CIRC below).
-            own_backlog = (q * dem_i.nsum + frames_k - 1) * circ
+    results: list[StageResult] = []
+    for frame in range(n):
+        frames_k = dem_i.n_eth[frame]  # Ethernet frames of the packet
+        seed = circ if strict else frames_k * circ
+        busy = busy_for(
+            seed, f"ingress busy period of {flow.name}[{frame}] at {node}"
+        )
+        if busy is None:
+            results.append(diverged_stage(StageKind.INGRESS, resource))
+            continue
 
-        def queue_update(w: float) -> float:
-            return own_backlog + circ * sum(
-                demands[j.name].nx(w + extras[j.name]) for j in others
+        q_max = max(1, math.ceil(busy / tsum_i))  # Eq. 27
+
+        worst = 0.0
+        diverged = False
+        for q in range(q_max):
+            if strict:
+                own_backlog = q * circ  # Eq. 23/24 as printed
+            else:
+                # q previous cycles = q*NSUM_i frames, plus the analysed
+                # packet's own frames except the last (finished by the
+                # +CIRC below).
+                own_backlog = (q * dem_i.nsum + frames_k - 1) * circ
+            w_q = w_for(
+                own_backlog,
+                f"ingress w({q}) of {flow.name}[{frame}] at {node}",
             )
+            if w_q is None:
+                diverged = True
+                break
+            # Eq. 25: the final CIRC services the last Ethernet frame.
+            worst = max(worst, w_q - q * tsum_i + circ)
 
-        try:
-            w_q = iterate_fixed_point(
-                queue_update,
-                seed=own_backlog,
-                horizon=horizon,
-                max_iterations=ctx.options.max_fp_iterations,
-                what=f"ingress w({q}) of {flow.name}[{frame}] at {node}",
-            ).value
-        except FixedPointDiverged:
-            return diverged_stage(StageKind.INGRESS, resource)
-        # Eq. 25: the final CIRC services the packet's last Ethernet frame.
-        worst = max(worst, w_q - q * tsum_i + circ)
+        if diverged:
+            results.append(diverged_stage(StageKind.INGRESS, resource))
+            continue
 
-    return StageResult(
-        kind=StageKind.INGRESS,
-        resource=resource,
-        response=worst,
-        busy_period=busy,
-        n_instances=q_max,
-        converged=True,
-    )
+        results.append(
+            StageResult(
+                kind=StageKind.INGRESS,
+                resource=resource,
+                response=worst,
+                busy_period=busy,
+                n_instances=q_max,
+                converged=True,
+            )
+        )
+    return results
+
+
+def ingress_response_time(
+    ctx: AnalysisContext, flow: Flow, frame: int, node: str
+) -> StageResult:
+    """``R_i^{k,in(N)}`` (Eq. 26) for a single frame ``k``."""
+    return ingress_stage(ctx, flow, node)[frame]

@@ -6,10 +6,44 @@ monotone non-decreasing ``f`` started from a lower bound, stopped at the
 first ``x_{v+1} == x_v``.  This module centralises convergence detection,
 divergence cut-offs and iteration accounting so the analysis modules stay
 equation-shaped.
+
+Accelerated mode
+----------------
+Plain Picard iteration climbs the demand staircase one plateau at a
+time, which near utilisation 1 means thousands of tiny steps.  The
+recurrences here admit a *safeguarded* certified-floor acceleration
+that keeps the result exact:
+
+* The caller certifies an affine lower support ``f(t) >= rate*t +
+  intercept`` for all ``t >= 0`` (a :class:`LinearLowerBound`).  For the
+  paper's recurrences this is immediate: every ``MX``/``NX`` demand term
+  is bounded below by its long-run rate (Eqs. 4-6), so ``rate`` is the
+  summed utilisation of the interferer set and ``intercept`` collects
+  the constant terms and jitter shifts.  No fixed point can lie below
+  ``intercept / (1 - rate)`` — starting the iteration at that *floor*
+  is sound and cannot overshoot the least fixed point, so the
+  accelerated iteration converges to *the same* fixed point as plain
+  Picard (the holistic engine relies on this for bit-identical
+  results), skipping the entire staircase climb below the floor.
+  Secant / Anderson(1) extrapolation *above* the floor was evaluated
+  and rejected: the staircases cross the diagonal more than once
+  (exactly why the analyses examine several instances ``q``), and
+  above the certified floor there is no sound clamp that stops an
+  extrapolated step from jumping past the least fixed point.
+* The floor is defended twice against certificate rounding: its shave
+  scales with the ``1/(1-rate)`` error amplification (collapsing to a
+  vacuous floor as ``rate`` approaches 1), and the first evaluation
+  after a floor jump must not decrease — below the least fixed point a
+  monotone ``f`` satisfies ``f(t) > t`` strictly, so any decrease
+  proves an overshoot and the iteration restarts as plain Picard.
+* ``rate >= 1`` with a positive intercept certifies ``f(t) > t``
+  everywhere: the iteration cannot converge and is declared divergent
+  immediately instead of crawling to the horizon.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable
 
@@ -39,12 +73,88 @@ class FixedPointResult:
     value:
         The fixed point ``x`` with ``f(x) == x``.
     iterations:
-        Number of applications of ``f`` performed (0 when the seed was
-        already a fixed point).
+        Number of applications of ``f`` that advanced the iterate (0
+        when the seed was already a fixed point; the final confirming
+        application that reproduces its input exactly is not counted).
     """
 
     value: float
     iterations: int
+
+
+@dataclass(frozen=True)
+class LinearLowerBound:
+    """Certificate ``f(t) >= rate*t + intercept`` for all ``t >= 0``.
+
+    Produced by the stage analyses from the interferer set's long-run
+    demand rates; consumed by :func:`iterate_fixed_point` to bound the
+    region that provably contains no fixed point (see module docstring).
+    """
+
+    rate: float
+    intercept: float
+
+    @property
+    def floor(self) -> float:
+        """Largest value certified to be <= the least fixed point.
+
+        ``rate*t + intercept > t`` for every ``t`` below
+        ``intercept / (1 - rate)``, so no fixed point exists there.
+        Returns ``inf`` when ``rate >= 1`` and the intercept is positive
+        (no fixed point exists at all) and ``0.0`` when the certificate
+        is vacuous.
+        """
+        if self.intercept <= 0.0:
+            return 0.0
+        if self.rate >= 1.0:
+            return math.inf
+        # Shaved so that float rounding in the certificate (a summed
+        # rate a few ulps above the staircase's true long-run slope)
+        # cannot push the floor past the true least fixed point.  The
+        # rounding error is amplified by 1/(1-rate), so the margin must
+        # scale the same way; near rate 1 it reaches 1 and the floor
+        # collapses to 0 (plain Picard — sound, just unaccelerated).
+        slack = 1.0 - self.rate
+        margin = min(1.0, 1e-10 / slack)
+        return (self.intercept / slack) * (1.0 - margin)
+
+
+def solve_cached(
+    cache: dict,
+    key: float,
+    f: Callable[[float], float],
+    *,
+    seed: float,
+    horizon: float = float("inf"),
+    max_iterations: int = 0,
+    what: str = "fixed point",
+    accelerator: LinearLowerBound | None = None,
+) -> float | None:
+    """Memoized least-fixed-point solve; ``None`` records divergence.
+
+    The stage analyses solve the same recurrence for many frames or
+    instances that differ only in a seed/backlog value; this helper
+    centralises the cache-or-solve pattern (and its divergence-as-None
+    convention) they all share.  ``max_iterations <= 0`` means the
+    module default.
+    """
+    if key not in cache:
+        try:
+            cache[key] = iterate_fixed_point(
+                f,
+                seed=seed,
+                horizon=horizon,
+                max_iterations=(
+                    max_iterations
+                    if max_iterations > 0
+                    else DEFAULT_MAX_ITERATIONS
+                ),
+                what=what,
+                accelerator=accelerator,
+            ).value
+        except FixedPointDiverged:
+            cache[key] = None
+    return cache[key]
 
 
 #: Default cap on the number of iterations before declaring divergence.
@@ -64,6 +174,7 @@ def iterate_fixed_point(
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     rel_tol: float = DEFAULT_REL_TOL,
     what: str = "fixed point",
+    accelerator: LinearLowerBound | None = None,
 ) -> FixedPointResult:
     """Iterate ``x <- f(x)`` from ``seed`` until convergence.
 
@@ -84,18 +195,61 @@ def iterate_fixed_point(
         Relative tolerance for convergence.
     what:
         Human-readable description used in error messages.
+    accelerator:
+        Optional :class:`LinearLowerBound` certificate enabling the
+        certified-floor acceleration (see module docstring).  The
+        result is exactly the least fixed point Picard would reach.
 
     Raises
     ------
     FixedPointDiverged
-        If the iteration exceeds ``horizon`` or ``max_iterations``.
+        If the iteration exceeds ``horizon`` or ``max_iterations``, or
+        the certificate proves no fixed point exists.
     ValueError
         If ``f`` ever decreases the iterate, which indicates a programming
         error in the caller (the paper's recurrences are monotone).
     """
     x = float(seed)
+    floor = 0.0
+    if accelerator is not None:
+        floor = accelerator.floor
+        if math.isinf(floor):
+            # rate >= 1 with positive intercept: f(t) > t everywhere.
+            raise FixedPointDiverged(
+                f"{what}: certified divergent "
+                f"(demand rate {accelerator.rate!r} >= 1)",
+                last_value=x,
+                iterations=0,
+            )
+        if floor > horizon:
+            raise FixedPointDiverged(
+                f"{what}: certified floor {floor!r} exceeds horizon "
+                f"{horizon!r}",
+                last_value=floor,
+                iterations=0,
+            )
+        if floor > x:
+            # Start directly at the certified floor: no fixed point
+            # lies below it, so this is still a lower bound on the
+            # least fixed point and the monotone iteration converges to
+            # the same value, skipping the staircase climb below it.
+            x = floor
+    jumped = x == floor and floor > 0.0
     for iteration in range(max_iterations):
         nxt = float(f(x))
+        if jumped and iteration == 0 and nxt < x:
+            # Below the least fixed point a monotone f satisfies
+            # f(t) > t strictly, so any decrease at the floor proves
+            # the certificate's rounding overshot it.  Restart as plain
+            # Picard from the original seed (sound, merely slower).
+            return iterate_fixed_point(
+                f,
+                seed,
+                horizon=horizon,
+                max_iterations=max_iterations,
+                rel_tol=rel_tol,
+                what=what,
+            )
         if nxt < x and (x - nxt) > rel_tol * max(1.0, abs(x)):
             raise ValueError(
                 f"{what}: update decreased from {x!r} to {nxt!r}; "
@@ -108,7 +262,10 @@ def iterate_fixed_point(
                 iterations=iteration + 1,
             )
         if abs(nxt - x) <= rel_tol * max(1.0, abs(x), abs(nxt)):
-            return FixedPointResult(value=nxt, iterations=iteration + 1)
+            # The final application only confirmed the fixed point when
+            # it reproduced its input exactly (seed-was-fixed contract).
+            advanced = iteration + (0 if nxt == x else 1)
+            return FixedPointResult(value=nxt, iterations=advanced)
         x = nxt
     raise FixedPointDiverged(
         f"{what}: no convergence after {max_iterations} iterations "

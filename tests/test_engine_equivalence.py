@@ -1,0 +1,185 @@
+"""Engine equivalence: the fast paths must not move a single bit.
+
+The performance work layers four optimisations over the seed engine —
+the safeguarded accelerated fixed-point solver
+(``AnalysisOptions.accelerate_fixed_points``), the dependency-aware
+holistic worklist (``AnalysisOptions.incremental_holistic``), the
+per-stage input memo (``AnalysisOptions.memoize_stages``), and the
+admission hot path (shared demand cache + warm-started jitter table).
+All four are *exactness-preserving* by construction: the safeguard
+clamps every accelerated iterate to a certified lower bound of the
+least fixed point, the worklist skips only flows that would reproduce
+their cached result bit for bit, the memo replays a stage only when
+its exact jitter inputs are unchanged, and warm starts seed the
+monotone holistic iteration from a sound lower bound of the new fixed
+point.
+
+These tests are the executable form of that claim: across random flow
+sets (seeded ``random_flow_set`` sweeps, the property-test recipe used
+throughout this suite) on line / star / tree topologies, every engine
+combination must return response-time bounds **bit-identical** (``==``
+on floats, no tolerance) to the plain full-sweep Picard engine, and an
+online admission controller must make the same accept/reject decisions
+with the same final bounds as a cold-start seed-engine controller.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.admission import AdmissionController
+from repro.core.context import AnalysisOptions
+from repro.core.holistic import holistic_analysis
+from repro.util.units import mbps
+from repro.workloads.generator import random_flow_set
+from repro.workloads.topologies import line_network, star_network, tree_network
+
+#: The seed implementation: plain Picard busy periods, full-sweep
+#: holistic, every stage analysis recomputed every round.
+SEED_ENGINE = AnalysisOptions(
+    accelerate_fixed_points=False,
+    incremental_holistic=False,
+    memoize_stages=False,
+)
+
+#: Each fast path alone on top of the seed, and the production default
+#: (everything on).
+FAST_ENGINES = {
+    "accelerated": replace(SEED_ENGINE, accelerate_fixed_points=True),
+    "worklist": replace(SEED_ENGINE, incremental_holistic=True),
+    "memoized": replace(SEED_ENGINE, memoize_stages=True),
+    "all": AnalysisOptions(),
+}
+
+
+def _topology(name):
+    if name == "line3":
+        return line_network(3, hosts_per_switch=3, speed_bps=mbps(1000))
+    if name == "star6":
+        return star_network(6, speed_bps=mbps(100))
+    if name == "tree2":
+        return tree_network(
+            2, fanout=2, hosts_per_leaf=2, speed_bps=mbps(1000)
+        )
+    raise ValueError(name)
+
+
+def assert_bit_identical(a, b):
+    """Two :class:`HolisticResult` objects agree bit for bit."""
+    assert a.converged == b.converged
+    assert a.iterations == b.iterations
+    assert set(a.flow_results) == set(b.flow_results)
+    for name in a.flow_results:
+        fa = a.flow_results[name]
+        fb = b.flow_results[name]
+        assert len(fa.frames) == len(fb.frames)
+        for frame_a, frame_b in zip(fa.frames, fb.frames):
+            assert frame_a.response == frame_b.response, (
+                f"{name} frame {frame_a.frame}: "
+                f"{frame_a.response!r} != {frame_b.response!r}"
+            )
+            assert frame_a.deadline == frame_b.deadline
+            assert len(frame_a.stages) == len(frame_b.stages)
+            for sa, sb in zip(frame_a.stages, frame_b.stages):
+                assert sa.resource == sb.resource
+                assert sa.response == sb.response, (
+                    f"{name} frame {frame_a.frame} stage {sa.resource}: "
+                    f"{sa.response!r} != {sb.response!r}"
+                )
+
+
+@pytest.mark.parametrize("engine", sorted(FAST_ENGINES))
+@pytest.mark.parametrize("topology", ["line3", "star6", "tree2"])
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("utilization", [0.3, 0.85])
+def test_fast_engine_matches_seed_engine(engine, topology, seed, utilization):
+    """Property sweep: every fast engine == plain full-sweep Picard."""
+    net = _topology(topology)
+    flows = random_flow_set(
+        net, n_flows=10, total_utilization=utilization, seed=seed
+    )
+    reference = holistic_analysis(net, flows, SEED_ENGINE)
+    fast = holistic_analysis(net, flows, FAST_ENGINES[engine])
+    assert_bit_identical(fast, reference)
+
+
+@pytest.mark.parametrize("utilization", [0.5, 1.6])
+@pytest.mark.parametrize("seed", [11, 23])
+def test_admission_decisions_match_seed_engine(seed, utilization):
+    """The hot-path controller and a cold seed-engine controller agree.
+
+    The fast controller uses the production defaults: accelerated
+    solver, worklist engine, shared demand cache, warm-started jitter
+    tables.  The reference rebuilds everything from scratch per request
+    with the seed engine.  Decisions, final admitted sets and all
+    *converged* response bounds must coincide.  Exemptions: round
+    counts may differ (warm starts converge in fewer holistic rounds),
+    and when a tentative analysis *diverges* the reported bounds are a
+    partial trajectory (the engines stop mid-climb), which a warm start
+    legitimately shifts — both controllers must still agree that the
+    set diverged and reject.
+    """
+    net = line_network(3, hosts_per_switch=4, speed_bps=mbps(1000))
+    flows = random_flow_set(
+        net, n_flows=16, total_utilization=utilization, seed=seed
+    )
+    fast = AdmissionController(net, FAST_ENGINES["all"])
+    cold = AdmissionController(net, SEED_ENGINE, warm_start=False)
+
+    accepted = 0
+    for flow in flows:
+        df = fast.request(flow)
+        dc = cold.request(flow)
+        assert df.accepted == dc.accepted, (
+            f"{flow.name}: fast={df.reason!r} cold={dc.reason!r}"
+        )
+        accepted += df.accepted
+        assert (df.analysis is None) == (dc.analysis is None)
+        if df.analysis is not None:
+            assert df.analysis.converged == dc.analysis.converged
+            if not df.analysis.converged:
+                continue
+            for name, result in df.analysis.flow_results.items():
+                ref = dc.analysis.flow_results[name]
+                for frame_a, frame_b in zip(result.frames, ref.frames):
+                    assert frame_a.response == frame_b.response, (
+                        f"{name} frame {frame_a.frame}: "
+                        f"{frame_a.response!r} != {frame_b.response!r}"
+                    )
+    assert [f.name for f in fast.admitted_flows] == [
+        f.name for f in cold.admitted_flows
+    ]
+    if utilization > 1.0:
+        # The overload sweep must actually exercise the rejection paths.
+        assert accepted < len(flows)
+
+
+@pytest.mark.parametrize("seed", [5])
+def test_release_then_readmit_matches_from_scratch(seed):
+    """Churn equivalence: release + re-admit == analysing the final set.
+
+    After admitting N flows, releasing one and re-admitting it, the
+    controller's cached state (shared demand profiles, warm-started
+    jitters) must yield exactly the bounds a from-scratch seed-engine
+    analysis of the same final flow set produces.
+    """
+    net = line_network(3, hosts_per_switch=4, speed_bps=mbps(1000))
+    flows = random_flow_set(
+        net, n_flows=8, total_utilization=0.3, seed=seed
+    )
+    ctrl = AdmissionController(net)
+    admitted = [flow for flow in flows if ctrl.request(flow).accepted]
+    assert len(admitted) >= 3  # enough survivors to make churn meaningful
+    churner = admitted[len(admitted) // 2]
+    ctrl.release(churner.name)
+    assert ctrl.request(churner).accepted
+
+    names = [f.name for f in ctrl.admitted_flows]
+    final_set = [next(f for f in flows if f.name == n) for n in names]
+    reference = holistic_analysis(net, final_set, SEED_ENGINE)
+    analysis = ctrl.last_analysis
+    assert analysis.converged and reference.converged
+    for name, result in reference.flow_results.items():
+        got = analysis.flow_results[name]
+        for frame_a, frame_b in zip(got.frames, result.frames):
+            assert frame_a.response == frame_b.response

@@ -1,0 +1,49 @@
+"""Campaign-runner benchmarks: parallel speedup over a scenario grid.
+
+The :class:`~repro.scenario.campaign.CampaignRunner` is the engine
+behind every sweep experiment and the ``repro.cli campaign``
+subcommand, so its scaling is tracked in ``BENCH_scaling.json`` next to
+the analysis/admission hot paths.  The parametrisation pins one
+16-scenario ``random-line`` grid and runs it at 1 and 4 workers —
+the pair of entries *is* the recorded parallel-speedup measurement
+(``test_campaign_grid[1]`` / ``test_campaign_grid[4]``): their mean
+ratio approaches the worker count on multi-core hosts and ~1x (plus
+pool overhead) on single-core CI boxes.
+
+Worker results are asserted bit-identical to the serial run on every
+round: the speedup must never come at the cost of determinism.
+"""
+
+import pytest
+
+from repro.scenario import CampaignRunner, campaign_digest, scenario_grid
+
+#: One deterministic 16-scenario grid shared by every job count.
+GRID_AXES = dict(seed=tuple(range(16)), n_flows=4, utilization=0.45)
+
+
+def _specs():
+    return scenario_grid("random-line", **GRID_AXES)
+
+
+@pytest.fixture(scope="module")
+def serial_digest():
+    results = CampaignRunner(jobs=1, actions=("analyze",)).run(_specs())
+    return campaign_digest(results)
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_campaign_grid(benchmark, jobs, serial_digest):
+    """Analyze a 16-scenario grid end to end at the given job count."""
+    runner = CampaignRunner(jobs=jobs, actions=("analyze",))
+    results = benchmark(lambda: runner.run(_specs()))
+    assert len(results) == 16
+    assert campaign_digest(results) == serial_digest
+
+
+def test_campaign_admit_churn(benchmark):
+    """Admission churn storyline throughput (single worker)."""
+    runner = CampaignRunner(jobs=1, actions=("admit",))
+    specs = scenario_grid("voip-churn", seed=tuple(range(4)), n_calls=8)
+    results = benchmark(lambda: runner.run(specs))
+    assert all(r.payload["offered"] == 8 for r in results)

@@ -37,6 +37,7 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_scaling.json"
 BENCH_FILES = (
     "benchmarks/bench_scaling.py",
     "benchmarks/bench_admission.py",
+    "benchmarks/bench_campaign.py",
 )
 
 
@@ -132,8 +133,14 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--label",
-        required=True,
-        help="name of this run in the trajectory (e.g. 'seed', 'pr2')",
+        help="name of this run in the trajectory (e.g. 'seed', 'pr2'); "
+        "required unless --dry-run",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="validate the bench harness (one fast round per benchmark) "
+        "without writing the trajectory file — CI smoke mode",
     )
     parser.add_argument(
         "--output",
@@ -153,6 +160,22 @@ def main(argv: list[str] | None = None) -> None:
     )
     args = parser.parse_args(argv)
 
+    if args.dry_run:
+        results = run_benchmarks(
+            [
+                "--benchmark-min-rounds=1",
+                "--benchmark-max-time=0.01",
+                "--benchmark-warmup=off",
+                *args.pytest_args,
+            ]
+        )
+        print(
+            f"\nDry run OK: {len(results)} benchmarks executed; "
+            f"{args.output} not modified"
+        )
+        return
+    if not args.label:
+        parser.error("--label is required unless --dry-run is given")
     results = run_benchmarks(args.pytest_args)
     trajectory = load_trajectory(args.output)
     entry = {

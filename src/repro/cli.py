@@ -1,4 +1,4 @@
-"""Command-line interface: analyse / simulate / plan scenario files.
+"""Command-line interface: analyse / simulate / plan / sweep scenarios.
 
 The operator workflow without writing Python::
 
@@ -9,7 +9,24 @@ The operator workflow without writing Python::
     python -m repro.cli report scenario.json           # utilisation report
     python -m repro.cli plan scenario.json --min-speed # capacity planning
 
-Scenario files are the JSON documents of :mod:`repro.io`.
+Scenario files are the JSON documents of :mod:`repro.io` — the legacy
+``network``+``flows`` layout or the versioned scenario schema of
+:mod:`repro.scenario.serialization`; every subcommand accepts both.
+
+Campaigns (the :mod:`repro.scenario` subsystem) scale that workflow
+from one file to whole scenario families::
+
+    python -m repro.cli generate --list                 # family catalogue
+    python -m repro.cli generate --family voip-star \\
+        --param seed=3 -o star.json                     # write a scenario
+    python -m repro.cli campaign --family random-line \\
+        --grid seed=0..31 --jobs 4                      # parallel sweep
+    python -m repro.cli campaign a.json b.json \\
+        --actions analyze,simulate                      # file campaigns
+
+``campaign`` fans the scenario grid across a multiprocessing pool; its
+result rows (and the printed digest) are bit-identical for any
+``--jobs`` value, so parallel sweeps stay reproducible.
 """
 
 from __future__ import annotations
@@ -17,28 +34,82 @@ from __future__ import annotations
 import argparse
 import math
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.context import AnalysisContext, AnalysisOptions
 from repro.core.holistic import holistic_analysis
 from repro.core.planning import minimum_link_speed_scale, scale_link_speeds
 from repro.core.utilization import network_convergence_report
-from repro.io import load_scenario
 from repro.sim.simulator import SimConfig, simulate
 from repro.util.tables import Table
 from repro.util.units import fmt_duration, fmt_rate
 
 
-def _options(args) -> AnalysisOptions:
-    return AnalysisOptions(
-        strict_paper=getattr(args, "strict", False),
-        use_jitter=not getattr(args, "no_jitter", False),
-    )
+class _CliScenario:
+    """A loaded scenario file plus which optional blocks it carried.
+
+    Versioned files may embed ``analysis`` (:class:`AnalysisOptions`)
+    and ``sim`` (:class:`SimConfig`) blocks; when present they become
+    the base configuration of every subcommand, with CLI flags layered
+    on top.  Legacy files keep the historic CLI defaults.
+    """
+
+    def __init__(self, path: str):
+        import json as _json
+        from pathlib import Path
+
+        from repro.io import ScenarioError
+        from repro.scenario import scenario_from_dict
+
+        path = Path(path)
+        try:
+            doc = _json.loads(path.read_text())
+        except _json.JSONDecodeError as exc:
+            raise ScenarioError(f"{path}: invalid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise ScenarioError(f"{path}: expected a JSON object")
+        self.scenario = scenario_from_dict(doc, default_name=path.stem)
+        self.has_analysis = "analysis" in doc
+        self.has_sim = "sim" in doc
+
+    @property
+    def network(self):
+        return self.scenario.network
+
+    @property
+    def flows(self):
+        return list(self.scenario.flows)
+
+    def options(self, args) -> AnalysisOptions:
+        """File-embedded options (if any) with CLI flags layered on."""
+        from dataclasses import replace
+
+        base = (
+            self.scenario.options if self.has_analysis else AnalysisOptions()
+        )
+        return replace(
+            base,
+            strict_paper=base.strict_paper or getattr(args, "strict", False),
+            use_jitter=base.use_jitter
+            and not getattr(args, "no_jitter", False),
+        )
+
+    def sim_config(self, args, *, default_duration: float) -> SimConfig:
+        """File-embedded sim config (if any) with CLI flags layered on."""
+        from dataclasses import replace
+
+        base = self.scenario.sim if self.has_sim else SimConfig()
+        duration = getattr(args, "duration", None)
+        if duration is None:
+            duration = base.duration if self.has_sim else default_duration
+        mode = getattr(args, "mode", None) or base.switch_mode
+        return replace(base, duration=duration, switch_mode=mode)
 
 
 def cmd_analyze(args) -> int:
-    network, flows = load_scenario(args.scenario)
-    result = holistic_analysis(network, flows, _options(args))
+    loaded = _CliScenario(args.scenario)
+    network, flows = loaded.network, loaded.flows
+    result = holistic_analysis(network, flows, loaded.options(args))
     table = Table(
         ["flow", "frame", "bound", "deadline", "slack", "ok"],
         title=f"holistic analysis of {args.scenario} "
@@ -63,17 +134,15 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    network, flows = load_scenario(args.scenario)
-    trace = simulate(
-        network,
-        flows,
-        config=SimConfig(duration=args.duration, switch_mode=args.mode),
-    )
+    loaded = _CliScenario(args.scenario)
+    network, flows = loaded.network, loaded.flows
+    config = loaded.sim_config(args, default_duration=2.0)
+    trace = simulate(network, flows, config=config)
     table = Table(
         ["flow", "packets", "worst response", "mean response"],
         title=(
             f"simulation of {args.scenario} "
-            f"({args.duration:g}s, {args.mode} mode, "
+            f"({config.duration:g}s, {config.switch_mode} mode, "
             f"{trace.events_processed} events)"
         ),
     )
@@ -97,8 +166,11 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_validate(args) -> int:
-    network, flows = load_scenario(args.scenario)
-    result = holistic_analysis(network, flows, _options(args))
+    from dataclasses import replace
+
+    loaded = _CliScenario(args.scenario)
+    network, flows = loaded.network, loaded.flows
+    result = holistic_analysis(network, flows, loaded.options(args))
     if not result.converged:
         print("analysis did not converge; nothing to validate")
         return 1
@@ -106,12 +178,13 @@ def cmd_validate(args) -> int:
         ["flow", "frame", "bound", "sim worst", "tightness", "sound"],
         title=f"bound validation of {args.scenario}",
     )
+    base_config = loaded.sim_config(args, default_duration=2.0)
     violations = 0
     for mode in ("event", "rotation"):
         trace = simulate(
             network,
             flows,
-            config=SimConfig(duration=args.duration, switch_mode=mode),
+            config=replace(base_config, switch_mode=mode),
         )
         for f in flows:
             for k in range(f.spec.n_frames):
@@ -138,8 +211,9 @@ def cmd_validate(args) -> int:
 
 
 def cmd_report(args) -> int:
-    network, flows = load_scenario(args.scenario)
-    ctx = AnalysisContext(network, flows, _options(args))
+    loaded = _CliScenario(args.scenario)
+    network, flows = loaded.network, loaded.flows
+    ctx = AnalysisContext(network, flows, loaded.options(args))
     report = network_convergence_report(ctx)
     table = Table(
         ["resource", "utilisation", "convergent"],
@@ -164,9 +238,10 @@ def cmd_report(args) -> int:
 
 
 def cmd_plan(args) -> int:
-    network, flows = load_scenario(args.scenario)
+    loaded = _CliScenario(args.scenario)
+    network, flows = loaded.network, loaded.flows
     scale = minimum_link_speed_scale(
-        network, flows, options=_options(args), tolerance=args.tolerance
+        network, flows, options=loaded.options(args), tolerance=args.tolerance
     )
     if scale is None:
         print(
@@ -188,6 +263,183 @@ def cmd_plan(args) -> int:
             ]
         )
     print(table.render())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Campaigns (repro.scenario)
+# ----------------------------------------------------------------------
+def _parse_scalar(token: str) -> Any:
+    """int | float | bool | str, in that order of preference."""
+    low = token.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            continue
+    return token
+
+
+def _parse_axis(text: str) -> tuple[str, Any]:
+    """``key=v1,v2,...`` or ``key=lo..hi`` (inclusive int range)."""
+    if "=" not in text:
+        raise SystemExit(f"--grid/--param expects key=value, got {text!r}")
+    key, _, raw = text.partition("=")
+    values: list[Any] = []
+    for token in raw.split(","):
+        if not token:
+            raise SystemExit(f"--grid/--param {text!r} has an empty value")
+        if ".." in token and not token.startswith("."):
+            lo, _, hi = token.partition("..")
+            try:
+                lo_i, hi_i = int(lo), int(hi)
+            except ValueError:
+                values.append(_parse_scalar(token))
+                continue
+            if hi_i < lo_i:
+                raise SystemExit(
+                    f"--grid/--param range {token!r} is empty (lo > hi)"
+                )
+            values.extend(range(lo_i, hi_i + 1))
+            continue
+        values.append(_parse_scalar(token))
+    if not values:
+        raise SystemExit(f"--grid/--param {text!r} has no values")
+    return key.strip(), values if len(values) > 1 else values[0]
+
+
+def _campaign_ok(action: str, payload: dict) -> bool:
+    if action == "analyze":
+        return bool(payload.get("schedulable"))
+    if action == "simulate":
+        return payload.get("deadline_misses") == 0
+    if action == "validate":
+        return bool(payload.get("converged")) and all(
+            r["sim_worst"] <= r["bound"] + 1e-12 for r in payload["rows"]
+        )
+    if action == "admit":
+        return payload.get("accepted") == payload.get("offered")
+    return True
+
+
+def _campaign_detail(action: str, payload: dict) -> str:
+    if action == "analyze":
+        worst = max(
+            (f["worst_response"] for f in payload["flows"].values()),
+            default=math.nan,
+        )
+        return (
+            f"converged={payload['converged']}, "
+            f"worst={fmt_duration(worst)}"
+        )
+    if action == "simulate":
+        return (
+            f"{payload['deadline_misses']} misses, "
+            f"{payload['events']} events"
+        )
+    if action == "validate":
+        ratios = [
+            r["sim_worst"] / r["bound"]
+            for r in payload["rows"]
+            if r["bound"] > 0
+        ]
+        worst = max(ratios) if ratios else math.nan
+        return (
+            f"{len(payload['rows'])} comparisons, "
+            f"max sim/bound={worst:.3f}"
+        )
+    if action == "admit":
+        return f"{payload['accepted']}/{payload['offered']} admitted"
+    return ""
+
+
+def cmd_campaign(args) -> int:
+    from repro.scenario import (
+        CampaignRunner,
+        campaign_digest,
+        load_scenario_file,
+        scenario_grid,
+    )
+
+    actions = tuple(a.strip() for a in args.actions.split(",") if a.strip())
+    if args.family and args.scenarios:
+        raise SystemExit(
+            "campaign takes scenario files OR --family, not both "
+            "(run two campaigns instead)"
+        )
+    if args.family:
+        axes = dict(_parse_axis(g) for g in args.grid or [])
+        units: list = scenario_grid(args.family, **axes)
+    elif args.scenarios:
+        units = [load_scenario_file(p) for p in args.scenarios]
+    else:
+        raise SystemExit(
+            "campaign needs scenario files or --family (with --grid axes)"
+        )
+    runner = CampaignRunner(jobs=args.jobs, actions=actions)
+    results = runner.run(units)
+
+    columns = ["scenario", "action", "ok", "detail"]
+    if args.timing:
+        columns.append("time (s)")
+    table = Table(
+        columns,
+        title=(
+            f"campaign: {len(units)} scenario(s) x {len(actions)} "
+            f"action(s), jobs={args.jobs}"
+        ),
+    )
+    all_ok = True
+    for row in results:
+        ok = _campaign_ok(row.action, row.payload)
+        all_ok = all_ok and ok
+        cells = [
+            row.scenario,
+            row.action,
+            ok,
+            _campaign_detail(row.action, row.payload),
+        ]
+        if args.timing:
+            cells.append(f"{row.elapsed_s:.3f}")
+        table.add_row(cells)
+    print(table.render())
+    print(f"campaign digest: {campaign_digest(results)}")
+    return 0 if all_ok else 1
+
+
+def cmd_generate(args) -> int:
+    from repro.scenario import (
+        REGISTRY,
+        save_scenario_file,
+        scenario_to_dict,
+    )
+
+    if args.list:
+        table = Table(["family", "summary"], title="scenario families")
+        for name in REGISTRY.names():
+            doc = (REGISTRY.get(name).__doc__ or "").strip()
+            table.add_row([name, doc.splitlines()[0] if doc else ""])
+        print(table.render())
+        return 0
+    if not args.family:
+        raise SystemExit("generate needs --family (or --list)")
+    params = dict(_parse_axis(p) for p in args.param or [])
+    for key, value in params.items():
+        if isinstance(value, list):
+            raise SystemExit(
+                f"generate takes one value per --param (got {key}={value}); "
+                "use 'campaign --grid' for sweeps"
+            )
+    scenario = REGISTRY.build(args.family, **params)
+    if args.output:
+        save_scenario_file(args.output, scenario)
+        print(f"wrote {scenario.describe()} to {args.output}")
+    else:
+        import json
+
+        print(json.dumps(scenario_to_dict(scenario), indent=2, sort_keys=True))
     return 0
 
 
@@ -218,16 +470,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="run the discrete-event simulator")
     p.add_argument("scenario")
-    p.add_argument("-d", "--duration", type=float, default=2.0)
     p.add_argument(
-        "--mode", choices=("event", "rotation"), default="event",
-        help="switch execution model",
+        "-d", "--duration", type=float, default=None,
+        help="horizon in seconds (default: the file's sim block, else 2.0)",
+    )
+    p.add_argument(
+        "--mode", choices=("event", "rotation"), default=None,
+        help="switch execution model (default: the file's sim block, "
+        "else event)",
     )
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("validate", help="check bounds against simulation")
     common(p)
-    p.add_argument("-d", "--duration", type=float, default=2.0)
+    p.add_argument(
+        "-d", "--duration", type=float, default=None,
+        help="horizon in seconds (default: the file's sim block, else 2.0)",
+    )
     p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("report", help="per-resource utilisation report")
@@ -240,6 +499,59 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--tolerance", type=float, default=0.01)
     p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run scenario files or a parametric family grid in parallel",
+    )
+    p.add_argument(
+        "scenarios", nargs="*", help="scenario JSON files (legacy or v1)"
+    )
+    p.add_argument(
+        "--family", help="registered scenario family (see 'generate --list')"
+    )
+    p.add_argument(
+        "--grid",
+        action="append",
+        metavar="KEY=V1,V2|LO..HI",
+        help="family parameter axis; repeatable, swept values build the "
+        "cartesian grid (e.g. --grid seed=0..31 --grid utilization=0.3,0.6)",
+    )
+    p.add_argument(
+        "--actions",
+        default="analyze",
+        help="comma-separated: analyze,simulate,validate,admit "
+        "(default analyze)",
+    )
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (results are identical for any value)",
+    )
+    p.add_argument(
+        "--timing",
+        action="store_true",
+        help="include per-action wall time (varies run to run)",
+    )
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "generate", help="build a scenario from a registered family"
+    )
+    p.add_argument("--family", help="scenario family name")
+    p.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="family parameter; repeatable",
+    )
+    p.add_argument("-o", "--output", help="write the scenario JSON here")
+    p.add_argument(
+        "--list", action="store_true", help="list registered families"
+    )
+    p.set_defaults(func=cmd_generate)
     return parser
 
 

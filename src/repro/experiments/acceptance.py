@@ -19,13 +19,16 @@ and minimum separation); all curves below ``util``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.baselines.bounds import demand_utilization_bound
 from repro.baselines.sporadic import sporadic_holistic_analysis
 from repro.core.context import AnalysisOptions
 from repro.core.holistic import holistic_analysis
 from repro.model.network import Network
+from repro.scenario.campaign import CampaignRunner
+from repro.scenario.model import Scenario, ScenarioSpec
+from repro.scenario.registry import expand_grid
 from repro.util.tables import Table
 from repro.workloads.generator import RandomFlowConfig, random_flow_set
 from repro.workloads.topologies import line_network
@@ -62,6 +65,58 @@ class AcceptanceResult:
         )
 
 
+def action_acceptance(scenario: Scenario) -> dict[str, Any]:
+    """Campaign action: which analyses admit the scenario's flow set?
+
+    Runs the paper's GMF analysis plus the three baselines on one
+    scenario; the scenario's :class:`AnalysisOptions` drive all four.
+    """
+    net, flows, options = scenario.network, scenario.flows, scenario.options
+    return {
+        "gmf": bool(holistic_analysis(net, flows, options).schedulable),
+        "sporadic": bool(
+            sporadic_holistic_analysis(
+                net, flows, options, collapse="sporadic"
+            ).schedulable
+        ),
+        "cycle": bool(
+            sporadic_holistic_analysis(
+                net, flows, options, collapse="cycle"
+            ).schedulable
+        ),
+        "util": bool(demand_utilization_bound(net, flows, options=options)),
+    }
+
+
+def _acceptance_seed(seed_base: int, trial: int, utilization: float) -> int:
+    return seed_base + trial * 131 + int(utilization * 1000)
+
+
+def _acceptance_scenario(
+    point: Mapping,
+    network: Network | None,
+    options: AnalysisOptions | None,
+    seed_base: int,
+) -> Scenario:
+    net = network or line_network(2, hosts_per_switch=2)
+    u = point["utilization"]
+    flows = random_flow_set(
+        net,
+        n_flows=point["n_flows"],
+        total_utilization=u,
+        seed=_acceptance_seed(seed_base, point["trial"], u),
+        config=RandomFlowConfig(
+            n_frames_range=(2, 6), burstiness=point["burstiness"]
+        ),
+    )
+    return Scenario(
+        name=f"acceptance[u={u:g},trial={point['trial']}]",
+        network=net,
+        flows=tuple(flows),
+        options=options or AnalysisOptions(),
+    )
+
+
 def run_acceptance_sweep(
     *,
     utilizations: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8),
@@ -71,38 +126,68 @@ def run_acceptance_sweep(
     network: Network | None = None,
     options: AnalysisOptions | None = None,
     seed_base: int = 1000,
+    jobs: int = 1,
+    grid: Mapping | None = None,
 ) -> AcceptanceResult:
-    """Sweep offered utilisation; count admissions per analysis."""
-    net = network or line_network(2, hosts_per_switch=2)
+    """Sweep offered utilisation; count admissions per analysis.
+
+    The (utilisation x trial) grid fans over a
+    :class:`~repro.scenario.campaign.CampaignRunner`; when the topology
+    is not overridden the scenarios ship as ``random-line`` specs and
+    are generated inside the workers.  ``grid`` overrides the axes
+    (quick mode) and ``jobs`` sets the worker count.
+    """
     analyses = ("gmf", "sporadic", "cycle", "util")
-    points: list[AcceptancePoint] = []
-    cfg = RandomFlowConfig(n_frames_range=(2, 6), burstiness=burstiness)
-    for u in utilizations:
-        accepted = {a: 0 for a in analyses}
-        for trial in range(trials):
-            flows = random_flow_set(
-                net,
-                n_flows=n_flows,
-                total_utilization=u,
-                seed=seed_base + trial * 131 + int(u * 1000),
-                config=cfg,
+    axes: dict = dict(
+        utilization=tuple(utilizations),
+        trial=tuple(range(trials)),
+        n_flows=n_flows,
+        burstiness=burstiness,
+    )
+    if grid:
+        axes.update(grid)
+    points = expand_grid(**axes)
+    if network is None:
+        units: Sequence = [
+            ScenarioSpec.of(
+                "random-line",
+                seed=_acceptance_seed(
+                    seed_base, p["trial"], p["utilization"]
+                ),
+                n_flows=p["n_flows"],
+                utilization=p["utilization"],
+                n_frames_min=2,
+                n_frames_max=6,
+                burstiness=p["burstiness"],
             )
-            if holistic_analysis(net, flows, options).schedulable:
-                accepted["gmf"] += 1
-            if sporadic_holistic_analysis(
-                net, flows, options, collapse="sporadic"
-            ).schedulable:
-                accepted["sporadic"] += 1
-            if sporadic_holistic_analysis(
-                net, flows, options, collapse="cycle"
-            ).schedulable:
-                accepted["cycle"] += 1
-            if demand_utilization_bound(net, flows, options=options):
-                accepted["util"] += 1
-        points.append(
-            AcceptancePoint(utilization=u, accepted=accepted, trials=trials)
+            for p in points
+        ]
+        if options is not None:
+            units = [spec.build().with_options(options) for spec in units]
+    else:
+        units = [
+            _acceptance_scenario(p, network, options, seed_base)
+            for p in points
+        ]
+    results = CampaignRunner(jobs=jobs, actions=(action_acceptance,)).run(
+        units
+    )
+
+    per_u: dict[float, dict[str, int]] = {}
+    trials_per_u: dict[float, int] = {}
+    for point, res in zip(points, results):
+        u = point["utilization"]
+        accepted = per_u.setdefault(u, {a: 0 for a in analyses})
+        trials_per_u[u] = trials_per_u.get(u, 0) + 1
+        for a in analyses:
+            accepted[a] += int(res.payload[a])
+    acc_points = [
+        AcceptancePoint(
+            utilization=u, accepted=per_u[u], trials=trials_per_u[u]
         )
-    return AcceptanceResult(points=tuple(points), analyses=analyses)
+        for u in per_u
+    ]
+    return AcceptanceResult(points=tuple(acc_points), analyses=analyses)
 
 
 # ----------------------------------------------------------------------

@@ -17,13 +17,10 @@ from repro.core.context import AnalysisOptions
 from repro.core.holistic import holistic_analysis
 from repro.core.results import HolisticResult
 from repro.model.flow import Flow
-from repro.model.gmf import GmfSpec
 from repro.model.network import Network
+from repro.scenario.registry import build_scenario
 from repro.util.tables import Table
 from repro.util.units import mbps, ms
-from repro.workloads.mpeg import paper_fig3_flow
-from repro.workloads.topologies import paper_fig1_network
-from repro.workloads.voip import voip_flow
 
 
 @dataclass(frozen=True)
@@ -82,29 +79,15 @@ def build_example_scenario(
     end-to-end experiment uses 100 Mbit/s links by default (the speed of
     the commodity switches the paper targets); pass ``speed_bps`` to
     explore other operating points.
+
+    The construction lives in the ``paper-example`` scenario family
+    (:mod:`repro.scenario.families`); this wrapper keeps the historic
+    ``(network, flows)`` return shape.
     """
-    net = paper_fig1_network(speed_bps=speed_bps)
-    mpeg = paper_fig3_flow(
-        route=("n0", "n4", "n6", "n3"),
-        deadline=ms(100),
-        priority=5,
-        jitter=mpeg_jitter,
+    scenario = build_scenario(
+        "paper-example", speed_bps=speed_bps, mpeg_jitter=mpeg_jitter
     )
-    voice = voip_flow(
-        ("n1", "n4", "n6", "n5", "n2"), name="voip", priority=7, deadline=ms(50)
-    )
-    bulk = Flow(
-        name="bulk",
-        spec=GmfSpec(
-            min_separations=(ms(10),),
-            deadlines=(ms(500),),
-            jitters=(0.0,),
-            payload_bits=(80_000,),
-        ),
-        route=("n1", "n4", "n6", "n3"),
-        priority=1,
-    )
-    return net, [mpeg, voice, bulk]
+    return scenario.network, list(scenario.flows)
 
 
 def run_endtoend_example(

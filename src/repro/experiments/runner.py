@@ -5,6 +5,14 @@ Usage::
     python -m repro.experiments.runner            # all experiments
     python -m repro.experiments.runner E1 E4      # a subset
     python -m repro.experiments.runner --quick    # reduced parameters
+    python -m repro.experiments.runner --jobs 4 E4 E5 E7   # parallel sweeps
+
+The sweep experiments (E4, E5, E7) route their scenario grids through
+:class:`repro.scenario.campaign.CampaignRunner`; ``--jobs N`` fans
+their scenarios over N worker processes without changing any result
+(campaign payloads are bit-identical for any job count).  Quick mode is
+a *scenario-grid override* for those experiments: it swaps the grid
+axes (fewer seeds/trials/hop counts) rather than ad-hoc kwargs.
 """
 
 from __future__ import annotations
@@ -21,16 +29,25 @@ from repro.experiments.validation import run_stage_tightness, run_validation
 from repro.experiments.worked_example import run_circ_examples, run_worked_example
 
 
+#: Experiments whose sweeps run through the campaign engine and accept
+#: ``jobs=`` / ``grid=`` keyword arguments.
+CAMPAIGN_EXPERIMENTS = frozenset({"E4", "E5", "E7"})
+
+
 def _quick_overrides(quick: bool) -> dict:
     if not quick:
         return {}
     return {
-        "E4": dict(seeds=(0, 1), duration=1.0),
+        # Campaign experiments: quick mode overrides the scenario grid.
+        "E4": dict(grid=dict(seed=(0, 1), duration=1.0)),
+        "E5": dict(
+            grid=dict(utilization=(0.2, 0.4, 0.6, 0.8), trial=(0, 1, 2, 3))
+        ),
+        "E7": dict(grid=dict(n_switches=(1, 2, 4))),
+        # Remaining experiments keep plain kwarg overrides.
         "E4b": dict(duration=1.0),
-        "E5": dict(trials=4, utilizations=(0.2, 0.4, 0.6, 0.8)),
         "E5b": dict(trials=4, burstiness_levels=(1.0, 4.0, 16.0)),
         "E6": dict(cost_scales=(0.5, 1.0, 4.0), processor_counts=(1, 2)),
-        "E7": dict(switch_counts=(1, 2, 4)),
     }
 
 
@@ -49,7 +66,12 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
 }
 
 
-def run_all(selected: list[str] | None = None, *, quick: bool = False) -> str:
+def run_all(
+    selected: list[str] | None = None,
+    *,
+    quick: bool = False,
+    jobs: int = 1,
+) -> str:
     """Run experiments and return the combined report text."""
     overrides = _quick_overrides(quick)
     names = selected or list(EXPERIMENTS)
@@ -59,7 +81,9 @@ def run_all(selected: list[str] | None = None, *, quick: bool = False) -> str:
             raise SystemExit(
                 f"unknown experiment {name!r}; choose from {list(EXPERIMENTS)}"
             )
-        kwargs = overrides.get(name, {})
+        kwargs = dict(overrides.get(name, {}))
+        if jobs != 1 and name in CAMPAIGN_EXPERIMENTS:
+            kwargs["jobs"] = jobs
         result = EXPERIMENTS[name](**kwargs)
         chunks.append(f"==== {name} ====")
         chunks.append(result.render())
@@ -71,7 +95,15 @@ def main(argv: list[str] | None = None) -> None:
     args = list(sys.argv[1:] if argv is None else argv)
     quick = "--quick" in args
     args = [a for a in args if a != "--quick"]
-    print(run_all(args or None, quick=quick))
+    jobs = 1
+    if "--jobs" in args:
+        at = args.index("--jobs")
+        try:
+            jobs = int(args[at + 1])
+        except (IndexError, ValueError):
+            raise SystemExit("--jobs needs an integer argument")
+        del args[at : at + 2]
+    print(run_all(args or None, quick=quick, jobs=jobs))
 
 
 if __name__ == "__main__":

@@ -14,16 +14,16 @@ line topology.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.core.context import AnalysisOptions
 from repro.core.holistic import holistic_analysis
-from repro.model.flow import Flow
 from repro.model.network import SwitchConfig
+from repro.scenario.campaign import CampaignRunner
+from repro.scenario.families import mpeg_over_line, pad_interfaces
+from repro.scenario.registry import expand_grid, scenario_grid
 from repro.util.tables import Table
 from repro.util.units import mbps, ms, us
-from repro.workloads.mpeg import paper_fig3_spec
-from repro.workloads.topologies import line_network
 
 
 @dataclass(frozen=True)
@@ -54,31 +54,9 @@ class CircSensitivityResult:
         return all(a <= b + 1e-12 for a, b in zip(bounds, bounds[1:]))
 
 
-def _mpeg_over_line(
-    n_switches: int,
-    switch_config: SwitchConfig,
-    *,
-    speed_bps: float,
-    deadline: float,
-) -> tuple:
-    net = line_network(
-        n_switches,
-        hosts_per_switch=2,  # two hosts so a 1-switch line still has
-        speed_bps=speed_bps,  # distinct endpoints
-        switch_config=switch_config,
-    )
-    route = (
-        "h0_0",
-        *[f"sw{s}" for s in range(n_switches)],
-        f"h{n_switches - 1}_1",
-    )
-    flow = Flow(
-        name="mpeg",
-        spec=paper_fig3_spec(deadline=deadline),
-        route=route,
-        priority=5,
-    )
-    return net, flow
+# The MPEG-over-line construction is shared with the ``mpeg-line``
+# scenario family; see :func:`repro.scenario.families.mpeg_over_line`.
+_mpeg_over_line = mpeg_over_line
 
 
 def run_circ_sensitivity(
@@ -132,19 +110,8 @@ def run_circ_sensitivity(
     return CircSensitivityResult(rows=tuple(rows))
 
 
-def _pad_interfaces(net, factor: int, speed_bps: float, *, multiple_of: int = 1) -> None:
-    """Attach idle hosts so every switch has >= factor interfaces (and a
-    count divisible by the processor count)."""
-    switches = [n.name for n in net.nodes() if n.is_switch]
-    for sw in switches:
-        current = net.n_interfaces(sw)
-        target = max(factor, current)
-        if target % multiple_of:
-            target += multiple_of - (target % multiple_of)
-        for i in range(target - current):
-            pad = f"pad_{sw}_{i}"
-            net.add_endhost(pad)
-            net.add_duplex_link(pad, sw, speed_bps=speed_bps)
+# Interface padding is likewise shared with the scenario families.
+_pad_interfaces = pad_interfaces
 
 
 @dataclass(frozen=True)
@@ -181,16 +148,35 @@ def run_hop_sweep(
     speed_bps: float = mbps(100),
     deadline: float = ms(500),
     options: AnalysisOptions | None = None,
+    jobs: int = 1,
+    grid: Mapping | None = None,
 ) -> HopSweepResult:
-    """End-to-end bound of the MPEG flow vs path length."""
+    """End-to-end bound of the MPEG flow vs path length.
+
+    The path-length sweep is a scenario grid over the ``mpeg-line``
+    family, executed through a
+    :class:`~repro.scenario.campaign.CampaignRunner`; ``grid``
+    overrides the axes (quick mode passes ``dict(n_switches=(1, 2, 4))``)
+    and ``jobs`` sets the worker count.
+    """
+    axes: dict = dict(
+        n_switches=tuple(switch_counts),
+        speed_bps=speed_bps,
+        deadline=deadline,
+    )
+    if grid:
+        axes.update(grid)
+    points = expand_grid(**axes)
+    units: Sequence = scenario_grid("mpeg-line", **axes)
+    if options is not None:
+        units = [spec.build().with_options(options) for spec in units]
+    results = CampaignRunner(jobs=jobs, actions=("analyze",)).run(units)
+
     rows: list[HopSweepRow] = []
-    for n in switch_counts:
-        net, flow = _mpeg_over_line(
-            n, SwitchConfig(), speed_bps=speed_bps, deadline=deadline
-        )
-        res = holistic_analysis(net, [flow], options)
-        bound = res.result("mpeg").worst_response
-        hops = flow.hops()
+    for point, res in zip(points, results):
+        n = point["n_switches"]
+        bound = res.payload["flows"]["mpeg"]["worst_response"]
+        hops = n + 1  # host -> sw0 -> ... -> sw{n-1} -> host
         rows.append(
             HopSweepRow(
                 n_switches=n, hops=hops, bound=bound, per_hop=bound / hops

@@ -6,19 +6,28 @@ analysis bound, the worst simulated response and their ratio.  The
 load-bearing claim: **no simulated response ever exceeds its bound**
 (the analysis is an upper bound).  The tightness ratio quantifies the
 pessimism the paper accepts in exchange for guarantees.
+
+The sweep itself runs through the campaign engine: each seed becomes a
+``random-line`` scenario (or a hand-built :class:`Scenario` when the
+topology/options are overridden) fanned over a
+:class:`~repro.scenario.campaign.CampaignRunner` — pass ``jobs=N`` to
+parallelise the seeds.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from functools import partial
+from typing import Mapping, Sequence
 
 from repro.core.context import AnalysisOptions
 from repro.core.holistic import holistic_analysis
 from repro.model.flow import Flow
 from repro.model.network import Network
-from repro.sim.release import EagerRelease
+from repro.scenario.campaign import CampaignRunner, action_validate
+from repro.scenario.model import Scenario
+from repro.scenario.registry import expand_grid, scenario_grid
 from repro.sim.simulator import SimConfig, simulate
 from repro.util.tables import Table
 from repro.workloads.generator import RandomFlowConfig, random_flow_set
@@ -103,6 +112,29 @@ class ValidationResult:
         return t.render() + "\n" + summary
 
 
+def _override_scenario(
+    point: Mapping,
+    network: Network | None,
+    options: AnalysisOptions | None,
+) -> Scenario:
+    """One E4 scenario with a caller-supplied topology or options."""
+    net = network or line_network(2, hosts_per_switch=2)
+    flows = random_flow_set(
+        net,
+        n_flows=point["n_flows"],
+        total_utilization=point["utilization"],
+        seed=point["seed"],
+        config=RandomFlowConfig(n_frames_range=(1, 5)),
+    )
+    return Scenario(
+        name=f"validation[seed={point['seed']}]",
+        network=net,
+        flows=tuple(flows),
+        options=options or AnalysisOptions(),
+        sim=SimConfig(duration=point["duration"]),
+    )
+
+
 def run_validation(
     *,
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
@@ -112,46 +144,56 @@ def run_validation(
     modes: Sequence[str] = ("event", "rotation"),
     network: Network | None = None,
     options: AnalysisOptions | None = None,
+    jobs: int = 1,
+    grid: Mapping | None = None,
 ) -> ValidationResult:
-    """Run the soundness study over seeded random workloads."""
-    net = network or line_network(2, hosts_per_switch=2)
+    """Run the soundness study over seeded random workloads.
+
+    The seed sweep is a scenario grid over the ``random-line`` family;
+    ``grid`` overrides its axes (quick mode passes
+    ``dict(seed=(0, 1), duration=1.0)``) and ``jobs`` fans the
+    scenarios over a campaign worker pool.
+    """
+    axes: dict = dict(
+        seed=tuple(seeds),
+        n_flows=n_flows,
+        utilization=utilization,
+        duration=duration,
+    )
+    if grid:
+        axes.update(grid)
+    points = expand_grid(**axes)
+    if network is None and options is None:
+        units: Sequence = scenario_grid(
+            "random-line", n_frames_min=1, n_frames_max=5, **axes
+        )
+    else:
+        units = [_override_scenario(p, network, options) for p in points]
+    action = (
+        "validate"
+        if tuple(modes) == ("event", "rotation")
+        else partial(action_validate, modes=tuple(modes))
+    )
+    results = CampaignRunner(jobs=jobs, actions=(action,)).run(units)
+
     rows: list[ValidationRow] = []
     skipped = 0
-    for seed in seeds:
-        flows = random_flow_set(
-            net,
-            n_flows=n_flows,
-            total_utilization=utilization,
-            seed=seed,
-            config=RandomFlowConfig(n_frames_range=(1, 5)),
-        )
-        analysis = holistic_analysis(net, flows, options)
-        if not analysis.converged:
+    for point, res in zip(points, results):
+        if not res.payload["converged"]:
             skipped += 1
             continue
-        for mode in modes:
-            trace = simulate(
-                net,
-                flows,
-                config=SimConfig(duration=duration, switch_mode=mode),
-                release_policies={f.name: EagerRelease() for f in flows},
+        for r in res.payload["rows"]:
+            rows.append(
+                ValidationRow(
+                    seed=point["seed"],
+                    flow=r["flow"],
+                    frame=r["frame"],
+                    mode=r["mode"],
+                    bound=r["bound"],
+                    sim_worst=r["sim_worst"],
+                    samples=r["samples"],
+                )
             )
-            for f in flows:
-                for k in range(f.spec.n_frames):
-                    sim_worst = trace.worst_response(f.name, k)
-                    if sim_worst == -math.inf:
-                        continue  # no sample of this frame completed
-                    rows.append(
-                        ValidationRow(
-                            seed=seed,
-                            flow=f.name,
-                            frame=k,
-                            mode=mode,
-                            bound=analysis.result(f.name).frame(k).response,
-                            sim_worst=sim_worst,
-                            samples=len(trace.responses(f.name, k)),
-                        )
-                    )
     return ValidationResult(rows=tuple(rows), skipped_unschedulable=skipped)
 
 

@@ -26,6 +26,14 @@ flows.  The format is plain JSON::
     }
 
 Times are seconds except the explicitly suffixed ``*_us`` switch costs.
+
+Versioning: this module defines the *legacy* (version-0) document —
+``network`` + ``flows`` only.  The scenario subsystem
+(:mod:`repro.scenario.serialization`) writes versioned documents with a
+``schema_version`` key that are a strict superset of this layout, so
+:func:`load_scenario` accepts them too (reading just the network and
+flows); loading a document from a *newer* schema than this build
+understands fails loudly instead of silently dropping sections.
 """
 
 from __future__ import annotations
@@ -106,6 +114,12 @@ def save_scenario(
 # ----------------------------------------------------------------------
 # Deserialization
 # ----------------------------------------------------------------------
+#: Newest scenario-document schema this build can read (version 0 is
+#: the legacy bare ``network``+``flows`` layout of this module; the
+#: versioned layers are defined in :mod:`repro.scenario.serialization`).
+MAX_SCHEMA_VERSION = 1
+
+
 class ScenarioError(ValueError):
     """A scenario document is malformed."""
 
@@ -172,6 +186,14 @@ def load_scenario(path: str | Path) -> tuple[Network, list[Flow]]:
         doc = json.loads(Path(path).read_text())
     except json.JSONDecodeError as exc:
         raise ScenarioError(f"{path}: invalid JSON: {exc}") from exc
+    version = doc.get("schema_version", 0)
+    if not isinstance(version, int) or version < 0:
+        raise ScenarioError(f"{path}: invalid schema_version {version!r}")
+    if version > MAX_SCHEMA_VERSION:
+        raise ScenarioError(
+            f"{path}: schema_version {version} is newer than the "
+            f"supported version {MAX_SCHEMA_VERSION}"
+        )
     if "network" not in doc:
         raise ScenarioError(f"{path}: missing 'network' section")
     network = network_from_dict(doc["network"])

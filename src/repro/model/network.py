@@ -197,7 +197,12 @@ class Network:
     def __init__(self) -> None:
         self._nodes: dict[str, Node] = {}
         self._links: dict[tuple[str, str], Link] = {}
+        # Adjacency maps, maintained incrementally by add_link so the
+        # interface queries below are O(degree) instead of O(links).
+        # Both the simulator build and the analysis context's CIRC
+        # queries lean on them for every switch.
         self._neighbors: dict[str, set[str]] = {}
+        self._incoming: dict[str, set[str]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -207,6 +212,7 @@ class Network:
             raise ValueError(f"duplicate node name {node.name!r}")
         self._nodes[node.name] = node
         self._neighbors[node.name] = set()
+        self._incoming[node.name] = set()
         return node
 
     def add_endhost(self, name: str) -> Node:
@@ -236,6 +242,7 @@ class Network:
         link = Link(src=src, dst=dst, speed_bps=speed_bps, prop_delay=prop_delay)
         self._links[key] = link
         self._neighbors[src].add(dst)
+        self._incoming[dst].add(src)
         return link
 
     def add_duplex_link(
@@ -299,9 +306,8 @@ class Network:
         Counted as the number of distinct neighbouring nodes (each
         neighbour is reached through one NIC; duplex pairs share a NIC).
         """
-        node = self.node(name)
-        incoming = {src for (src, dst) in self._links if dst == name}
-        return len(self._neighbors[name] | incoming)
+        self.node(name)
+        return len(self._neighbors[name] | self._incoming[name])
 
     def circ(self, name: str) -> float:
         """``CIRC(N)`` for switch ``name`` (Sec. 3.3)."""
@@ -313,8 +319,7 @@ class Network:
     def interfaces_of(self, name: str) -> tuple[str, ...]:
         """Sorted neighbour names reached through ``name``'s NICs."""
         self.node(name)
-        incoming = {src for (src, dst) in self._links if dst == name}
-        return tuple(sorted(self._neighbors[name] | incoming))
+        return tuple(sorted(self._neighbors[name] | self._incoming[name]))
 
     def circ_task(self, name: str, interface: str) -> float:
         """Worst-case service period of ``interface``'s tasks at switch

@@ -1,0 +1,64 @@
+"""Unified scenario subsystem: declarative scenarios + campaign runner.
+
+Three layers (see the ROADMAP north-star "as many scenarios as you can
+imagine"):
+
+* :mod:`repro.scenario.model` — the frozen :class:`Scenario` bundle
+  (network + flows + analysis options + sim config + generator
+  provenance + churn sequence) and the tiny :class:`ScenarioSpec`
+  recipe;
+* :mod:`repro.scenario.registry` — named generator families
+  (``@register_scenario``) with parametric-grid expansion; built-in
+  families live in :mod:`repro.scenario.families`;
+* :mod:`repro.scenario.campaign` — :class:`CampaignRunner`: fan a
+  scenario list/grid across a multiprocessing pool with
+  analyze/simulate/validate/admit actions, returning deterministic
+  :class:`CampaignResult` rows.
+
+JSON round-trip (versioned, legacy-compatible) lives in
+:mod:`repro.scenario.serialization`.
+"""
+
+from repro.scenario.model import ChurnEvent, Scenario, ScenarioSpec
+from repro.scenario.registry import (
+    REGISTRY,
+    ScenarioRegistry,
+    build_scenario,
+    expand_grid,
+    register_scenario,
+    scenario_grid,
+)
+from repro.scenario.campaign import (
+    ACTIONS,
+    CampaignResult,
+    CampaignRunner,
+    campaign_digest,
+)
+from repro.scenario.serialization import (
+    SCHEMA_VERSION,
+    load_scenario_file,
+    save_scenario_file,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+__all__ = [
+    "ACTIONS",
+    "REGISTRY",
+    "SCHEMA_VERSION",
+    "CampaignResult",
+    "CampaignRunner",
+    "ChurnEvent",
+    "Scenario",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "build_scenario",
+    "campaign_digest",
+    "expand_grid",
+    "load_scenario_file",
+    "register_scenario",
+    "save_scenario_file",
+    "scenario_from_dict",
+    "scenario_grid",
+    "scenario_to_dict",
+]

@@ -1,0 +1,459 @@
+"""Built-in scenario generator families.
+
+Each family is a deterministic function of its parameters (fixed seeds
+drive every random draw), registered on the global
+:data:`~repro.scenario.registry.REGISTRY`:
+
+========================  ==============================================
+``paper-example``         Fig. 1 network + Fig. 2 MPEG flow with cross
+                          traffic (the E3 scenario).
+``random-line``           Seeded UUniFast GMF flows on a line topology —
+                          the raw material of the E4/E5 sweeps.
+``mpeg-line``             One MPEG GoP stream across an ``n``-switch
+                          line (the E6/E7 scenario), with switch-cost
+                          and multiprocessor knobs.
+``voip-star``             VoIP calls between random host pairs of a
+                          star (the paper's motivating application).
+``fat-tree``              Random GMF traffic over a two-tier leaf/spine
+                          fabric (multi-path topologies).
+``mixed-criticality``     VoIP (prio 7) + MPEG (prio 5) + bulk (prio 1)
+                          blend over a line — criticality layering.
+``failure-injection``     Random traffic simulated with finite NIC
+                          FIFOs and truncated 802.1p levels.
+``voip-churn``            An admission-control storyline: calls arrive
+                          and hang up (churn sequence for ``admit``).
+========================  ==============================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.model.network import Network, NodeKind, SwitchConfig
+from repro.scenario.model import ChurnEvent, Scenario
+from repro.scenario.registry import register_scenario
+from repro.sim.simulator import SimConfig
+from repro.util.units import mbps, ms, us
+from repro.workloads.generator import RandomFlowConfig, random_flow_set
+from repro.workloads.mpeg import paper_fig3_flow
+from repro.workloads.topologies import (
+    fat_tree_network,
+    line_network,
+    paper_fig1_network,
+    star_network,
+)
+from repro.workloads.voip import voip_flow
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def mpeg_over_line(
+    n_switches: int,
+    switch_config: SwitchConfig,
+    *,
+    speed_bps: float,
+    deadline: float,
+) -> tuple[Network, Flow]:
+    """The E6/E7 unit: one MPEG flow end to end over an ``n``-switch
+    line (two hosts per switch so a 1-switch line has distinct ends)."""
+    net = line_network(
+        n_switches,
+        hosts_per_switch=2,
+        speed_bps=speed_bps,
+        switch_config=switch_config,
+    )
+    route = (
+        "h0_0",
+        *[f"sw{s}" for s in range(n_switches)],
+        f"h{n_switches - 1}_1",
+    )
+    flow = paper_fig3_flow(route, deadline=deadline, priority=5)
+    return net, flow
+
+
+def pad_interfaces(
+    net: Network, factor: int, speed_bps: float, *, multiple_of: int = 1
+) -> None:
+    """Attach idle hosts so every switch has >= ``factor`` interfaces
+    (and a count divisible by the processor count)."""
+    switches = [n.name for n in net.nodes() if n.is_switch]
+    for sw in switches:
+        current = net.n_interfaces(sw)
+        target = max(factor, current)
+        if target % multiple_of:
+            target += multiple_of - (target % multiple_of)
+        for i in range(target - current):
+            pad = f"pad_{sw}_{i}"
+            net.add_endhost(pad)
+            net.add_duplex_link(pad, sw, speed_bps=speed_bps)
+
+
+def _route_endpoints(net: Network) -> list[str]:
+    return [
+        n.name
+        for n in net.nodes()
+        if n.kind in (NodeKind.ENDHOST, NodeKind.ROUTER)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Paper scenarios
+# ----------------------------------------------------------------------
+@register_scenario("paper-example")
+def paper_example(
+    *,
+    speed_bps: float = mbps(100),
+    mpeg_jitter: float = ms(1),
+    duration: float = 2.0,
+) -> Scenario:
+    """The Fig. 1 network with the Fig. 2 MPEG flow plus cross traffic.
+
+    10 Mbit/s (the worked example's speed) is too slow to carry the
+    MPEG stream alongside cross traffic through a single uplink, so the
+    default is 100 Mbit/s — the commodity-switch speed the paper
+    targets.  Parameters are raw SI units (bit/s, seconds) so callers
+    delegating here reproduce their flows bit for bit, with no unit
+    round-trips.
+    """
+    net = paper_fig1_network(speed_bps=speed_bps)
+    mpeg = paper_fig3_flow(
+        route=("n0", "n4", "n6", "n3"),
+        deadline=ms(100),
+        priority=5,
+        jitter=mpeg_jitter,
+    )
+    voice = voip_flow(
+        ("n1", "n4", "n6", "n5", "n2"), name="voip", priority=7, deadline=ms(50)
+    )
+    bulk = Flow(
+        name="bulk",
+        spec=GmfSpec(
+            min_separations=(ms(10),),
+            deadlines=(ms(500),),
+            jitters=(0.0,),
+            payload_bits=(80_000,),
+        ),
+        route=("n1", "n4", "n6", "n3"),
+        priority=1,
+    )
+    return Scenario(
+        name=f"paper-example[{speed_bps / 1e6:g}Mbps]",
+        network=net,
+        flows=(mpeg, voice, bulk),
+        sim=SimConfig(duration=duration),
+    )
+
+
+@register_scenario("random-line")
+def random_line(
+    *,
+    seed: int = 0,
+    n_switches: int = 2,
+    hosts_per_switch: int = 2,
+    n_flows: int = 4,
+    utilization: float = 0.45,
+    speed_bps: float = mbps(100),
+    n_frames_min: int = 1,
+    n_frames_max: int = 8,
+    burstiness: float = 8.0,
+    duration: float = 2.0,
+) -> Scenario:
+    """Seeded UUniFast GMF flows on a line — the E4/E5 raw material."""
+    net = line_network(
+        n_switches, hosts_per_switch=hosts_per_switch, speed_bps=speed_bps
+    )
+    cfg = RandomFlowConfig(
+        n_frames_range=(n_frames_min, n_frames_max), burstiness=burstiness
+    )
+    flows = random_flow_set(
+        net,
+        n_flows=n_flows,
+        total_utilization=utilization,
+        seed=seed,
+        config=cfg,
+    )
+    return Scenario(
+        name=f"random-line[seed={seed},u={utilization:g},n={n_flows}]",
+        network=net,
+        flows=tuple(flows),
+        sim=SimConfig(duration=duration),
+    )
+
+
+@register_scenario("mpeg-line")
+def mpeg_line(
+    *,
+    n_switches: int = 3,
+    speed_bps: float = mbps(100),
+    deadline: float = ms(500),
+    c_route_us: float = 2.7,
+    c_send_us: float = 1.0,
+    n_processors: int = 1,
+    pad_to_interfaces: int = 0,
+    duration: float = 2.0,
+) -> Scenario:
+    """One MPEG stream across an ``n``-switch line (E6/E7 scenario)."""
+    cfg = SwitchConfig(
+        c_route=us(c_route_us),
+        c_send=us(c_send_us),
+        n_processors=n_processors,
+    )
+    net, flow = mpeg_over_line(
+        n_switches, cfg, speed_bps=speed_bps, deadline=deadline
+    )
+    if pad_to_interfaces:
+        pad_interfaces(
+            net, pad_to_interfaces, speed_bps, multiple_of=n_processors
+        )
+    return Scenario(
+        name=f"mpeg-line[n={n_switches},d={deadline * 1e3:g}ms]",
+        network=net,
+        flows=(flow,),
+        sim=SimConfig(duration=duration),
+    )
+
+
+@register_scenario("voip-star")
+def voip_star(
+    *,
+    n_hosts: int = 8,
+    n_calls: int = 4,
+    codec: str = "g711",
+    deadline: float = ms(50),
+    seed: int = 0,
+    speed_bps: float = mbps(100),
+    duration: float = 2.0,
+) -> Scenario:
+    """VoIP calls between seeded random host pairs of a star."""
+    net = star_network(n_hosts, speed_bps=speed_bps)
+    rng = np.random.default_rng(seed)
+    hosts = [f"h{i}" for i in range(n_hosts)]
+    flows = []
+    for i in range(n_calls):
+        src, dst = rng.choice(hosts, size=2, replace=False)
+        flows.append(
+            voip_flow(
+                (str(src), "sw", str(dst)),
+                name=f"call{i}",
+                codec=codec,
+                deadline=deadline,
+            )
+        )
+    return Scenario(
+        name=f"voip-star[{n_calls}x{codec},seed={seed}]",
+        network=net,
+        flows=tuple(flows),
+        sim=SimConfig(duration=duration),
+    )
+
+
+# ----------------------------------------------------------------------
+# New families: multi-path, mixed criticality, failure injection, churn
+# ----------------------------------------------------------------------
+@register_scenario("fat-tree")
+def fat_tree(
+    *,
+    spines: int = 2,
+    leaves: int = 4,
+    hosts_per_leaf: int = 2,
+    n_flows: int = 8,
+    utilization: float = 0.3,
+    seed: int = 0,
+    speed_bps: float = mbps(100),
+    uplink_speed_bps: float | None = None,
+    n_frames_min: int = 1,
+    n_frames_max: int = 8,
+    burstiness: float = 8.0,
+    duration: float = 2.0,
+) -> Scenario:
+    """Random GMF traffic over a leaf/spine fabric (multi-path)."""
+    net = fat_tree_network(
+        spines=spines,
+        leaves=leaves,
+        hosts_per_leaf=hosts_per_leaf,
+        speed_bps=speed_bps,
+        uplink_speed_bps=uplink_speed_bps,
+    )
+    cfg = RandomFlowConfig(
+        n_frames_range=(n_frames_min, n_frames_max), burstiness=burstiness
+    )
+    flows = random_flow_set(
+        net,
+        n_flows=n_flows,
+        total_utilization=utilization,
+        seed=seed,
+        config=cfg,
+    )
+    return Scenario(
+        name=(
+            f"fat-tree[{spines}x{leaves},seed={seed},u={utilization:g}]"
+        ),
+        network=net,
+        flows=tuple(flows),
+        sim=SimConfig(duration=duration),
+    )
+
+
+@register_scenario("mixed-criticality")
+def mixed_criticality(
+    *,
+    n_switches: int = 3,
+    hosts_per_switch: int = 2,
+    n_voip: int = 4,
+    n_mpeg: int = 2,
+    n_bulk: int = 1,
+    seed: int = 0,
+    speed_bps: float = mbps(100),
+    voip_deadline: float = ms(50),
+    mpeg_deadline: float = ms(200),
+    duration: float = 2.0,
+) -> Scenario:
+    """A criticality blend: VoIP (prio 7) over MPEG (prio 5) over bulk
+    (prio 1), placed between seeded random host pairs of a line."""
+    net = line_network(
+        n_switches, hosts_per_switch=hosts_per_switch, speed_bps=speed_bps
+    )
+    rng = np.random.default_rng(seed)
+    hosts = [
+        f"h{s}_{h}"
+        for s in range(n_switches)
+        for h in range(hosts_per_switch)
+    ]
+
+    def random_route() -> tuple[str, ...]:
+        src, dst = rng.choice(hosts, size=2, replace=False)
+        s0 = int(str(src).split("_")[0][1:])
+        s1 = int(str(dst).split("_")[0][1:])
+        step = 1 if s1 >= s0 else -1
+        middle = tuple(f"sw{s}" for s in range(s0, s1 + step, step))
+        return (str(src), *middle, str(dst))
+
+    flows: list[Flow] = []
+    for i in range(n_voip):
+        flows.append(
+            voip_flow(
+                random_route(),
+                name=f"voip{i}",
+                priority=7,
+                deadline=voip_deadline,
+            )
+        )
+    for i in range(n_mpeg):
+        flows.append(
+            paper_fig3_flow(
+                random_route(),
+                name=f"mpeg{i}",
+                priority=5,
+                deadline=mpeg_deadline,
+            )
+        )
+    for i in range(n_bulk):
+        flows.append(
+            Flow(
+                name=f"bulk{i}",
+                spec=GmfSpec(
+                    min_separations=(ms(10),),
+                    deadlines=(ms(500),),
+                    jitters=(0.0,),
+                    payload_bits=(80_000,),
+                ),
+                route=random_route(),
+                priority=1,
+            )
+        )
+    return Scenario(
+        name=(
+            f"mixed-criticality[{n_voip}v+{n_mpeg}m+{n_bulk}b,seed={seed}]"
+        ),
+        network=net,
+        flows=tuple(flows),
+        sim=SimConfig(duration=duration),
+    )
+
+
+@register_scenario("failure-injection")
+def failure_injection(
+    *,
+    nic_fifo_capacity: int = 8,
+    priority_levels: int = 4,
+    n_switches: int = 2,
+    hosts_per_switch: int = 2,
+    n_flows: int = 6,
+    utilization: float = 0.6,
+    seed: int = 0,
+    speed_bps: float = mbps(100),
+    duration: float = 1.0,
+) -> Scenario:
+    """Random traffic simulated under failure conditions: finite switch
+    NIC FIFOs (overflow drops) and truncated 802.1p priority levels —
+    the regime where the analysis' no-loss assumption breaks down."""
+    net = line_network(
+        n_switches, hosts_per_switch=hosts_per_switch, speed_bps=speed_bps
+    )
+    # Generated priorities must fit the truncated 802.1p range the
+    # switches enforce in this scenario.
+    flows = random_flow_set(
+        net,
+        n_flows=n_flows,
+        total_utilization=utilization,
+        seed=seed,
+        config=RandomFlowConfig(priority_levels=priority_levels),
+    )
+    return Scenario(
+        name=(
+            f"failure-injection[fifo={nic_fifo_capacity},"
+            f"prio={priority_levels},seed={seed}]"
+        ),
+        network=net,
+        flows=tuple(flows),
+        sim=SimConfig(
+            duration=duration,
+            nic_fifo_capacity=nic_fifo_capacity,
+            priority_levels=priority_levels,
+        ),
+    )
+
+
+@register_scenario("voip-churn")
+def voip_churn(
+    *,
+    n_hosts: int = 6,
+    n_calls: int = 8,
+    release_every: int = 3,
+    codec: str = "g711",
+    seed: int = 0,
+    speed_bps: float = mbps(100),
+    duration: float = 1.0,
+) -> Scenario:
+    """An admission-control storyline: calls arrive one by one and
+    every ``release_every``-th arrival is followed by the oldest live
+    call hanging up.  The scenario carries no base flows — the whole
+    workload is the churn sequence (campaign ``admit`` action)."""
+    if release_every < 1:
+        raise ValueError("release_every must be >= 1")
+    net = star_network(n_hosts, speed_bps=speed_bps)
+    rng = np.random.default_rng(seed)
+    hosts = [f"h{i}" for i in range(n_hosts)]
+    events: list[ChurnEvent] = []
+    live: list[str] = []
+    for i in range(n_calls):
+        src, dst = rng.choice(hosts, size=2, replace=False)
+        flow = voip_flow(
+            (str(src), "sw", str(dst)), name=f"call{i}", codec=codec
+        )
+        events.append(ChurnEvent(action="admit", flow=flow))
+        live.append(flow.name)
+        if (i + 1) % release_every == 0 and live:
+            events.append(
+                ChurnEvent(action="release", flow_name=live.pop(0))
+            )
+    return Scenario(
+        name=f"voip-churn[{n_calls}calls,seed={seed}]",
+        network=net,
+        flows=(),
+        sim=SimConfig(duration=duration),
+        churn=tuple(events),
+    )

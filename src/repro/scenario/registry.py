@@ -1,0 +1,122 @@
+"""Named scenario generator families and parametric grids.
+
+A *family* is a function ``(**params) -> Scenario`` registered under a
+name::
+
+    @register_scenario("my-family")
+    def my_family(*, seed: int = 0, n_flows: int = 4) -> Scenario:
+        ...
+
+Families must be **deterministic in their parameters** — the same
+``(family, params)`` pair always yields bit-identical scenarios.  That
+contract is what lets a campaign ship tiny :class:`ScenarioSpec`
+recipes to worker processes instead of pickled networks, and what makes
+``--jobs N`` runs reproduce ``--jobs 1`` exactly.
+
+:func:`scenario_grid` expands parameter axes into a spec list: every
+axis given as a ``list``/``tuple``/``range`` is swept (cartesian
+product, last axis fastest), scalars are held fixed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Any, Callable
+
+from repro.scenario.model import Scenario, ScenarioSpec
+
+ScenarioFactory = Callable[..., Scenario]
+
+
+class ScenarioRegistry:
+    """Mutable name → factory mapping with grid expansion."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, ScenarioFactory] = {}
+
+    # ------------------------------------------------------------------
+    # Registration / lookup
+    # ------------------------------------------------------------------
+    def register(
+        self, name: str, factory: ScenarioFactory | None = None
+    ) -> Callable[[ScenarioFactory], ScenarioFactory] | ScenarioFactory:
+        """Register a family; usable directly or as a decorator."""
+
+        def add(fn: ScenarioFactory) -> ScenarioFactory:
+            if name in self._families:
+                raise ValueError(f"scenario family {name!r} already registered")
+            self._families[name] = fn
+            return fn
+
+        return add(factory) if factory is not None else add
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._families))
+
+    def get(self, name: str) -> ScenarioFactory:
+        try:
+            return self._families[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario family {name!r}; "
+                f"registered: {list(self.names())}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self, name: str, **params: Any) -> Scenario:
+        """Build one scenario, stamping its generator provenance."""
+        scenario = self.get(name)(**params)
+        return replace(
+            scenario, generator=ScenarioSpec.of(name, **params)
+        )
+
+    def grid(self, name: str, **axes: Any) -> list[ScenarioSpec]:
+        """Spec list over the cartesian product of the swept axes."""
+        self.get(name)  # fail fast on unknown families
+        return [
+            ScenarioSpec.of(name, **point) for point in expand_grid(**axes)
+        ]
+
+
+def _is_swept(value: Any) -> bool:
+    return isinstance(value, (list, tuple, range))
+
+
+def expand_grid(**axes: Any) -> list[dict[str, Any]]:
+    """Cartesian product of the swept axes (insertion order, last axis
+    fastest); scalar axes are repeated into every point."""
+    keys = list(axes)
+    columns: list[list[Any]] = [
+        list(v) if _is_swept(v) else [v] for v in axes.values()
+    ]
+    return [dict(zip(keys, combo)) for combo in itertools.product(*columns)]
+
+
+#: The process-global registry the campaign engine and CLI consult.
+#: Importing :mod:`repro.scenario` (or this module) registers the
+#: built-in families below.
+REGISTRY = ScenarioRegistry()
+
+
+def register_scenario(name: str):
+    """Decorator registering a family on the global :data:`REGISTRY`."""
+    return REGISTRY.register(name)
+
+
+def build_scenario(name: str, **params: Any) -> Scenario:
+    """Build one scenario from the global registry."""
+    return REGISTRY.build(name, **params)
+
+
+def scenario_grid(name: str, **axes: Any) -> list[ScenarioSpec]:
+    """Expand a parametric grid over a global-registry family."""
+    return REGISTRY.grid(name, **axes)
+
+
+# Built-in families self-register on import (they import
+# ``register_scenario`` from this partially-initialised module, which
+# is defined above, so the tail import is safe).
+from repro.scenario import families as _families  # noqa: E402,F401

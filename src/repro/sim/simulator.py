@@ -132,18 +132,15 @@ class Simulator:
         self.switches: dict[str, SimSwitch] = {}
         switch_nodes = [n for n in net.nodes() if n.is_switch]
 
-        # interfaces of a switch = all distinct neighbours (either direction)
-        def interfaces_of(name: str) -> tuple[str, ...]:
-            incoming = {l.src for l in net.links() if l.dst == name}
-            outgoing = {l.dst for l in net.links() if l.src == name}
-            return tuple(sorted(incoming | outgoing))
-
-        # Build ClickSwitch structures.
+        # Build ClickSwitch structures.  Interfaces of a switch = all
+        # distinct neighbours (either direction) — answered by the
+        # network's incrementally-maintained adjacency maps instead of
+        # a per-switch rescan of every link (O(nodes*links) in total).
         clicks: dict[str, ClickSwitch] = {}
         for node in switch_nodes:
             clicks[node.name] = ClickSwitch(
                 node.name,
-                interfaces_of(node.name),
+                net.interfaces_of(node.name),
                 node.switch,
                 priority_levels=cfg.priority_levels,
                 nic_fifo_capacity=cfg.nic_fifo_capacity,

@@ -24,6 +24,7 @@ from repro.workloads.generator import (
 )
 from repro.workloads.topologies import (
     paper_fig1_network,
+    fat_tree_network,
     line_network,
     star_network,
     tree_network,
@@ -32,6 +33,7 @@ from repro.workloads.topologies import (
 __all__ = [
     "MpegGopPattern",
     "RandomFlowConfig",
+    "fat_tree_network",
     "line_network",
     "mpeg_gop_spec",
     "paper_fig1_network",

@@ -97,6 +97,49 @@ def star_network(
     return net
 
 
+def fat_tree_network(
+    *,
+    spines: int = 2,
+    leaves: int = 4,
+    hosts_per_leaf: int = 2,
+    speed_bps: float = mbps(100),
+    uplink_speed_bps: float | None = None,
+    prop_delay: float = 0.0,
+    switch_config: SwitchConfig | None = None,
+) -> Network:
+    """A two-tier folded-Clos (leaf/spine) fabric with path diversity.
+
+    Every leaf switch ``leaf{j}`` connects to every spine switch
+    ``spine{i}``, so any leaf-to-leaf route has ``spines`` equal-length
+    choices — the multi-path regime the single-path line/star/tree
+    families cannot express.  Hosts ``h{leaf}_{k}`` attach to leaves;
+    ``uplink_speed_bps`` (default: same as host links) sets the
+    leaf-spine capacity.
+    """
+    if spines < 1 or leaves < 2:
+        raise ValueError("a fat-tree needs >= 1 spine and >= 2 leaves")
+    if hosts_per_leaf < 1:
+        raise ValueError("each leaf needs at least one host")
+    uplink = speed_bps if uplink_speed_bps is None else uplink_speed_bps
+    net = Network()
+    for i in range(spines):
+        net.add_switch(f"spine{i}", switch_config)
+    for j in range(leaves):
+        leaf = f"leaf{j}"
+        net.add_switch(leaf, switch_config)
+        for i in range(spines):
+            net.add_duplex_link(
+                leaf, f"spine{i}", speed_bps=uplink, prop_delay=prop_delay
+            )
+        for k in range(hosts_per_leaf):
+            host = f"h{j}_{k}"
+            net.add_endhost(host)
+            net.add_duplex_link(
+                host, leaf, speed_bps=speed_bps, prop_delay=prop_delay
+            )
+    return net
+
+
 def tree_network(
     depth: int,
     *,

@@ -121,3 +121,137 @@ class TestParser:
         bad = tmp_path / "nope.json"
         with pytest.raises(Exception):
             main(["analyze", str(bad)])
+
+
+class TestGenerate:
+    def test_list_families(self, capsys):
+        assert main(["generate", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "random-line" in out and "fat-tree" in out
+
+    def test_write_scenario_file(self, tmp_path, capsys):
+        path = tmp_path / "gen.json"
+        code = main(
+            [
+                "generate",
+                "--family",
+                "voip-star",
+                "--param",
+                "seed=2",
+                "--param",
+                "n_calls=2",
+                "-o",
+                str(path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == 1
+        assert doc["generator"]["family"] == "voip-star"
+        # the generated file feeds straight back into analyze
+        assert main(["analyze", str(path)]) == 0
+
+    def test_stdout_without_output(self, capsys):
+        assert main(["generate", "--family", "voip-star"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["generator"] == {"family": "voip-star", "params": {}}
+        assert len(doc["flows"]) == 4  # the family default
+
+    def test_missing_family(self):
+        with pytest.raises(SystemExit):
+            main(["generate"])
+
+
+class TestCampaign:
+    def test_grid_jobs_bit_identical(self, capsys):
+        argv = [
+            "campaign",
+            "--family",
+            "random-line",
+            "--grid",
+            "seed=0..3",
+            "--grid",
+            "n_flows=3",
+        ]
+        code1 = main(argv + ["--jobs", "1"])
+        serial = capsys.readouterr().out
+        code2 = main(argv + ["--jobs", "2"])
+        parallel = capsys.readouterr().out
+        assert code1 == code2
+        strip = lambda text: [
+            l for l in text.splitlines() if not l.startswith("campaign:")
+        ]
+        assert strip(serial) == strip(parallel)
+        assert "campaign digest:" in serial
+
+    def test_scenario_files_accepted(self, scenario_file, capsys):
+        assert main(["campaign", scenario_file, "--actions", "analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "analyze" in out
+
+    def test_range_and_list_grid_syntax(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--family",
+                "mpeg-line",
+                "--grid",
+                "n_switches=1,2",
+                "--actions",
+                "analyze",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("mpeg-line[") == 2
+
+    def test_needs_input(self):
+        with pytest.raises(SystemExit):
+            main(["campaign"])
+
+
+class TestEmbeddedScenarioBlocks:
+    """v1 files carry analysis/sim blocks that the subcommands honor."""
+
+    def test_simulate_honors_sim_block(self, tmp_path, capsys):
+        from repro.scenario import build_scenario, save_scenario_file
+
+        path = tmp_path / "fi.json"
+        save_scenario_file(
+            path,
+            build_scenario(
+                "failure-injection", nic_fifo_capacity=4, priority_levels=4
+            ),
+        )
+        code = main(["simulate", str(path)])
+        out = capsys.readouterr().out
+        # the family's finite FIFOs drop fragments -> observed misses,
+        # which a legacy load (unbounded FIFOs) would not produce
+        assert "deadline misses observed: 0" not in out
+        assert code == 1
+        # the file's 1.0s duration is used, not the legacy 2.0 default
+        assert "(1s," in out
+
+    def test_duration_flag_overrides_sim_block(self, tmp_path, capsys):
+        from repro.scenario import build_scenario, save_scenario_file
+
+        path = tmp_path / "star.json"
+        save_scenario_file(
+            path, build_scenario("voip-star", n_calls=2, duration=1.0)
+        )
+        main(["simulate", str(path), "-d", "0.5"])
+        assert "(0.5s," in capsys.readouterr().out
+
+    def test_analyze_honors_analysis_block(self, tmp_path, capsys):
+        import dataclasses
+
+        from repro.scenario import build_scenario, save_scenario_file
+
+        sc = build_scenario("voip-star", n_calls=2)
+        sc = sc.with_options(
+            dataclasses.replace(sc.options, holistic_max_iterations=123)
+        )
+        path = tmp_path / "opt.json"
+        save_scenario_file(path, sc)
+        # smoke: loads + analyzes fine with the embedded block
+        assert main(["analyze", str(path)]) == 0

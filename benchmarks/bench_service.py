@@ -1,0 +1,103 @@
+"""Admission-service throughput: requests/sec at 1 vs N shards.
+
+The workload is deliberately *shard-local*: four disjoint VoIP stars in
+one network, one shard per star (explicit ``shard_map``), with the
+request stream round-robining across stars so every micro-batch spans
+all shards.  At ``n_shards=1`` everything funnels through one
+controller; at ``n_shards=4`` with worker processes each star's
+requests are served by its own core — the speedup is the service
+tentpole's headline number (≥ 2x at 4 shards on a multi-core host;
+single-core CI records both numbers without the parallel gain, like
+``bench_campaign.py``).
+
+Decisions are asserted identical to a serial
+:class:`~repro.core.admission.AdmissionController` drain of the same
+trace, so every trajectory entry measures the same admitted work.
+"""
+
+import pytest
+
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.model.network import Network
+from repro.scenario import Scenario
+from repro.service import (
+    ShardedAdmissionService,
+    replay_serial,
+    replay_service,
+    trace_from_scenario,
+)
+from repro.util.units import mbps, ms
+
+N_STARS = 4
+N_REQUESTS = 96
+
+
+def _call(name, route):
+    return Flow(
+        name=name,
+        spec=GmfSpec(
+            min_separations=(ms(20),),
+            deadlines=(ms(20),),
+            jitters=(0.0,),
+            payload_bits=(20_000,),
+        ),
+        route=route,
+        priority=5,
+    )
+
+
+def _multi_star_scenario():
+    """Four disjoint stars; the flow pool round-robins across them."""
+    net = Network()
+    for s in range(N_STARS):
+        net.add_switch(f"sw{s}")
+        for h in range(4):
+            net.add_endhost(f"s{s}h{h}")
+            net.add_duplex_link(f"s{s}h{h}", f"sw{s}", speed_bps=mbps(100))
+    flows = []
+    for i in range(8):
+        s = i % N_STARS
+        a, b = (0, 1) if i < N_STARS else (2, 3)
+        flows.append(
+            _call(f"s{s}call{i}", (f"s{s}h{a}", f"sw{s}", f"s{s}h{b}"))
+        )
+    return Scenario(name="multi-star", network=net, flows=tuple(flows))
+
+
+SCENARIO = _multi_star_scenario()
+SHARD_MAP = {f"sw{s}": s for s in range(N_STARS)}
+TRACE = trace_from_scenario(
+    SCENARIO,
+    n_requests=N_REQUESTS,
+    arrival="burst",
+    burst_size=16,
+    burst_gap=0.01,
+    hold=12,
+    seed=0,
+)
+# The parity reference: what a serial controller decides on this trace.
+SERIAL = replay_serial(SCENARIO.network, TRACE, SCENARIO.options)
+
+
+@pytest.mark.parametrize("n_shards", [1, N_STARS])
+def test_service_throughput(benchmark, n_shards):
+    """Drain the trace through the service (workers when sharded)."""
+
+    def run():
+        service = ShardedAdmissionService(
+            SCENARIO.network,
+            n_shards=n_shards,
+            options=SCENARIO.options,
+            shard_map={k: v % n_shards for k, v in SHARD_MAP.items()},
+            workers=n_shards > 1,
+        )
+        try:
+            return replay_service(service, TRACE, batch=16)
+        finally:
+            service.close()
+
+    summary = benchmark(run)
+    assert summary.admit_decisions == SERIAL.admit_decisions
+    benchmark.extra_info["requests_per_s"] = round(summary.requests_per_s, 1)
+    benchmark.extra_info["accepted"] = summary.accepted

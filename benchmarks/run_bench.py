@@ -38,6 +38,7 @@ BENCH_FILES = (
     "benchmarks/bench_scaling.py",
     "benchmarks/bench_admission.py",
     "benchmarks/bench_campaign.py",
+    "benchmarks/bench_service.py",
 )
 
 

@@ -27,6 +27,24 @@ from one file to whole scenario families::
 ``campaign`` fans the scenario grid across a multiprocessing pool; its
 result rows (and the printed digest) are bit-identical for any
 ``--jobs`` value, so parallel sweeps stay reproducible.
+
+Serving (the :mod:`repro.service` subsystem) turns the admission
+controller into a network service::
+
+    python -m repro.cli serve scenario.json --port 7420 --shards 4
+    python -m repro.cli serve --restore state.json     # warm restart
+    python -m repro.cli replay --family voip-star \\
+        --requests 200 --arrival poisson --rate 200    # offline driver
+    python -m repro.cli replay --family voip-star \\
+        --requests 200 --connect 127.0.0.1:7420 \\
+        --check-serial                                 # drive a live server
+
+``replay`` builds a reproducible request stream from any scenario
+family plus an arrival process (poisson / burst / recorded churn) and
+drives either an in-process sharded service or a live server;
+``--check-serial`` re-runs the stream through a plain serial
+:class:`~repro.core.admission.AdmissionController` and verifies the
+decisions match request for request.
 """
 
 from __future__ import annotations
@@ -443,6 +461,190 @@ def cmd_generate(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Serving (repro.service)
+# ----------------------------------------------------------------------
+def cmd_serve(args) -> int:
+    from repro.service import (
+        Request,
+        ShardedAdmissionService,
+        load_service_state,
+        run_server,
+    )
+
+    if args.scenario and args.restore:
+        raise SystemExit(
+            "serve takes a scenario file OR --restore, not both"
+        )
+    if args.workers and args.no_workers:
+        raise SystemExit("--workers and --no-workers are mutually exclusive")
+    if args.restore and args.shards != 1:
+        raise SystemExit(
+            "--shards has no effect with --restore "
+            "(the shard count comes from the snapshot)"
+        )
+    if args.restore and args.admit_base:
+        raise SystemExit(
+            "--admit-base has no effect with --restore "
+            "(the admitted set comes from the snapshot)"
+        )
+    if not args.scenario and not args.restore:
+        raise SystemExit(
+            "serve needs a scenario file (topology + options) or "
+            "--restore with a service-state snapshot"
+        )
+    if args.restore:
+        # Tri-state: --workers forces processes, --no-workers forces
+        # inline, neither keeps the snapshot's backend choice.
+        workers = (
+            True if args.workers else False if args.no_workers else None
+        )
+        service = load_service_state(args.restore, workers=workers)
+        print(
+            f"restored {service.stats()['admitted']} admitted flow(s) "
+            f"across {service.n_shards} shard(s) from {args.restore}"
+        )
+    else:
+        loaded = _CliScenario(args.scenario)
+        service = ShardedAdmissionService(
+            loaded.network,
+            n_shards=args.shards,
+            options=loaded.scenario.options,
+            workers=args.workers,
+        )
+        if args.admit_base and loaded.flows:
+            payloads = service.process_batch(
+                [Request(op="admit", flow=f) for f in loaded.flows]
+            )
+            ok = sum(1 for p in payloads if p.get("accepted"))
+            print(f"pre-admitted {ok}/{len(payloads)} base flow(s)")
+    print(
+        f"admission service: {service.n_shards} shard(s), "
+        f"workers={service.workers}"
+    )
+    # run_server owns the shutdown: it closes the service on exit.
+    run_server(
+        service,
+        host=args.host,
+        port=args.port,
+        batch_max=args.batch_max,
+        batch_window_s=args.batch_window,
+        snapshot_dir=args.snapshot_dir,
+    )
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.scenario import REGISTRY
+    from repro.service import (
+        ShardedAdmissionService,
+        load_trace,
+        replay_serial,
+        replay_service,
+        replay_tcp,
+        save_trace,
+        trace_from_scenario,
+    )
+
+    scenario = None
+    if args.scenario and args.family:
+        raise SystemExit("replay takes --scenario OR --family, not both")
+    if args.scenario:
+        scenario = _CliScenario(args.scenario).scenario
+    elif args.family:
+        params = dict(_parse_axis(p) for p in args.param or [])
+        for key, value in params.items():
+            if isinstance(value, list):
+                raise SystemExit(
+                    f"replay takes one value per --param (got {key}={value})"
+                )
+        scenario = REGISTRY.build(args.family, **params)
+
+    if args.from_trace:
+        trace = load_trace(args.from_trace)
+    elif scenario is not None:
+        trace = trace_from_scenario(
+            scenario,
+            n_requests=args.requests,
+            arrival=args.arrival,
+            rate=args.rate,
+            burst_size=args.burst_size,
+            burst_gap=args.burst_gap,
+            hold=args.hold,
+            seed=args.seed,
+        )
+    else:
+        raise SystemExit(
+            "replay needs a workload: --family/--scenario or --from-trace"
+        )
+    if args.trace_out:
+        save_trace(args.trace_out, trace)
+        print(f"wrote {trace.n_requests}-request log to {args.trace_out}")
+
+    if args.connect:
+        if args.shards != 1 or args.workers:
+            raise SystemExit(
+                "--shards/--workers configure the local service and have "
+                "no effect with --connect (the live server's configuration "
+                "applies)"
+            )
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(f"--connect expects HOST:PORT, got {args.connect!r}")
+        summary = replay_tcp(host, int(port), trace, window=args.batch)
+        target = f"server {args.connect}"
+    else:
+        if scenario is None:
+            raise SystemExit(
+                "local replay needs --family/--scenario for the topology "
+                "(or use --connect to drive a live server)"
+            )
+        service = ShardedAdmissionService(
+            scenario.network,
+            n_shards=args.shards,
+            options=scenario.options,
+            workers=args.workers,
+        )
+        try:
+            summary = replay_service(service, trace, batch=args.batch)
+        finally:
+            service.close()
+        target = f"local service ({args.shards} shard(s))"
+
+    table = Table(["metric", "value"], title=f"replay of {trace.name} -> {target}")
+    table.add_row(["requests", summary.n_requests])
+    table.add_row(["offered", summary.offered])
+    table.add_row(["accepted", summary.accepted])
+    table.add_row(["rejected", summary.rejected])
+    table.add_row(["released", summary.released])
+    table.add_row(["errors", summary.errors])
+    table.add_row(["accept rate", f"{summary.accept_rate:.3f}"])
+    table.add_row(["throughput", f"{summary.requests_per_s:.1f} req/s"])
+    print(table.render())
+
+    if args.check_serial:
+        if scenario is None:
+            raise SystemExit("--check-serial needs --family/--scenario")
+        serial = replay_serial(scenario.network, trace, scenario.options)
+        if serial.admit_decisions == summary.admit_decisions:
+            print(
+                f"serial parity: OK ({summary.offered} decisions identical "
+                "to the serial controller)"
+            )
+        else:
+            diverged = sum(
+                1
+                for a, b in zip(serial.admit_decisions, summary.admit_decisions)
+                if a != b
+            )
+            print(
+                f"serial parity: MISMATCH ({diverged} of "
+                f"{len(serial.admit_decisions)} decisions differ)"
+            )
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -552,6 +754,113 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list registered families"
     )
     p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser(
+        "serve", help="run the sharded admission service over TCP"
+    )
+    p.add_argument(
+        "scenario",
+        nargs="?",
+        help="scenario JSON supplying topology + analysis options",
+    )
+    p.add_argument(
+        "--restore", help="boot from a service-state snapshot instead"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=7420, help="TCP port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--shards", type=int, default=1, help="link-disjoint shard count"
+    )
+    p.add_argument(
+        "--workers",
+        action="store_true",
+        help="back every shard with its own worker process",
+    )
+    p.add_argument(
+        "--no-workers",
+        action="store_true",
+        help="with --restore: force inline shards even if the snapshot "
+        "was taken from a worker-backed service",
+    )
+    p.add_argument(
+        "--admit-base",
+        action="store_true",
+        help="offer the scenario's base flows before serving",
+    )
+    p.add_argument(
+        "--batch-max", type=int, default=64, help="micro-batch size cap"
+    )
+    p.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        help="coalescing pause in seconds before dispatching a batch",
+    )
+    p.add_argument(
+        "--snapshot-dir",
+        help="directory client snapshot requests may write into "
+        "(default: file snapshots over the wire are refused)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "replay",
+        help="drive the service (or a live server) with a request stream",
+    )
+    p.add_argument("--scenario", help="scenario JSON file as the workload")
+    p.add_argument("--family", help="registered scenario family")
+    p.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="family parameter; repeatable",
+    )
+    p.add_argument(
+        "--requests", type=int, default=200, help="trace length (default 200)"
+    )
+    p.add_argument(
+        "--arrival",
+        choices=("poisson", "burst", "recorded"),
+        default="poisson",
+    )
+    p.add_argument("--rate", type=float, default=100.0, help="req/s (poisson)")
+    p.add_argument("--burst-size", type=int, default=16)
+    p.add_argument("--burst-gap", type=float, default=0.05)
+    p.add_argument(
+        "--hold",
+        type=int,
+        default=8,
+        help="live flows held before the oldest is released",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--shards", type=int, default=1, help="shards of the local service"
+    )
+    p.add_argument(
+        "--workers", action="store_true", help="process-backed shards"
+    )
+    p.add_argument(
+        "--batch", type=int, default=16, help="micro-batch / pipeline window"
+    )
+    p.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="drive a live server instead of an in-process service",
+    )
+    p.add_argument(
+        "--trace-out", help="also save the request log (JSON lines)"
+    )
+    p.add_argument(
+        "--from-trace", help="replay a saved request log instead of generating"
+    )
+    p.add_argument(
+        "--check-serial",
+        action="store_true",
+        help="verify decisions against a serial AdmissionController",
+    )
+    p.set_defaults(func=cmd_replay)
     return parser
 
 

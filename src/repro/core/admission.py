@@ -15,19 +15,33 @@ admitted set, so the per-request work is kept incremental:
 * the per-(flow, link) :class:`~repro.core.demand.LinkDemand` profiles
   are structurally shared across requests via
   :meth:`AnalysisContext.with_flows` — only the candidate flow's
-  profiles are built (entries are identity-checked, so a re-used flow
+  profiles are built (entries are value-checked, so a re-used flow
   name can never serve a stale profile, and a rejected candidate's
-  entries are evicted);
+  entries are retired);
 * the admitted set's converged jitter table warm-starts the tentative
   analysis.  Admitting a flow only adds interference, so the previous
   least fixed point lies below the new one and the monotone holistic
   iteration started from it converges to the same bounds in fewer
   rounds (releases cold-start instead: removing a flow lowers the fixed
-  point, so the old table would be an over-approximation).
+  point, so the old table would be an over-approximation);
+* released (and rejected) flows' demand profiles are *retired* into a
+  bounded store rather than discarded, so a release followed by
+  re-admission of the same flow — the dominant churn pattern of a call
+  service — rebuilds no :class:`~repro.core.demand.LinkDemand` at all.
+  Retired entries keep their value check, so a reused flow name can
+  never resurrect a stale profile — while an *equal* flow re-parsed
+  from the wire (the service path) still reuses every profile.
+
+The controller's converged state (admitted flows + jitter table) is
+exportable via :meth:`AdmissionController.export_state` and can be
+reconstructed with :meth:`AdmissionController.restore` without
+re-admitting flow by flow — the basis of the service layer's
+snapshot/restore (:mod:`repro.service.state`).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -78,6 +92,7 @@ class AdmissionController:
         *,
         fast_reject: bool = True,
         warm_start: bool = True,
+        retained_flows: int = 256,
     ):
         #: When True, requests failing the cheap necessary utilisation
         #: condition (Eqs. 20/34/35-style, O(flows x links)) are
@@ -92,6 +107,11 @@ class AdmissionController:
         self._flows: list[Flow] = []
         self._ctx = AnalysisContext(network, (), self.options)
         self._last_analysis: HolisticResult | None = None
+        #: Retired demand-profile generations of released/rejected
+        #: flows, keyed by flow name; bounded FIFO of ``retained_flows``
+        #: entries.  See the module docstring's online-hot-path notes.
+        self._retired: OrderedDict[str, dict] = OrderedDict()
+        self._retained_flows = max(0, retained_flows)
         for f in initial_flows:
             decision = self.request(f)
             if not decision.accepted:
@@ -109,11 +129,31 @@ class AdmissionController:
         """Holistic result of the currently admitted set (None if empty)."""
         return self._last_analysis
 
+    # ------------------------------------------------------------------
+    # Retired demand-profile generations
+    # ------------------------------------------------------------------
+    def _retire_demands(self, flow_name: str) -> None:
+        """Move a flow's demand profiles to the bounded retired store."""
+        entries = self._ctx.pop_demands(flow_name)
+        if entries is None or not self._retained_flows:
+            return
+        self._retired.pop(flow_name, None)
+        self._retired[flow_name] = entries
+        while len(self._retired) > self._retained_flows:
+            self._retired.popitem(last=False)
+
+    def _revive_demands(self, flow_name: str) -> None:
+        """Reinstall a retired flow's profiles ahead of re-admission."""
+        entries = self._retired.pop(flow_name, None)
+        if entries is not None:
+            self._ctx.install_demands(flow_name, entries)
+
     def request(self, flow: Flow) -> AdmissionDecision:
         """Try to admit ``flow``; accepted flows become part of the state."""
         validate_route(self.network, flow.route)
         if any(f.name == flow.name for f in self._flows):
             raise ValueError(f"flow name {flow.name!r} already admitted")
+        self._revive_demands(flow.name)
 
         tentative = [*self._flows, flow]
         ctx = self._ctx.with_flows(tentative, share_demand_cache=True)
@@ -123,7 +163,7 @@ class AdmissionController:
             report = network_convergence_report(ctx)
             if not report.all_convergent:
                 bottleneck = report.bottleneck()
-                self._ctx.evict_demands(flow.name)
+                self._retire_demands(flow.name)
                 return AdmissionDecision(
                     accepted=False,
                     reason=(
@@ -139,7 +179,7 @@ class AdmissionController:
             self.network, tentative, self.options, context=ctx
         )
         if not analysis.converged:
-            self._ctx.evict_demands(flow.name)
+            self._retire_demands(flow.name)
             return AdmissionDecision(
                 accepted=False,
                 reason="holistic analysis diverged (utilisation too high)",
@@ -147,7 +187,7 @@ class AdmissionController:
             )
         violation = self._first_violation(analysis)
         if violation is not None:
-            self._ctx.evict_demands(flow.name)
+            self._retire_demands(flow.name)
             return AdmissionDecision(
                 accepted=False, reason=violation, analysis=analysis
             )
@@ -159,12 +199,19 @@ class AdmissionController:
         )
 
     def release(self, flow_name: str) -> None:
-        """Remove a previously admitted flow (its session ended)."""
+        """Remove a previously admitted flow (its session ended).
+
+        The released flow's demand profiles are retired, not discarded
+        — re-admitting the same flow (churn) rebuilds nothing.  The
+        remaining set's :class:`LinkDemand` profiles stay structurally
+        shared, so the re-analysis below only redoes the jitter fixed
+        point, never the demand construction.
+        """
         before = len(self._flows)
         self._flows = [f for f in self._flows if f.name != flow_name]
         if len(self._flows) == before:
             raise KeyError(f"flow {flow_name!r} is not admitted")
-        self._ctx.evict_demands(flow_name)
+        self._retire_demands(flow_name)
         # Cold jitter start: removing interference lowers the fixed
         # point, so warm-starting from the old table would be unsound.
         self._ctx = self._ctx.with_flows(self._flows, share_demand_cache=True)
@@ -175,6 +222,63 @@ class AdmissionController:
             if self._flows
             else None
         )
+
+    # ------------------------------------------------------------------
+    # State export / restore (service snapshots)
+    # ------------------------------------------------------------------
+    def export_state(self) -> tuple[tuple[Flow, ...], dict]:
+        """Converged state: ``(admitted flows, jitter-table entries)``.
+
+        The jitter entries are the explicit, converged
+        ``(flow name, resource) -> per-frame jitters`` mapping of the
+        admitted set — exactly what :meth:`restore` needs to rebuild an
+        equivalent controller without re-admitting flow by flow.
+        """
+        return tuple(self._flows), self._ctx.jitters.snapshot()
+
+    @classmethod
+    def restore(
+        cls,
+        network: Network,
+        options: AnalysisOptions | None = None,
+        *,
+        flows: Sequence[Flow],
+        jitters: Mapping | None = None,
+        fast_reject: bool = True,
+        warm_start: bool = True,
+        retained_flows: int = 256,
+    ) -> "AdmissionController":
+        """Rebuild a controller from :meth:`export_state` output.
+
+        The admitted set is installed wholesale and one holistic
+        analysis re-derives ``last_analysis``; seeded with the exported
+        converged jitter table, the monotone iteration confirms the
+        fixed point immediately instead of re-running the per-flow
+        admission sequence.  The restored controller's subsequent
+        decisions are identical to the original's: both hold the same
+        admitted set and the same converged table, and every fast path
+        (warm starts, shared demand caches, stage memos) is
+        exactness-preserving.
+        """
+        ctrl = cls(
+            network,
+            options,
+            fast_reject=fast_reject,
+            warm_start=warm_start,
+            retained_flows=retained_flows,
+        )
+        ctrl._flows = list(flows)
+        ctrl._ctx = AnalysisContext(network, ctrl._flows, ctrl.options)
+        if jitters:
+            ctrl._ctx.jitters.seed(jitters)
+        ctrl._last_analysis = (
+            holistic_analysis(
+                network, ctrl._flows, ctrl.options, context=ctrl._ctx
+            )
+            if ctrl._flows
+            else None
+        )
+        return ctrl
 
     @staticmethod
     def _first_violation(analysis: HolisticResult) -> str | None:

@@ -186,6 +186,27 @@ class JitterTable:
         self._changed = set()
         return changed
 
+    def seed(
+        self,
+        entries: Mapping[tuple[str, ResourceKey], Sequence[float]],
+    ) -> None:
+        """Install explicit entries wholesale (snapshot restore).
+
+        Entries of unknown flows are skipped so a table restored from a
+        superset snapshot stays consistent; known-flow entries are
+        length-validated against the flow's frame count.
+        """
+        for (name, resource), jit in entries.items():
+            if name not in self._specs:
+                continue
+            jit = tuple(float(j) for j in jit)
+            if len(jit) != self._specs[name].n_frames:
+                raise ValueError(
+                    f"flow {name!r}: {len(jit)} jitters for "
+                    f"{self._specs[name].n_frames} frames"
+                )
+            self._table[(name, tuple(resource))] = jit
+
     def warm_start_from(self, other: "JitterTable") -> None:
         """Seed entries from a converged table of a *subset* flow set.
 
@@ -261,9 +282,10 @@ class AnalysisContext:
         # Maps flow name -> {(n1, n2) -> (flow object, LinkDemand)}.
         # Keyed by name first so an admission release/rejection evicts a
         # flow's profiles in O(1) instead of scanning the whole cache.
-        # The flow object is kept for an identity check: the cache may
-        # be structurally shared across contexts (admission hot path),
-        # and a released name could later be reused by a different flow.
+        # The flow object is kept for a value check (identity fast
+        # path): the cache may be structurally shared across contexts
+        # (admission hot path), and a released name could later be
+        # reused by a different flow.
         self._demand_cache: dict[
             str, dict[tuple[str, str], tuple[Flow, LinkDemand]]
         ] = _shared_demand_cache if _shared_demand_cache is not None else {}
@@ -301,12 +323,19 @@ class AnalysisContext:
         return self._hep_cache[key]
 
     def demand(self, flow: Flow, n1: str, n2: str) -> LinkDemand:
-        """Cached :class:`LinkDemand` of ``flow`` on ``link(n1, n2)``."""
+        """Cached :class:`LinkDemand` of ``flow`` on ``link(n1, n2)``.
+
+        Entries are value-checked (with an identity fast path): a
+        profile is a pure function of the flow's value and the link, so
+        an equal flow parsed from the wire or unpickled by a shard
+        worker reuses the cached profile, while a *different* flow
+        reusing a released name can never be served a stale one.
+        """
         per_flow = self._demand_cache.get(flow.name)
         if per_flow is None:
             per_flow = self._demand_cache[flow.name] = {}
         entry = per_flow.get((n1, n2))
-        if entry is None or entry[0] is not flow:
+        if entry is None or (entry[0] is not flow and entry[0] != flow):
             entry = (
                 flow,
                 build_link_demand(
@@ -316,11 +345,35 @@ class AnalysisContext:
                 ),
             )
             per_flow[(n1, n2)] = entry
+        elif entry[0] is not flow:
+            # Equal value, new object (e.g. a re-parsed request): rekey
+            # so subsequent lookups take the identity fast path.
+            entry = (flow, entry[1])
+            per_flow[(n1, n2)] = entry
         return entry[1]
 
-    def evict_demands(self, flow_name: str) -> None:
-        """Drop a flow's cached demand profiles (admission release)."""
-        self._demand_cache.pop(flow_name, None)
+    def pop_demands(
+        self, flow_name: str
+    ) -> dict[tuple[str, str], tuple[Flow, LinkDemand]] | None:
+        """Detach and return a flow's cached demand profiles (or None).
+
+        The admission controller retires released flows' profiles into a
+        bounded store instead of discarding them; :meth:`install_demands`
+        puts them back on re-admission.  Entries stay value-checked
+        (see :meth:`demand`), so reinstalling profiles of a reused
+        name now naming a different flow can never serve a wrong
+        profile — it just rebuilds on first access.
+        """
+        return self._demand_cache.pop(flow_name, None)
+
+    def install_demands(
+        self,
+        flow_name: str,
+        entries: dict[tuple[str, str], tuple[Flow, LinkDemand]],
+    ) -> None:
+        """Re-attach demand profiles previously detached by
+        :meth:`pop_demands`."""
+        self._demand_cache[flow_name] = entries
 
     def circ(self, node: str) -> float:
         """``CIRC(N)`` of a switch node (round-robin configuration)."""
@@ -370,8 +423,8 @@ class AnalysisContext:
         — which depend only on the flow and the link, not on the flow
         set — are structurally shared with this context, so an online
         admission controller only builds profiles for the candidate
-        flow.  Entries are identity-checked against the flow object, so
-        a reused name can never serve a stale profile.
+        flow.  Entries are value-checked against the flow, so a reused
+        name can never serve a stale profile.
         """
         return AnalysisContext(
             self.network,

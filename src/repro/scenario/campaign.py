@@ -28,8 +28,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
-import sys
 import time
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Mapping, Sequence
@@ -151,9 +149,7 @@ def action_admit(scenario: Scenario) -> dict[str, Any]:
             }
         )
 
-    for flow in scenario.flows:
-        offer(flow)
-    for ev in scenario.churn:
+    for ev in scenario.workload_events():
         if ev.action == "admit":
             offer(ev.flow)
         else:
@@ -272,13 +268,10 @@ def _run_item(
 
 
 def _pool_context():
-    # fork keeps dynamically-registered families/actions visible to the
-    # workers — but only Linux forks safely once numpy/BLAS threads
-    # exist (macOS defaults to spawn for exactly that reason, so its
-    # platform default is respected here).
-    if sys.platform == "linux":
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
+    # Shared policy with the service's shard workers: see repro.util.mp.
+    from repro.util.mp import mp_context
+
+    return mp_context()
 
 
 class CampaignRunner:

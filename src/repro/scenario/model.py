@@ -163,6 +163,16 @@ class Scenario:
                 return f
         raise KeyError(f"scenario {self.name!r} has no flow {name!r}")
 
+    def workload_events(self) -> tuple[ChurnEvent, ...]:
+        """The full admission storyline: base flows offered in order,
+        then the churn sequence.  The campaign ``admit`` action and the
+        service replay driver both consume this, so a scenario means
+        the same workload everywhere."""
+        return (
+            *(ChurnEvent(action="admit", flow=f) for f in self.flows),
+            *self.churn,
+        )
+
     def with_options(self, options: AnalysisOptions) -> "Scenario":
         return replace(self, options=options)
 

@@ -1,0 +1,91 @@
+"""Online admission-control service: sharding, serving, replay, state.
+
+The paper's closing claim — the holistic analysis "forms an admission
+controller" (Sec. 3.5) — made concrete as a production-shaped serving
+layer on top of :mod:`repro.core.admission`:
+
+* :mod:`repro.service.protocol` — versioned JSON-lines request protocol
+  (admit / release / query / stats / snapshot);
+* :mod:`repro.service.sharding` — :class:`ShardedAdmissionService`:
+  deterministic link-disjoint network shards, each owning its own
+  controller (inline or worker-process backed), with two-phase accept
+  for cross-shard flows and per-shard micro-batch coalescing;
+* :mod:`repro.service.server` — the asyncio TCP front end
+  (``repro.cli serve``);
+* :mod:`repro.service.replay` — scenario families x arrival processes
+  -> reproducible request streams, with sharded / serial / over-the-
+  wire drivers (``repro.cli replay``);
+* :mod:`repro.service.state` — versioned snapshot/restore of a running
+  service (byte-identical decisions on a replayed request log).
+"""
+
+from repro.service.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    decode_line,
+    encode_line,
+    request_from_dict,
+    request_to_dict,
+    response_to_dict,
+)
+from repro.service.replay import (
+    ARRIVALS,
+    ReplaySummary,
+    ReplayTrace,
+    load_trace,
+    replay_over_tcp,
+    replay_serial,
+    replay_service,
+    replay_tcp,
+    save_trace,
+    trace_from_family,
+    trace_from_scenario,
+)
+from repro.service.server import AdmissionServer, run_server
+from repro.service.sharding import (
+    ServiceDecision,
+    ShardedAdmissionService,
+    ShardRouter,
+)
+from repro.service.state import (
+    STATE_VERSION,
+    load_service_state,
+    save_service_state,
+    service_state_from_dict,
+    service_state_to_dict,
+)
+
+__all__ = [
+    "ARRIVALS",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "STATE_VERSION",
+    "AdmissionServer",
+    "ProtocolError",
+    "ReplaySummary",
+    "ReplayTrace",
+    "Request",
+    "ServiceDecision",
+    "ShardRouter",
+    "ShardedAdmissionService",
+    "decode_line",
+    "encode_line",
+    "load_service_state",
+    "load_trace",
+    "replay_over_tcp",
+    "replay_serial",
+    "replay_service",
+    "replay_tcp",
+    "request_from_dict",
+    "request_to_dict",
+    "response_to_dict",
+    "run_server",
+    "save_service_state",
+    "save_trace",
+    "service_state_from_dict",
+    "service_state_to_dict",
+    "trace_from_family",
+    "trace_from_scenario",
+]

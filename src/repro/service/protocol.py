@@ -1,0 +1,160 @@
+"""Versioned wire protocol of the admission service.
+
+One request or response per line, JSON-encoded (JSON-lines framing —
+trivially debuggable with ``nc`` and ``jq``).  Every message carries the
+protocol version under ``"v"``; requests from a *newer* protocol are
+refused loudly, mirroring the schema-version discipline of
+:mod:`repro.io` / :mod:`repro.scenario.serialization`.
+
+Requests::
+
+    {"v": 1, "id": 7, "op": "admit",   "flow": {<repro.io flow doc>}}
+    {"v": 1, "id": 8, "op": "release", "flow_name": "call3"}
+    {"v": 1, "id": 9, "op": "query",   "flow_name": "call3"}
+    {"v": 1, "id": 10, "op": "stats"}
+    {"v": 1, "id": 11, "op": "snapshot", "path": "state.json"}
+
+``id`` is an opaque client token echoed in the response; ``at`` is an
+optional replay timestamp (seconds into the trace) carried for log
+fidelity and ignored by the server.  Responses::
+
+    {"v": 1, "id": 7, "ok": true,  ...op-specific payload...}
+    {"v": 1, "id": 8, "ok": false, "error": "flow 'x' is not admitted"}
+
+The ``admit`` payload mirrors the service decision: ``accepted``,
+``reason``, ``shards`` and ``cross_shard``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.io import flow_from_dict, flow_to_dict
+from repro.model.flow import Flow
+
+#: Current protocol version.
+PROTOCOL_VERSION = 1
+
+#: Operations the service understands.
+OPS = ("admit", "release", "query", "stats", "snapshot")
+
+
+class ProtocolError(ValueError):
+    """A request line is malformed or from an unsupported protocol."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded client request."""
+
+    op: str
+    id: Any = None
+    flow: Flow | None = None
+    flow_name: str | None = None
+    at: float | None = None
+    path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ProtocolError(
+                f"unknown op {self.op!r}; expected one of {list(OPS)}"
+            )
+        if self.op == "admit" and self.flow is None:
+            raise ProtocolError("admit request: missing 'flow'")
+        if self.op in ("release", "query") and not self.flow_name:
+            raise ProtocolError(f"{self.op} request: missing 'flow_name'")
+
+    @property
+    def target(self) -> str | None:
+        """Name of the flow the request concerns (None for stats/snapshot)."""
+        if self.flow is not None:
+            return self.flow.name
+        return self.flow_name
+
+
+def request_to_dict(req: Request) -> dict[str, Any]:
+    doc: dict[str, Any] = {"v": PROTOCOL_VERSION, "op": req.op}
+    if req.id is not None:
+        doc["id"] = req.id
+    if req.flow is not None:
+        doc["flow"] = flow_to_dict(req.flow)
+    if req.flow_name is not None:
+        doc["flow_name"] = req.flow_name
+    if req.at is not None:
+        doc["at"] = req.at
+    if req.path is not None:
+        doc["path"] = req.path
+    return doc
+
+
+def request_from_dict(doc: Mapping[str, Any]) -> Request:
+    if not isinstance(doc, Mapping):
+        raise ProtocolError("request must be a JSON object")
+    version = doc.get("v")
+    if not isinstance(version, int):
+        raise ProtocolError("request: missing integer protocol version 'v'")
+    if version > PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"request protocol v{version} is newer than the supported "
+            f"v{PROTOCOL_VERSION}"
+        )
+    op = doc.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request: missing 'op'")
+    flow = None
+    if "flow" in doc:
+        try:
+            flow = flow_from_dict(doc["flow"])
+        except Exception as exc:
+            raise ProtocolError(f"admit request: bad flow document: {exc}")
+    at = doc.get("at")
+    if at is not None:
+        try:
+            at = float(at)
+        except (TypeError, ValueError):
+            raise ProtocolError(f"request: non-numeric 'at' value {at!r}")
+    flow_name = doc.get("flow_name")
+    path = doc.get("path")
+    return Request(
+        op=op,
+        id=doc.get("id"),
+        flow=flow,
+        flow_name=str(flow_name) if flow_name is not None else None,
+        at=at,
+        path=str(path) if path is not None else None,
+    )
+
+
+def response_to_dict(
+    request_id: Any, payload: Mapping[str, Any] | None = None, *,
+    ok: bool = True, error: str | None = None,
+) -> dict[str, Any]:
+    doc: dict[str, Any] = {"v": PROTOCOL_VERSION, "id": request_id, "ok": ok}
+    if error is not None:
+        doc["ok"] = False
+        doc["error"] = error
+    if payload:
+        doc.update(payload)
+    return doc
+
+
+def encode_line(doc: Mapping[str, Any]) -> bytes:
+    """Compact one-line JSON encoding with trailing newline."""
+    return (
+        json.dumps(doc, separators=(",", ":"), sort_keys=True) + "\n"
+    ).encode()
+
+
+def decode_line(line: bytes | str) -> dict[str, Any]:
+    """Parse one JSON-lines message; raises :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError("message must be a JSON object")
+    return doc

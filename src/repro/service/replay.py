@@ -1,0 +1,371 @@
+"""Trace replay: scenario families x arrival processes -> request streams.
+
+The load driver turns any registered scenario family into a
+reproducible admission-request stream: the family supplies the
+*workload* (a pool of flows, or a recorded churn storyline), an
+*arrival process* supplies the timing, and a deterministic seed makes
+the whole trace a pure function of its parameters — the same contract
+scenario families themselves obey.
+
+Arrival processes:
+
+* ``poisson``  — i.i.d. exponential inter-arrivals at ``rate`` req/s
+  (the classic call-arrival model);
+* ``burst``    — groups of ``burst_size`` simultaneous requests every
+  ``burst_gap`` seconds (the batching/coalescing stress case);
+* ``recorded`` — the scenario's own admit/release storyline (base flows
+  then churn events) replayed verbatim at a uniform pace.
+
+Generated traces interleave admissions with releases of the oldest live
+flow once ``hold`` flows are in flight, so a long trace models a
+steady-state service under churn rather than a monotone fill.  Admitted
+clones are renamed ``<base>@<seq>`` to keep names unique trace-wide.
+
+A trace serialises to a JSON-lines *request log* in which every line is
+a valid :mod:`repro.service.protocol` request — a saved trace can be
+piped to a live server verbatim.  :func:`replay_service` drives a
+:class:`~repro.service.sharding.ShardedAdmissionService` in micro-
+batches, :func:`replay_serial` drives a plain
+:class:`~repro.core.admission.AdmissionController` with identical op
+semantics (the parity reference), and :func:`replay_tcp` drives a live
+server over the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.admission import AdmissionController
+from repro.core.context import AnalysisOptions
+from repro.model.flow import Flow
+from repro.model.network import Network
+from repro.scenario.model import Scenario
+from repro.service.protocol import (
+    Request,
+    decode_line,
+    encode_line,
+    request_from_dict,
+    request_to_dict,
+)
+
+ARRIVALS = ("poisson", "burst", "recorded")
+
+
+@dataclass(frozen=True)
+class ReplayTrace:
+    """A named, reproducible request stream."""
+
+    name: str
+    requests: tuple[Request, ...]
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    def admits(self) -> tuple[Request, ...]:
+        return tuple(r for r in self.requests if r.op == "admit")
+
+
+def _arrival_offsets(
+    arrival: str,
+    n: int,
+    *,
+    rate: float,
+    burst_size: int,
+    burst_gap: float,
+    seed: int,
+) -> list[float]:
+    if arrival == "poisson":
+        if rate <= 0:
+            raise ValueError("poisson arrivals need rate > 0")
+        rng = np.random.default_rng(seed)
+        return list(np.cumsum(rng.exponential(1.0 / rate, size=n)))
+    if arrival == "burst":
+        if burst_size < 1:
+            raise ValueError("burst arrivals need burst_size >= 1")
+        return [(i // burst_size) * burst_gap for i in range(n)]
+    if arrival == "recorded":
+        if rate <= 0:
+            raise ValueError("recorded arrivals need rate > 0")
+        return [i / rate for i in range(n)]
+    raise ValueError(f"unknown arrival process {arrival!r}; one of {ARRIVALS}")
+
+
+def trace_from_scenario(
+    scenario: Scenario,
+    *,
+    n_requests: int | None = None,
+    arrival: str = "poisson",
+    rate: float = 100.0,
+    burst_size: int = 16,
+    burst_gap: float = 0.05,
+    hold: int = 8,
+    seed: int = 0,
+    name: str | None = None,
+) -> ReplayTrace:
+    """Build a request stream from a scenario (see module docstring).
+
+    ``recorded`` replays the scenario's own workload events verbatim
+    (optionally capped at ``n_requests``); the synthetic processes clone
+    flows round-robin from the scenario's admit pool and release the
+    oldest live flow once ``hold`` are in flight.
+    """
+    events = scenario.workload_events()
+    ops: list[tuple[str, Flow | None, str | None]] = []
+    if arrival == "recorded":
+        for ev in events:
+            ops.append((ev.action, ev.flow, ev.flow_name))
+        if n_requests is not None:
+            ops = ops[:n_requests]
+    else:
+        pool = [ev.flow for ev in events if ev.action == "admit"]
+        if not pool:
+            raise ValueError(
+                f"scenario {scenario.name!r} offers no flows to replay"
+            )
+        if hold < 1:
+            raise ValueError("hold must be >= 1")
+        total = 64 if n_requests is None else n_requests
+        live: deque[str] = deque()
+        seq = 0
+        while len(ops) < total:
+            if len(live) >= hold:
+                ops.append(("release", None, live.popleft()))
+                continue
+            base = pool[seq % len(pool)]
+            clone = dataclasses.replace(base, name=f"{base.name}@{seq}")
+            ops.append(("admit", clone, None))
+            live.append(clone.name)
+            seq += 1
+    offsets = _arrival_offsets(
+        arrival,
+        len(ops),
+        rate=rate,
+        burst_size=burst_size,
+        burst_gap=burst_gap,
+        seed=seed,
+    )
+    requests = tuple(
+        Request(
+            op=op,
+            id=i,
+            flow=flow,
+            flow_name=flow_name,
+            at=round(float(at), 9),
+        )
+        for i, ((op, flow, flow_name), at) in enumerate(zip(ops, offsets))
+    )
+    label = name or f"{scenario.name}/{arrival}x{len(requests)}[seed={seed}]"
+    return ReplayTrace(name=label, requests=requests)
+
+
+def trace_from_family(
+    family: str,
+    params: Mapping[str, Any] | None = None,
+    **kwargs: Any,
+) -> ReplayTrace:
+    """Build a trace straight from a registered scenario family."""
+    from repro.scenario.registry import REGISTRY
+
+    scenario = REGISTRY.build(family, **dict(params or {}))
+    return trace_from_scenario(scenario, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Request-log files (JSON lines of protocol requests)
+# ----------------------------------------------------------------------
+def save_trace(path: str | Path, trace: ReplayTrace) -> None:
+    """Write the trace as a replayable protocol request log."""
+    with open(path, "wb") as fh:
+        for req in trace.requests:
+            fh.write(encode_line(request_to_dict(req)))
+
+
+def load_trace(path: str | Path) -> ReplayTrace:
+    """Read a request log back into a trace."""
+    path = Path(path)
+    requests = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        requests.append(request_from_dict(decode_line(line)))
+    return ReplayTrace(name=path.stem, requests=tuple(requests))
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplaySummary:
+    """Outcome of one replay run."""
+
+    trace: str
+    n_requests: int
+    offered: int
+    accepted: int
+    rejected: int
+    released: int
+    errors: int
+    elapsed_s: float
+    #: Accept/reject of every ``admit`` request, in trace order — the
+    #: unit of parity between sharded, serial and over-the-wire replays.
+    admit_decisions: tuple[bool, ...] = field(repr=False)
+
+    @property
+    def accept_rate(self) -> float:
+        return self.accepted / self.offered if self.offered else 0.0
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.n_requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+def _summarize(
+    trace: ReplayTrace,
+    payloads: Sequence[Mapping[str, Any]],
+    elapsed_s: float,
+) -> ReplaySummary:
+    offered = accepted = rejected = released = errors = 0
+    decisions: list[bool] = []
+    for req, payload in zip(trace.requests, payloads):
+        if "error" in payload:
+            errors += 1
+            if req.op == "admit":
+                offered += 1
+                rejected += 1
+                decisions.append(False)
+            continue
+        if req.op == "admit":
+            offered += 1
+            ok = bool(payload.get("accepted"))
+            decisions.append(ok)
+            if ok:
+                accepted += 1
+            else:
+                rejected += 1
+        elif req.op == "release":
+            released += 1
+    return ReplaySummary(
+        trace=trace.name,
+        n_requests=trace.n_requests,
+        offered=offered,
+        accepted=accepted,
+        rejected=rejected,
+        released=released,
+        errors=errors,
+        elapsed_s=elapsed_s,
+        admit_decisions=tuple(decisions),
+    )
+
+
+def _batches(requests: Sequence[Request], batch: int):
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    for i in range(0, len(requests), batch):
+        yield list(requests[i : i + batch])
+
+
+def replay_service(service, trace: ReplayTrace, *, batch: int = 16) -> ReplaySummary:
+    """Drive a :class:`ShardedAdmissionService` in micro-batches."""
+    payloads: list[Mapping[str, Any]] = []
+    start = time.perf_counter()
+    for chunk in _batches(trace.requests, batch):
+        payloads.extend(service.process_batch(chunk))
+    return _summarize(trace, payloads, time.perf_counter() - start)
+
+
+def replay_serial(
+    network: Network,
+    trace: ReplayTrace,
+    options: AnalysisOptions | None = None,
+) -> ReplaySummary:
+    """Drive a plain serial controller with identical op semantics.
+
+    This is the parity reference: on a single-shard trace the sharded
+    service must reproduce these decisions bit for bit.
+    """
+    ctrl = AdmissionController(network, options)
+    payloads: list[Mapping[str, Any]] = []
+    start = time.perf_counter()
+    for req in trace.requests:
+        try:
+            if req.op == "admit":
+                d = ctrl.request(req.flow)
+                payloads.append({"accepted": d.accepted, "reason": d.reason})
+            elif req.op == "release":
+                ctrl.release(req.flow_name)
+                payloads.append({"released": True})
+            elif req.op == "query":
+                payloads.append(
+                    {
+                        "admitted": any(
+                            f.name == req.flow_name
+                            for f in ctrl.admitted_flows
+                        )
+                    }
+                )
+            else:
+                payloads.append({"error": f"op {req.op!r} not replayable"})
+        except (KeyError, ValueError) as exc:
+            payloads.append({"error": str(exc)})
+    return _summarize(trace, payloads, time.perf_counter() - start)
+
+
+async def replay_over_tcp(
+    host: str,
+    port: int,
+    trace: ReplayTrace,
+    *,
+    window: int = 64,
+    connect_timeout: float = 5.0,
+) -> ReplaySummary:
+    """Drive a live server; pipelines ``window`` requests at a time."""
+    deadline = time.monotonic() + connect_timeout
+    while True:
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            break
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            await asyncio.sleep(0.05)
+    payloads: list[Mapping[str, Any]] = []
+    start = time.perf_counter()
+    try:
+        for chunk in _batches(trace.requests, window):
+            for req in chunk:
+                writer.write(encode_line(request_to_dict(req)))
+            await writer.drain()
+            for _ in chunk:
+                line = await reader.readline()
+                if not line:
+                    raise ConnectionError(
+                        "server closed the connection mid-replay"
+                    )
+                doc = decode_line(line)
+                if doc.get("ok"):
+                    payloads.append(doc)
+                else:
+                    payloads.append(
+                        {"error": doc.get("error", "unknown server error")}
+                    )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown
+            pass
+    return _summarize(trace, payloads, time.perf_counter() - start)
+
+
+def replay_tcp(host: str, port: int, trace: ReplayTrace, **kwargs) -> ReplaySummary:
+    """Synchronous wrapper around :func:`replay_over_tcp`."""
+    return asyncio.run(replay_over_tcp(host, port, trace, **kwargs))

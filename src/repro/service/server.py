@@ -1,0 +1,298 @@
+"""Asyncio TCP front end of the sharded admission service.
+
+JSON-lines over TCP (see :mod:`repro.service.protocol`): every
+connection writes one request per line and reads one response per
+request, in order.  All connections feed a single dispatch queue; the
+dispatcher drains it in **micro-batches** — whatever accumulated since
+the last service call, up to ``batch_max``, after an optional
+``batch_window_s`` coalescing pause — and hands each batch to
+:meth:`ShardedAdmissionService.process_batch`, which fans shard-local
+runs across the shard backends.  Bursts therefore amortise jitter-table
+warm starts and (with worker-backed shards) ride N shards wide, while
+a lone request still sees one-request latency.
+
+The service call runs in a thread-pool executor so the event loop keeps
+accepting connections and buffering requests during an analysis; the
+dispatcher is the only thread touching the service, so no further
+locking is needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.service.protocol import (
+    ProtocolError,
+    Request,
+    decode_line,
+    encode_line,
+    request_from_dict,
+    response_to_dict,
+)
+from repro.service.sharding import ShardedAdmissionService
+
+
+class AdmissionServer:
+    """One TCP listener in front of one service instance."""
+
+    def __init__(
+        self,
+        service: ShardedAdmissionService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_max: int = 64,
+        batch_window_s: float = 0.0,
+        snapshot_dir: str | None = None,
+        line_limit: int = 1 << 20,
+    ):
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        #: Maximum request-line length (StreamReader buffer limit).
+        self.line_limit = line_limit
+        self.service = service
+        self.host = host
+        self.port = port
+        self.batch_max = batch_max
+        self.batch_window_s = batch_window_s
+        #: Clients may only snapshot to files inside this directory
+        #: (basename of the requested path); None disables file
+        #: snapshots over the wire — inline snapshots always work.
+        self.snapshot_dir = snapshot_dir
+        self.requests_served = 0
+        self.batches_dispatched = 0
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatcher: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener (resolving port 0) and start dispatching."""
+        self._server = await asyncio.start_server(
+            self._on_client, self.host, self.port, limit=self.line_limit
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line longer than the stream limit: framing is lost,
+                    # so answer with an ordered error and close.
+                    await self._queue.put(
+                        (
+                            "req",
+                            writer,
+                            None,
+                            None,
+                            f"request line exceeds {self.line_limit} bytes",
+                        )
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                request: Request | None = None
+                request_id: Any = None
+                error: str | None = None
+                try:
+                    doc = decode_line(line)
+                    request_id = doc.get("id")
+                    request = request_from_dict(doc)
+                except ProtocolError as exc:
+                    error = str(exc)
+                except Exception as exc:  # defensive: never drop the line
+                    error = f"malformed request: {exc}"
+                await self._queue.put(("req", writer, request, request_id, error))
+        except (ConnectionError, OSError):  # pragma: no cover - teardown
+            pass
+        finally:
+            # A half-closing client (write side shut, still reading) must
+            # get every response it is owed.  The queue is FIFO and this
+            # marker trails all of the connection's requests, so the
+            # dispatcher closes the writer only after answering them.
+            await self._queue.put(("eof", writer, None, None, None))
+
+    def _gate_snapshot_path(self, item: tuple) -> tuple:
+        """Confine client-requested snapshot files to ``snapshot_dir``.
+
+        A network client must not gain an arbitrary-file-write
+        primitive: without a configured directory, file snapshots are
+        refused (inline snapshots still work); with one, only the
+        basename of the requested path is honoured, inside the
+        directory.
+        """
+        kind, writer, request, request_id, error = item
+        if (
+            kind != "req"
+            or error is not None
+            or request.op != "snapshot"
+            or request.path is None
+        ):
+            return item
+        if self.snapshot_dir is None:
+            return (
+                kind,
+                writer,
+                request,
+                request_id,
+                "file snapshots are disabled on this server (no snapshot "
+                "directory configured); omit 'path' for an inline snapshot",
+            )
+        import dataclasses
+        from pathlib import Path
+
+        basename = Path(request.path).name
+        if not basename:
+            return (
+                kind,
+                writer,
+                request,
+                request_id,
+                f"snapshot path {request.path!r} has no file name",
+            )
+        gated = str(Path(self.snapshot_dir) / basename)
+        return (
+            kind,
+            writer,
+            dataclasses.replace(request, path=gated),
+            request_id,
+            None,
+        )
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            if self.batch_window_s > 0:
+                await asyncio.sleep(self.batch_window_s)
+            while len(batch) < self.batch_max:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            batch = [self._gate_snapshot_path(item) for item in batch]
+            requests = [
+                req
+                for (kind, _, req, _, err) in batch
+                if kind == "req" and err is None
+            ]
+            batch_error: str | None = None
+            payloads: list = []
+            if requests:
+                try:
+                    payloads = await loop.run_in_executor(
+                        None, self.service.process_batch, requests
+                    )
+                except Exception as exc:
+                    # A failing batch must never kill the dispatcher —
+                    # answer its requests with an error and keep serving
+                    # every other connection.
+                    batch_error = f"internal error: {exc}"
+            self.batches_dispatched += 1
+            self.requests_served += sum(
+                1 for (kind, *_rest) in batch if kind == "req"
+            )
+            payload_iter = iter(payloads)
+            writers = []
+            closing = []
+            for kind, writer, request, request_id, error in batch:
+                if kind == "eof":
+                    closing.append(writer)
+                    continue
+                if error is None and batch_error is not None:
+                    error = batch_error
+                if error is not None:
+                    doc = response_to_dict(request_id, ok=False, error=error)
+                else:
+                    payload = dict(next(payload_iter))
+                    error = payload.pop("error", None)
+                    if request.op == "stats":
+                        payload["server_requests"] = self.requests_served
+                        payload["server_batches"] = self.batches_dispatched
+                    doc = response_to_dict(
+                        request_id, payload, ok=error is None, error=error
+                    )
+                try:
+                    writer.write(encode_line(doc))
+                    writers.append(writer)
+                except (ConnectionError, OSError):  # pragma: no cover
+                    continue
+            for writer in dict.fromkeys(writers):
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):  # pragma: no cover
+                    continue
+            for writer in closing:
+                try:
+                    writer.close()
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):  # pragma: no cover
+                    continue
+
+
+def run_server(
+    service: ShardedAdmissionService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    batch_max: int = 64,
+    batch_window_s: float = 0.0,
+    snapshot_dir: str | None = None,
+) -> None:
+    """Blocking entry point (the ``repro.cli serve`` body).
+
+    Prints one ``listening on HOST:PORT`` line once bound — scripts
+    (and the CI smoke job) key on it — and serves until interrupted.
+    """
+
+    async def _amain() -> None:
+        server = AdmissionServer(
+            service,
+            host=host,
+            port=port,
+            batch_max=batch_max,
+            batch_window_s=batch_window_s,
+            snapshot_dir=snapshot_dir,
+        )
+        await server.start()
+        print(f"listening on {server.host}:{server.port}", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - shutdown
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:  # pragma: no cover - operator Ctrl-C
+        pass
+    finally:
+        service.close()

@@ -1,0 +1,781 @@
+"""Sharded online admission control.
+
+The serial :class:`~repro.core.admission.AdmissionController` re-runs
+the holistic analysis per request, so its throughput is bounded by one
+core.  This module partitions the *network* into link-disjoint shards —
+every directed link is owned by exactly one shard — and gives each
+shard its own controller, so requests touching different shards are
+independent and can be served in parallel.
+
+Link ownership follows switch ownership: each switch is assigned to a
+shard (deterministically — a SHA-256 hash of the switch name, or an
+explicit ``shard_map``), a host↔switch link belongs to its switch's
+shard, a switch↔switch link to its lexicographically smaller switch's
+shard, and the rare switchless link hashes its canonical endpoint pair.
+The assignment is a pure function of the topology and the shard count:
+two routers built from the same network agree bit for bit, across
+processes and machines (regular ``hash()`` is salted per process and
+would not).
+
+Shard-local flows — every link of the route in one shard — are admitted
+by that shard's controller alone.  On a trace of shard-local requests
+the shard sees exactly the op subsequence a serial controller would,
+in order, so its decisions are **identical to the serial controller's**
+(the tier-1 parity tests assert this).
+
+Flows crossing shards use a *two-phase accept*: the flow is tentatively
+requested on every shard its route touches (ascending shard id); if any
+shard rejects, the tentative accepts are rolled back and the request is
+rejected.  Each touched shard checks the flow against every flow it
+shares a link with, but jitter a flow accumulates in one shard is not
+propagated into the next shard's analysis — cross-shard decisions are
+therefore an approximation of the global holistic fixed point (flagged
+``cross_shard=True`` on the decision), which is the price of
+shard-parallel serving.  Workloads needing exact cross-shard decisions
+run with ``n_shards=1``.
+
+Batching: :meth:`ShardedAdmissionService.process_batch` takes a slice
+of protocol requests and coalesces consecutive shard-local operations
+into per-shard micro-batches.  With process-backed shards
+(``workers=True``) the micro-batches of one run are dispatched to all
+shard workers before any reply is awaited, so a burst spanning N shards
+is served N-wide; each shard drains its sub-batch over a warm
+controller (shared demand caches, jitter warm starts), which is what
+amortises the per-request fixed-point cost.  Results are reassembled in
+submission order — batched decisions are identical to one-at-a-time
+decisions by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.core.admission import AdmissionController
+from repro.core.context import AnalysisOptions
+from repro.model.flow import Flow
+from repro.model.network import Network
+from repro.service.protocol import Request
+from repro.util.mp import mp_context
+
+
+def _stable_hash(text: str) -> int:
+    """Process-independent 64-bit hash (``hash()`` is salted)."""
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+class ShardRouter:
+    """Deterministic link → shard assignment (see module docstring)."""
+
+    def __init__(
+        self,
+        network: Network,
+        n_shards: int,
+        *,
+        shard_map: Mapping[str, int] | None = None,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+        remaining = dict(shard_map or {})
+        self._switch_shard: dict[str, int] = {}
+        for node in network.nodes():
+            if not node.is_switch:
+                continue
+            if node.name in remaining:
+                sid = int(remaining.pop(node.name))
+                if not 0 <= sid < n_shards:
+                    raise ValueError(
+                        f"shard_map[{node.name!r}]={sid} out of range "
+                        f"for {n_shards} shard(s)"
+                    )
+            else:
+                sid = _stable_hash(f"switch:{node.name}") % n_shards
+            self._switch_shard[node.name] = sid
+        if remaining:
+            raise ValueError(
+                f"shard_map names unknown switches: {sorted(remaining)}"
+            )
+        self._link_shard: dict[tuple[str, str], int] = {}
+        for link in network.links():
+            self._link_shard[(link.src, link.dst)] = self._assign(
+                link.src, link.dst
+            )
+
+    def _assign(self, a: str, b: str) -> int:
+        sa = self._switch_shard.get(a)
+        sb = self._switch_shard.get(b)
+        if sa is not None and sb is not None:
+            return sa if a <= b else sb
+        if sa is not None:
+            return sa
+        if sb is not None:
+            return sb
+        lo, hi = sorted((a, b))
+        return _stable_hash(f"link:{lo}|{hi}") % self.n_shards
+
+    # ------------------------------------------------------------------
+    def shard_of_switch(self, name: str) -> int:
+        try:
+            return self._switch_shard[name]
+        except KeyError:
+            raise KeyError(f"{name!r} is not a switch of this network") from None
+
+    def shard_of_link(self, src: str, dst: str) -> int:
+        try:
+            return self._link_shard[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no link {src!r}->{dst!r}") from None
+
+    def shards_for_route(self, route: Sequence[str]) -> tuple[int, ...]:
+        """Sorted shard ids a route's links touch."""
+        return tuple(
+            sorted({self.shard_of_link(a, b) for a, b in zip(route, route[1:])})
+        )
+
+    def shards_for_flow(self, flow: Flow) -> tuple[int, ...]:
+        return self.shards_for_route(flow.route)
+
+    def assignment(self) -> dict[str, int]:
+        """Copy of the switch → shard map (stats / state documents)."""
+        return dict(self._switch_shard)
+
+
+# ----------------------------------------------------------------------
+# Shard backends
+# ----------------------------------------------------------------------
+#: A shard op: ("request", Flow) | ("release", name) | ("query", name).
+ShardOp = tuple
+
+
+def _apply_op(ctrl: AdmissionController, op: ShardOp) -> dict[str, Any]:
+    """Execute one op on a shard's controller; errors become payloads
+    (a shard worker must survive bad requests)."""
+    kind = op[0]
+    try:
+        if kind == "request":
+            decision = ctrl.request(op[1])
+            return {"accepted": decision.accepted, "reason": decision.reason}
+        if kind == "release":
+            ctrl.release(op[1])
+            return {"released": True}
+        if kind == "query":
+            name = op[1]
+            admitted = any(f.name == name for f in ctrl.admitted_flows)
+            out: dict[str, Any] = {"admitted": admitted}
+            if admitted and ctrl.last_analysis is not None:
+                out["worst_response"] = ctrl.last_analysis.result(
+                    name
+                ).worst_response
+            return out
+        return {"error": f"unknown shard op {kind!r}"}
+    except (KeyError, ValueError) as exc:
+        return {"error": str(exc)}
+
+
+class _InlineShard:
+    """In-process shard: the reference (serial) backend."""
+
+    def __init__(
+        self,
+        network: Network,
+        options: AnalysisOptions | None,
+        *,
+        fast_reject: bool,
+        warm_start: bool,
+    ):
+        self._ctrl = AdmissionController(
+            network, options, fast_reject=fast_reject, warm_start=warm_start
+        )
+
+    def send_batch(self, ops: Sequence[ShardOp]) -> None:
+        self._pending = [_apply_op(self._ctrl, op) for op in ops]
+
+    def recv_batch(self) -> list[dict[str, Any]]:
+        out, self._pending = self._pending, None
+        return out
+
+    def begin_export(self) -> None:
+        pass
+
+    def finish_export(self) -> tuple[tuple[Flow, ...], dict]:
+        return self._ctrl.export_state()
+
+    def restore(self, flows: Sequence[Flow], jitters: Mapping) -> None:
+        self._ctrl = AdmissionController.restore(
+            self._ctrl.network,
+            self._ctrl.options,
+            flows=flows,
+            jitters=jitters,
+            fast_reject=self._ctrl.fast_reject,
+            warm_start=self._ctrl.warm_start,
+        )
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker(conn, network, options, fast_reject, warm_start) -> None:
+    """Process body of one shard: a controller behind a message pipe."""
+    ctrl = AdmissionController(
+        network, options, fast_reject=fast_reject, warm_start=warm_start
+    )
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            return
+        kind = msg[0]
+        if kind == "batch":
+            conn.send([_apply_op(ctrl, op) for op in msg[1]])
+        elif kind == "export":
+            conn.send(ctrl.export_state())
+        elif kind == "restore":
+            ctrl = AdmissionController.restore(
+                network,
+                options,
+                flows=msg[1],
+                jitters=msg[2],
+                fast_reject=fast_reject,
+                warm_start=warm_start,
+            )
+            conn.send(True)
+        elif kind == "close":
+            conn.send(True)
+            return
+        else:  # pragma: no cover - defensive
+            conn.send({"error": f"unknown shard message {kind!r}"})
+
+
+class _ProcessShard:
+    """Process-backed shard: real multi-core parallelism.
+
+    ``send_batch``/``recv_batch`` are split so the service can dispatch
+    one micro-batch to *every* shard before collecting any reply —
+    that's where the shard-parallel speedup comes from.
+
+    A dying worker must never desync the request/reply pairing: every
+    pipe failure marks the shard dead, pending ops are answered with
+    error payloads, and the connection is never read again (so a stale
+    buffered reply can never be mispaired with a later exchange).
+    """
+
+    DEAD_ERROR = "shard worker is not running"
+
+    def __init__(
+        self,
+        network: Network,
+        options: AnalysisOptions | None,
+        *,
+        fast_reject: bool,
+        warm_start: bool,
+    ):
+        ctx = mp_context()
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_shard_worker,
+            args=(child, network, options, fast_reject, warm_start),
+            daemon=True,
+        )
+        self._proc.start()
+        child.close()
+        self._dead = False
+        self._pending = 0
+
+    def _mark_dead(self) -> None:
+        self._dead = True
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        if self._proc.is_alive():  # pragma: no cover - racy by nature
+            self._proc.terminate()
+
+    def send_batch(self, ops: Sequence[ShardOp]) -> None:
+        self._pending = len(ops)
+        if self._dead:
+            return
+        try:
+            self._conn.send(("batch", list(ops)))
+        except (BrokenPipeError, OSError):
+            self._mark_dead()
+
+    def recv_batch(self) -> list[dict[str, Any]]:
+        n, self._pending = self._pending, 0
+        if not self._dead:
+            try:
+                return self._conn.recv()
+            except (EOFError, OSError):
+                self._mark_dead()
+        return [{"error": self.DEAD_ERROR}] * n
+
+    def begin_export(self) -> None:
+        if self._dead:
+            raise RuntimeError(self.DEAD_ERROR)
+        try:
+            self._conn.send(("export",))
+        except (BrokenPipeError, OSError):
+            self._mark_dead()
+            raise RuntimeError(self.DEAD_ERROR) from None
+
+    def finish_export(self) -> tuple[tuple[Flow, ...], dict]:
+        try:
+            return self._conn.recv()
+        except (EOFError, OSError):
+            self._mark_dead()
+            raise RuntimeError(self.DEAD_ERROR) from None
+
+    def restore(self, flows: Sequence[Flow], jitters: Mapping) -> None:
+        if self._dead:
+            raise RuntimeError(self.DEAD_ERROR)
+        try:
+            self._conn.send(("restore", tuple(flows), dict(jitters)))
+            self._conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            self._mark_dead()
+            raise RuntimeError(self.DEAD_ERROR) from None
+
+    def close(self) -> None:
+        if not self._dead:
+            try:
+                self._conn.send(("close",))
+                self._conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            self._conn.close()
+        self._proc.join(timeout=5.0)
+        if self._proc.is_alive():  # pragma: no cover - defensive
+            self._proc.terminate()
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServiceDecision:
+    """Service-level admission outcome (protocol ``admit`` payload)."""
+
+    accepted: bool
+    reason: str
+    shards: tuple[int, ...]
+    cross_shard: bool
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "accepted": self.accepted,
+            "reason": self.reason,
+            "shards": list(self.shards),
+            "cross_shard": self.cross_shard,
+        }
+
+
+class ShardedAdmissionService:
+    """N admission controllers behind one request interface.
+
+    Parameters
+    ----------
+    network:
+        The shared topology (every shard holds all of it; shards differ
+        only in which flows they own).
+    n_shards:
+        Link partition count; ``1`` reproduces the serial controller
+        exactly for every request.
+    shard_map:
+        Optional explicit switch → shard assignment (defaults to the
+        deterministic hash of :class:`ShardRouter`).
+    workers:
+        ``True`` backs every shard with its own worker process
+        (multi-core serving); ``False`` (default) keeps shards inline —
+        bit-identical decisions either way.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        n_shards: int = 1,
+        options: AnalysisOptions | None = None,
+        shard_map: Mapping[str, int] | None = None,
+        workers: bool = False,
+        fast_reject: bool = True,
+        warm_start: bool = True,
+    ):
+        self.network = network
+        self.options = options or AnalysisOptions()
+        self.workers = bool(workers)
+        self.router = ShardRouter(network, n_shards, shard_map=shard_map)
+        backend = _ProcessShard if self.workers else _InlineShard
+        self._shards = [
+            backend(
+                network,
+                self.options,
+                fast_reject=fast_reject,
+                warm_start=warm_start,
+            )
+            for _ in range(n_shards)
+        ]
+        #: flow name -> shard ids holding it (insertion = admission order).
+        self._flow_shards: dict[str, tuple[int, ...]] = {}
+        self._counters = {
+            "offered": 0,
+            "accepted": 0,
+            "rejected": 0,
+            "released": 0,
+            "errors": 0,
+            "cross_shard_offered": 0,
+            "batches": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def admitted_names(self) -> tuple[str, ...]:
+        return tuple(self._flow_shards)
+
+    def flow_assignment(self) -> dict[str, tuple[int, ...]]:
+        """Copy of the flow → shard-ids mapping (admission order)."""
+        return dict(self._flow_shards)
+
+    def __enter__(self) -> "ShardedAdmissionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down shard backends (terminates worker processes)."""
+        for shard in self._shards:
+            shard.close()
+
+    # ------------------------------------------------------------------
+    # Single-request interface (thin wrappers over one-op batches)
+    # ------------------------------------------------------------------
+    def admit(self, flow: Flow) -> ServiceDecision:
+        """Route ``flow`` to its shard(s) and decide admission."""
+        payload = self.process_batch([Request(op="admit", flow=flow)])[0]
+        if "error" in payload:
+            raise ValueError(payload["error"])
+        return ServiceDecision(
+            accepted=payload["accepted"],
+            reason=payload["reason"],
+            shards=tuple(payload["shards"]),
+            cross_shard=payload["cross_shard"],
+        )
+
+    def release(self, flow_name: str) -> None:
+        payload = self.process_batch(
+            [Request(op="release", flow_name=flow_name)]
+        )[0]
+        if "error" in payload:
+            raise KeyError(payload["error"])
+
+    def query(self, flow_name: str) -> dict[str, Any]:
+        return self.process_batch(
+            [Request(op="query", flow_name=flow_name)]
+        )[0]
+
+    def stats(self) -> dict[str, Any]:
+        shard_flows = [0] * self.n_shards
+        cross = 0
+        for shards in self._flow_shards.values():
+            if len(shards) > 1:
+                cross += 1
+            for sid in shards:
+                shard_flows[sid] += 1
+        return {
+            "n_shards": self.n_shards,
+            "workers": self.workers,
+            "admitted": len(self._flow_shards),
+            "admitted_cross_shard": cross,
+            "shard_flows": shard_flows,
+            "switch_shards": self.router.assignment(),
+            **self._counters,
+        }
+
+    # ------------------------------------------------------------------
+    # Batch execution with per-shard coalescing
+    # ------------------------------------------------------------------
+    def process_batch(
+        self, requests: Sequence[Request]
+    ) -> list[dict[str, Any]]:
+        """Execute a request slice; results in submission order.
+
+        Consecutive shard-local ops are coalesced into per-shard
+        micro-batches and (with process backends) dispatched to all
+        shards before any reply is collected.  Cross-shard admissions,
+        ``stats`` and ``snapshot`` are barriers: they see every earlier
+        op's effect and are seen by every later op — so batched
+        semantics are exactly the one-at-a-time semantics.
+        """
+        self._counters["batches"] += 1
+        results: list[dict[str, Any] | None] = [None] * len(requests)
+        # One planned run: per-shard op lists plus their result slots.
+        run: dict[int, list[tuple[int, ShardOp]]] = {}
+        # Planning view of name -> shards, so a release can find a flow
+        # admitted earlier in the same run.
+        planned = dict(self._flow_shards)
+
+        def flush() -> None:
+            if not run:
+                return
+            order = sorted(run)
+            for sid in order:
+                self._shards[sid].send_batch([op for _, op in run[sid]])
+            collected = []
+            for sid in order:
+                payloads = self._shards[sid].recv_batch()
+                collected.extend(
+                    (pos, sid, op, payload)
+                    for (pos, op), payload in zip(run[sid], payloads)
+                )
+            # Account in SUBMISSION order, not shard order: a name
+            # admitted, released and re-admitted on different shards
+            # within one run must fold into the bookkeeping exactly as
+            # one-at-a-time execution would.
+            for pos, sid, op, payload in sorted(collected):
+                self._account(op, payload, sid)
+                results[pos] = payload
+                # Reconcile the optimistic planning entry of an admit
+                # the shard in fact rejected (or errored).
+                if op[0] == "request" and op[1].name not in self._flow_shards:
+                    planned.pop(op[1].name, None)
+            run.clear()
+
+        for pos, req in enumerate(requests):
+            if req.op == "admit":
+                if (
+                    req.flow.name in planned
+                    and req.flow.name not in self._flow_shards
+                ):
+                    # The name was planned optimistically earlier in this
+                    # run; resolve whether that admit really succeeded
+                    # before deciding this one — one-at-a-time semantics.
+                    flush()
+                shards = self._plan_admit(req.flow, planned)
+                if isinstance(shards, dict):  # immediate error payload
+                    results[pos] = shards
+                    self._counters["errors"] += 1
+                elif len(shards) == 1:
+                    run.setdefault(shards[0], []).append(
+                        (pos, ("request", req.flow))
+                    )
+                    # Optimistic planning entry: a later release in this
+                    # batch routes to the same shard, which authoritatively
+                    # errors if the admit was in fact rejected — exactly
+                    # the serial KeyError semantics.
+                    planned[req.flow.name] = shards
+                else:
+                    flush()
+                    results[pos] = self._admit_cross_shard(req.flow, shards)
+                    planned = dict(self._flow_shards)
+            elif req.op == "release":
+                shards = planned.pop(req.flow_name, None)
+                if shards is None:
+                    results[pos] = {
+                        "error": f"flow {req.flow_name!r} is not admitted"
+                    }
+                    self._counters["errors"] += 1
+                elif len(shards) == 1:
+                    run.setdefault(shards[0], []).append(
+                        (pos, ("release", req.flow_name))
+                    )
+                else:
+                    flush()
+                    results[pos] = self._release_cross_shard(
+                        req.flow_name, shards
+                    )
+            elif req.op == "query":
+                flush()
+                results[pos] = self._query(req.flow_name)
+            elif req.op == "stats":
+                flush()
+                results[pos] = self.stats()
+            elif req.op == "snapshot":
+                flush()
+                results[pos] = self._snapshot(req.path)
+            else:  # pragma: no cover - Request.__post_init__ rejects
+                results[pos] = {"error": f"unknown op {req.op!r}"}
+        flush()
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _plan_admit(
+        self, flow: Flow, planned: Mapping[str, tuple[int, ...]]
+    ) -> tuple[int, ...] | dict[str, Any]:
+        if flow.name in planned:
+            return {"error": f"flow name {flow.name!r} already admitted"}
+        try:
+            shards = self.router.shards_for_flow(flow)
+        except KeyError as exc:
+            return {"error": str(exc)}
+        return shards
+
+    def _account(
+        self, op: ShardOp, payload: Mapping[str, Any], shard: int
+    ) -> None:
+        """Fold one shard-local result into the service bookkeeping."""
+        if op[0] == "request":
+            if "error" in payload:
+                self._counters["errors"] += 1
+                return
+            self._counters["offered"] += 1
+            if payload["accepted"]:
+                self._counters["accepted"] += 1
+                self._flow_shards[op[1].name] = (shard,)
+            else:
+                self._counters["rejected"] += 1
+            # Decorate with the service-level routing fields.
+            payload["shards"] = [shard]  # type: ignore[index]
+            payload["cross_shard"] = False  # type: ignore[index]
+        elif op[0] == "release":
+            if "error" in payload:
+                self._counters["errors"] += 1
+                return
+            self._counters["released"] += 1
+            self._flow_shards.pop(op[1], None)
+
+    def _admit_cross_shard(
+        self, flow: Flow, shards: tuple[int, ...]
+    ) -> dict[str, Any]:
+        """Two-phase accept: tentative per-shard admits, then commit or
+        roll back."""
+        accepted: list[int] = []
+        for sid in shards:
+            self._shards[sid].send_batch([("request", flow)])
+            payload = self._shards[sid].recv_batch()[0]
+            if "error" in payload:
+                self._rollback(flow.name, accepted)
+                # Errored admits count only as errors, never as offered
+                # — same accounting as the shard-local path.
+                self._counters["errors"] += 1
+                return {"error": f"shard {sid}: {payload['error']}"}
+            if not payload["accepted"]:
+                self._rollback(flow.name, accepted)
+                self._counters["offered"] += 1
+                self._counters["cross_shard_offered"] += 1
+                self._counters["rejected"] += 1
+                return ServiceDecision(
+                    accepted=False,
+                    reason=f"shard {sid}: {payload['reason']}",
+                    shards=shards,
+                    cross_shard=True,
+                ).to_payload()
+            accepted.append(sid)
+        self._flow_shards[flow.name] = shards
+        self._counters["offered"] += 1
+        self._counters["cross_shard_offered"] += 1
+        self._counters["accepted"] += 1
+        return ServiceDecision(
+            accepted=True,
+            reason="all deadlines met on every shard",
+            shards=shards,
+            cross_shard=True,
+        ).to_payload()
+
+    def _rollback(self, flow_name: str, shard_ids: Sequence[int]) -> None:
+        for sid in shard_ids:
+            self._shards[sid].send_batch([("release", flow_name)])
+            self._shards[sid].recv_batch()
+
+    def _release_cross_shard(
+        self, flow_name: str, shards: tuple[int, ...]
+    ) -> dict[str, Any]:
+        for sid in shards:
+            self._shards[sid].send_batch([("release", flow_name)])
+        failures = []
+        for sid in shards:
+            payload = self._shards[sid].recv_batch()[0]
+            if "error" in payload:
+                failures.append(f"shard {sid}: {payload['error']}")
+        # The service-level view drops the flow either way (a dead
+        # shard's state is gone regardless), but a partial release is
+        # reported as the error it is, not as success.
+        self._flow_shards.pop(flow_name, None)
+        if failures:
+            self._counters["errors"] += 1
+            return {"error": "; ".join(failures), "released": True}
+        self._counters["released"] += 1
+        return {"released": True, "shards": list(shards)}
+
+    def _query(self, flow_name: str) -> dict[str, Any]:
+        shards = self._flow_shards.get(flow_name)
+        if shards is None:
+            return {"admitted": False}
+        # Every touched shard bounds the flow against its own
+        # interferers; the honest service-level bound is the worst one.
+        for sid in shards:
+            self._shards[sid].send_batch([("query", flow_name)])
+        collected = [
+            (sid, self._shards[sid].recv_batch()[0]) for sid in shards
+        ]
+        for sid, shard_payload in collected:
+            if "error" in shard_payload:
+                # Never report a bound computed from a partial view —
+                # a missing shard could be the dominating one.
+                return {
+                    "error": f"shard {sid}: {shard_payload['error']}",
+                    "admitted": True,
+                    "shards": list(shards),
+                }
+        payload: dict[str, Any] = {"admitted": True}
+        worst = None
+        for _, shard_payload in collected:
+            wr = shard_payload.get("worst_response")
+            if wr is not None and (worst is None or wr > worst):
+                worst = wr
+        if worst is not None:
+            payload["worst_response"] = worst
+        payload["shards"] = list(shards)
+        payload["cross_shard"] = len(shards) > 1
+        return payload
+
+    def _snapshot(self, path: str | None) -> dict[str, Any]:
+        from repro.service.state import (  # cycle-free lazy import
+            save_service_state,
+            service_state_to_dict,
+        )
+
+        # Bad paths and dead shard workers must yield an error payload,
+        # not blow up a whole batch after earlier ops already committed.
+        try:
+            if path:
+                save_service_state(path, self)
+                return {"path": path, "admitted": len(self._flow_shards)}
+            return {"state": service_state_to_dict(self)}
+        except (OSError, RuntimeError) as exc:
+            return {"error": f"snapshot failed: {exc}"}
+
+    # ------------------------------------------------------------------
+    # State export / import (used by repro.service.state)
+    # ------------------------------------------------------------------
+    def export_shard_states(self) -> list[tuple[tuple[Flow, ...], dict]]:
+        """Per-shard ``(flows, jitter entries)`` in shard-id order.
+
+        Exports are pipelined (all shards asked first, then collected)
+        so a worker-backed snapshot stalls for the slowest shard, not
+        the sum of all shards.
+        """
+        for shard in self._shards:
+            shard.begin_export()
+        return [shard.finish_export() for shard in self._shards]
+
+    def import_shard_states(
+        self,
+        states: Sequence[tuple[Sequence[Flow], Mapping]],
+        flow_shards: Mapping[str, Sequence[int]],
+    ) -> None:
+        """Install exported shard states (snapshot restore)."""
+        if len(states) != self.n_shards:
+            raise ValueError(
+                f"{len(states)} shard states for {self.n_shards} shard(s)"
+            )
+        for shard, (flows, jitters) in zip(self._shards, states):
+            shard.restore(flows, jitters)
+        self._flow_shards = {
+            name: tuple(int(s) for s in shards)
+            for name, shards in flow_shards.items()
+        }

@@ -1,0 +1,184 @@
+"""Versioned snapshot / restore of a running admission service.
+
+A *service state document* persists everything needed to rebuild a
+:class:`~repro.service.sharding.ShardedAdmissionService` that issues
+**byte-identical decisions** on a replayed request log: the topology,
+the analysis options, the shard layout, and — per shard — the admitted
+flows plus their converged jitter table.  The document follows the
+schema-version conventions of :mod:`repro.scenario.serialization`
+(integer ``schema_version``, newer-than-supported refused loudly, JSON
+with sorted keys) and reuses its network/flow/options codecs, so the
+embedded blocks are exactly the blocks scenario files carry::
+
+    {
+      "schema_version": 1,
+      "kind": "admission-service-state",
+      "n_shards": 4,
+      "workers": false,
+      "shard_map": {"sw0": 0, ...},        # explicit switch assignment
+      "network": {...},                     # repro.io network document
+      "analysis": {...},                    # AnalysisOptions fields
+      "flow_shards": {"call0": [0], ...},   # admission-order mapping
+      "shards": [
+        {"flows": [<repro.io flow doc>...],
+         "jitters": [[flow, [resource...], [values...]], ...]},
+        ...
+      ]
+    }
+
+Jitter resources are the analysis' :data:`ResourceKey` tuples
+(``("link", N1, N2)`` / ``("in", N)``) flattened to JSON arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.io import (
+    ScenarioError,
+    flow_from_dict,
+    flow_to_dict,
+    network_from_dict,
+    network_to_dict,
+)
+from repro.scenario.serialization import (
+    analysis_options_from_dict,
+    analysis_options_to_dict,
+)
+from repro.service.sharding import ShardedAdmissionService
+
+#: Current service-state schema version.
+STATE_VERSION = 1
+
+#: Document discriminator (state files are not scenario files).
+STATE_KIND = "admission-service-state"
+
+
+def _jitters_to_doc(jitters: Mapping) -> list[list[Any]]:
+    rows = [
+        [name, list(resource), list(values)]
+        for (name, resource), values in jitters.items()
+    ]
+    rows.sort(key=lambda r: (r[0], r[1]))
+    return rows
+
+
+def _jitters_from_doc(rows) -> dict:
+    out = {}
+    for row in rows:
+        if not isinstance(row, (list, tuple)) or len(row) != 3:
+            raise ScenarioError(
+                f"service state: bad jitter row {row!r} "
+                "(expected [flow, [resource...], [values...]])"
+            )
+        name, resource, values = row
+        out[(str(name), tuple(resource))] = tuple(float(v) for v in values)
+    return out
+
+
+def service_state_to_dict(service: ShardedAdmissionService) -> dict[str, Any]:
+    shards = []
+    for flows, jitters in service.export_shard_states():
+        shards.append(
+            {
+                "flows": [flow_to_dict(f) for f in flows],
+                "jitters": _jitters_to_doc(jitters),
+            }
+        )
+    return {
+        "schema_version": STATE_VERSION,
+        "kind": STATE_KIND,
+        "n_shards": service.n_shards,
+        "workers": service.workers,
+        "shard_map": service.router.assignment(),
+        "network": network_to_dict(service.network),
+        "analysis": analysis_options_to_dict(service.options),
+        "flow_shards": {
+            name: list(shards_)
+            for name, shards_ in service.flow_assignment().items()
+        },
+        "shards": shards,
+    }
+
+
+def service_state_from_dict(
+    doc: Mapping[str, Any], *, workers: bool | None = None
+) -> ShardedAdmissionService:
+    """Rebuild a service from a state document.
+
+    ``workers`` overrides the snapshotted backend choice (a snapshot
+    taken from a worker-backed service restores inline by passing
+    ``workers=False``, and vice versa — the state is backend-agnostic).
+    """
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        raise ScenarioError(f"invalid service-state schema_version {version!r}")
+    if version > STATE_VERSION:
+        raise ScenarioError(
+            f"service-state schema_version {version} is newer than the "
+            f"supported version {STATE_VERSION}"
+        )
+    if doc.get("kind") != STATE_KIND:
+        raise ScenarioError(
+            f"not a service-state document (kind={doc.get('kind')!r})"
+        )
+    for key in ("network", "n_shards", "shards"):
+        if key not in doc:
+            raise ScenarioError(f"service state: missing {key!r} section")
+    network = network_from_dict(doc["network"])
+    options = (
+        analysis_options_from_dict(doc["analysis"])
+        if "analysis" in doc
+        else None
+    )
+    n_shards = int(doc["n_shards"])
+    shard_docs = doc["shards"]
+    if len(shard_docs) != n_shards:
+        raise ScenarioError(
+            f"service state: {len(shard_docs)} shard blocks for "
+            f"n_shards={n_shards}"
+        )
+    service = ShardedAdmissionService(
+        network,
+        n_shards=n_shards,
+        options=options,
+        shard_map=doc.get("shard_map"),
+        workers=doc.get("workers", False) if workers is None else workers,
+    )
+    try:
+        states = []
+        for block in shard_docs:
+            flows = tuple(flow_from_dict(f) for f in block.get("flows", []))
+            jitters = _jitters_from_doc(block.get("jitters", []))
+            states.append((flows, jitters))
+        service.import_shard_states(states, doc.get("flow_shards", {}))
+    except Exception:
+        service.close()
+        raise
+    return service
+
+
+def save_service_state(
+    path: str | Path, service: ShardedAdmissionService
+) -> None:
+    """Write a service-state JSON file (pretty-printed, stable order)."""
+    Path(path).write_text(
+        json.dumps(service_state_to_dict(service), indent=2, sort_keys=True)
+        + "\n"
+    )
+
+
+def load_service_state(
+    path: str | Path, *, workers: bool | None = None
+) -> ShardedAdmissionService:
+    """Read a service-state file and rebuild the service."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ScenarioError(f"{path}: expected a JSON object")
+    return service_state_from_dict(doc, workers=workers)

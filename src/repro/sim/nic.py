@@ -86,20 +86,19 @@ class LinkTransmitter:
         self.busy_until = done
         self.frames_sent += 1
         self.bits_sent += frame.wire_bits
+        self.engine.schedule(done, self._finish, frame)
 
-        def finish() -> None:
-            # Deliver after propagation; receiving is independent of the
-            # transmitter's next action.
-            self.engine.schedule_in(self.prop_delay, lambda: self.deliver(frame))
-            nxt = self.pull()
-            if nxt is not None:
-                self._transmit(nxt)
-            else:
-                self.busy = False
-                if self.on_idle is not None:
-                    self.on_idle()
-
-        self.engine.schedule(done, finish)
+    def _finish(self, frame: QueuedFrame) -> None:
+        # Deliver after propagation; receiving is independent of the
+        # transmitter's next action.
+        self.engine.schedule_in(self.prop_delay, self.deliver, frame)
+        nxt = self.pull()
+        if nxt is not None:
+            self._transmit(nxt)
+        else:
+            self.busy = False
+            if self.on_idle is not None:
+                self.on_idle()
 
     @property
     def utilization_bits(self) -> int:

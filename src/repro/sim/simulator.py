@@ -285,9 +285,7 @@ class Simulator:
                     n_fragments=pkt.n_eth_frames,
                     enqueued_at=arrival + off,
                 )
-                self.engine.schedule(
-                    arrival + off, lambda p=port, f=frame: p.enqueue(f)
-                )
+                self.engine.schedule(arrival + off, port.enqueue, frame)
 
     # ------------------------------------------------------------------
     # Completion

@@ -245,9 +245,7 @@ class EventDriver(ProcessorDriverBase):
                 self._misses = 0
                 frame = self.switch.claim_work(task)
                 self.busy_time += task.cost
-                self.engine.schedule_in(
-                    task.cost, lambda t=task, f=frame: self._complete(t, f)
-                )
+                self.engine.schedule_in(task.cost, self._complete, task, frame)
                 return
             self._misses += 1
             if self.idle_cost > 0.0:
@@ -318,7 +316,7 @@ class RotationDriver(ProcessorDriverBase):
             if best_time is None or t < best_time - 1e-15:
                 best_time = t
                 best_idx = idx
-        self.engine.schedule(best_time, lambda i=best_idx, s=best_time: self._slot(i, s))
+        self.engine.schedule(best_time, self._slot, best_idx, best_time)
 
     def _slot(self, idx: int, start: float) -> None:
         task = self.tasks[idx]
@@ -328,15 +326,16 @@ class RotationDriver(ProcessorDriverBase):
             frame = self.switch.claim_work(task)
             self.busy_time += task.cost
             done = start + task.cost
-
-            def finish() -> None:
-                self.switch.complete_work(task, frame)
-                self._after_slot(idx, start)
-
-            self.engine.schedule(done, finish)
+            self.engine.schedule(done, self._complete_slot, task, frame, idx, start)
         else:
             self._idle_slots += 1
             self._after_slot(idx, start)
+
+    def _complete_slot(
+        self, task: SwitchTask, frame: QueuedFrame, idx: int, start: float
+    ) -> None:
+        self.switch.complete_work(task, frame)
+        self._after_slot(idx, start)
 
     def _after_slot(self, idx: int, start: float) -> None:
         # Disarm after a full idle rotation with no backlog; phase is
@@ -352,4 +351,4 @@ class RotationDriver(ProcessorDriverBase):
             if nxt_idx > idx
             else self.period - self.offsets[idx] + self.offsets[nxt_idx]
         )
-        self.engine.schedule(nxt_start, lambda: self._slot(nxt_idx, nxt_start))
+        self.engine.schedule(nxt_start, self._slot, nxt_idx, nxt_start)

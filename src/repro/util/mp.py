@@ -1,0 +1,21 @@
+"""Shared multiprocessing start-method policy.
+
+Fork keeps dynamically-registered families/actions and the already-
+imported analysis stack visible to workers at zero start-up cost — but
+only Linux forks safely once numpy/BLAS threads exist (macOS defaults
+to spawn for exactly that reason, so its platform default is
+respected).  Both the campaign runner's pool and the service's shard
+workers route through here so the policy can only change in one place.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+
+
+def mp_context():
+    """The multiprocessing context every worker-spawning layer uses."""
+    if sys.platform == "linux":
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()

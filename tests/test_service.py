@@ -1,0 +1,787 @@
+"""The sharded admission service: routing, parity, snapshots, serving."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.admission import AdmissionController
+from repro.model.flow import Flow
+from repro.model.gmf import GmfSpec
+from repro.model.network import Network
+from repro.scenario import Scenario
+from repro.service import (
+    PROTOCOL_VERSION,
+    STATE_VERSION,
+    AdmissionServer,
+    ProtocolError,
+    Request,
+    ShardedAdmissionService,
+    ShardRouter,
+    load_service_state,
+    load_trace,
+    replay_over_tcp,
+    replay_serial,
+    replay_service,
+    request_from_dict,
+    request_to_dict,
+    save_service_state,
+    save_trace,
+    service_state_from_dict,
+    service_state_to_dict,
+    trace_from_scenario,
+)
+from repro.util.units import mbps, ms
+from repro.workloads.topologies import line_network, star_network
+from repro.workloads.voip import voip_flow
+
+
+def call_flow(name, route, payload=1_600_000 // 50, deadline=ms(20)):
+    # ~1.6 Mbit/s per flow: a 10 Mbit/s star saturates after a handful.
+    return Flow(
+        name=name,
+        spec=GmfSpec(
+            min_separations=(ms(20),),
+            deadlines=(deadline,),
+            jitters=(0.0,),
+            payload_bits=(payload,),
+        ),
+        route=route,
+        priority=5,
+    )
+
+
+def saturating_scenario():
+    """One star whose call pool rejects once enough are live."""
+    net = star_network(4, speed_bps=mbps(10))
+    flows = tuple(
+        call_flow(f"c{i}", ("h0", "sw", "h1")) for i in range(6)
+    )
+    return Scenario(name="sat-star", network=net, flows=flows)
+
+
+def two_star_network():
+    """Two disjoint stars in one network: a natural 2-shard layout."""
+    net = Network()
+    for sw, hosts in (("sw0", "abcd"), ("sw1", "wxyz")):
+        net.add_switch(sw)
+        for h in hosts:
+            net.add_endhost(f"{sw}_{h}")
+            net.add_duplex_link(f"{sw}_{h}", sw, speed_bps=mbps(10))
+    return net
+
+
+def two_star_scenario():
+    net = two_star_network()
+    flows = []
+    for i in range(8):
+        sw = f"sw{i % 2}"
+        a, b = ("a", "b") if sw == "sw0" else ("w", "x")
+        flows.append(
+            call_flow(f"{sw}_call{i}", (f"{sw}_{a}", sw, f"{sw}_{b}"))
+        )
+    return Scenario(name="two-star", network=net, flows=tuple(flows))
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_request_round_trip(self):
+        flow = call_flow("c0", ("h0", "sw", "h1"))
+        req = Request(op="admit", id=7, flow=flow, at=0.25)
+        back = request_from_dict(request_to_dict(req))
+        assert back.op == "admit" and back.id == 7 and back.at == 0.25
+        assert back.flow == flow
+
+    def test_newer_protocol_refused(self):
+        doc = {"v": PROTOCOL_VERSION + 1, "op": "stats"}
+        with pytest.raises(ProtocolError, match="newer"):
+            request_from_dict(doc)
+
+    def test_missing_version_refused(self):
+        with pytest.raises(ProtocolError, match="protocol version"):
+            request_from_dict({"op": "stats"})
+
+    def test_unknown_op_refused(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            request_from_dict({"v": 1, "op": "frobnicate"})
+
+    def test_admit_needs_flow(self):
+        with pytest.raises(ProtocolError, match="missing 'flow'"):
+            request_from_dict({"v": 1, "op": "admit"})
+
+    def test_release_needs_flow_name(self):
+        with pytest.raises(ProtocolError, match="missing 'flow_name'"):
+            Request(op="release")
+
+
+# ----------------------------------------------------------------------
+# Shard router
+# ----------------------------------------------------------------------
+class TestShardRouter:
+    def test_deterministic_across_instances(self):
+        net = two_star_network()
+        a = ShardRouter(net, 4)
+        b = ShardRouter(net, 4)
+        assert a.assignment() == b.assignment()
+        for link in net.links():
+            assert a.shard_of_link(link.src, link.dst) == b.shard_of_link(
+                link.src, link.dst
+            )
+
+    def test_duplex_pairs_colocated(self):
+        net = two_star_network()
+        router = ShardRouter(net, 4)
+        for link in net.links():
+            assert router.shard_of_link(
+                link.src, link.dst
+            ) == router.shard_of_link(link.dst, link.src)
+
+    def test_every_link_owned(self):
+        net = line_network(3, hosts_per_switch=2, speed_bps=mbps(100))
+        router = ShardRouter(net, 3)
+        for link in net.links():
+            assert 0 <= router.shard_of_link(link.src, link.dst) < 3
+
+    def test_explicit_shard_map(self):
+        net = two_star_network()
+        router = ShardRouter(net, 2, shard_map={"sw0": 0, "sw1": 1})
+        assert router.shard_of_switch("sw0") == 0
+        assert router.shard_of_switch("sw1") == 1
+        assert router.shards_for_route(("sw0_a", "sw0", "sw0_b")) == (0,)
+        assert router.shards_for_route(("sw1_w", "sw1", "sw1_x")) == (1,)
+
+    def test_shard_map_validation(self):
+        net = two_star_network()
+        with pytest.raises(ValueError, match="out of range"):
+            ShardRouter(net, 2, shard_map={"sw0": 5})
+        with pytest.raises(ValueError, match="unknown switches"):
+            ShardRouter(net, 2, shard_map={"nope": 0})
+
+    def test_switch_switch_link_owned_by_smaller_name(self):
+        net = line_network(2, hosts_per_switch=1, speed_bps=mbps(100))
+        router = ShardRouter(net, 2, shard_map={"sw0": 1, "sw1": 0})
+        assert router.shard_of_link("sw0", "sw1") == 1
+        assert router.shard_of_link("sw1", "sw0") == 1
+
+
+# ----------------------------------------------------------------------
+# Decision parity with the serial controller
+# ----------------------------------------------------------------------
+class TestParity:
+    def test_single_shard_trace_matches_serial(self):
+        sc = saturating_scenario()
+        trace = trace_from_scenario(
+            sc, n_requests=48, arrival="poisson", rate=200, hold=12, seed=5
+        )
+        serial = replay_serial(sc.network, trace, sc.options)
+        assert serial.rejected > 0, "workload must exercise rejections"
+        for batch in (1, 16):
+            with ShardedAdmissionService(sc.network, n_shards=1) as svc:
+                summary = replay_service(svc, trace, batch=batch)
+            assert summary.admit_decisions == serial.admit_decisions
+
+    def test_two_shard_local_workload_matches_serial(self):
+        sc = two_star_scenario()
+        trace = trace_from_scenario(
+            sc, n_requests=40, arrival="burst", burst_size=8, hold=10, seed=2
+        )
+        serial = replay_serial(sc.network, trace, sc.options)
+        with ShardedAdmissionService(
+            sc.network, n_shards=2, shard_map={"sw0": 0, "sw1": 1}
+        ) as svc:
+            summary = replay_service(svc, trace, batch=8)
+            stats = svc.stats()
+        assert summary.admit_decisions == serial.admit_decisions
+        assert all(n > 0 for n in stats["shard_flows"]), (
+            "both shards must end up owning flows"
+        )
+        assert stats["cross_shard_offered"] == 0
+
+    def test_worker_backend_matches_inline(self):
+        sc = two_star_scenario()
+        trace = trace_from_scenario(
+            sc, n_requests=24, arrival="poisson", rate=500, hold=8, seed=9
+        )
+        with ShardedAdmissionService(
+            sc.network, n_shards=2, shard_map={"sw0": 0, "sw1": 1}
+        ) as inline:
+            a = replay_service(inline, trace, batch=6)
+        with ShardedAdmissionService(
+            sc.network,
+            n_shards=2,
+            shard_map={"sw0": 0, "sw1": 1},
+            workers=True,
+        ) as procs:
+            b = replay_service(procs, trace, batch=6)
+        assert a.admit_decisions == b.admit_decisions
+
+    def test_rejected_admit_can_be_reoffered_within_one_batch(self):
+        # A name whose admit was rejected is free again; retrying it in
+        # the same batch must yield a fresh decision, exactly as two
+        # separate batches (and the serial controller) would.
+        sc = saturating_scenario()
+        hog = call_flow("hog", ("h0", "sw", "h1"), payload=2_500_000)
+        retry = [
+            Request(op="admit", flow=hog),
+            Request(op="admit", flow=call_flow("pad", ("h2", "sw", "h3"))),
+            Request(op="admit", flow=hog),
+        ]
+        with ShardedAdmissionService(sc.network) as one_batch:
+            a = one_batch.process_batch(retry)
+        with ShardedAdmissionService(sc.network) as per_request:
+            b = [per_request.process_batch([r])[0] for r in retry]
+        assert a == b
+        assert a[0]["accepted"] is False and a[2]["accepted"] is False
+        assert "error" not in a[2]
+
+    def test_same_name_hops_shards_within_one_batch(self):
+        # admit x on shard 1, release it, re-admit x on shard 0 — all in
+        # one batch.  Bookkeeping must fold in submission order, not
+        # shard order, leaving x owned by shard 0 only.
+        sc = two_star_scenario()
+        on_sw1 = call_flow("x", ("sw1_w", "sw1", "sw1_x"))
+        on_sw0 = call_flow("x", ("sw0_a", "sw0", "sw0_b"))
+        batch = [
+            Request(op="admit", flow=on_sw1),
+            Request(op="release", flow_name="x"),
+            Request(op="admit", flow=on_sw0),
+        ]
+        with ShardedAdmissionService(
+            sc.network, n_shards=2, shard_map={"sw0": 0, "sw1": 1}
+        ) as svc:
+            payloads = svc.process_batch(batch)
+            assert [p.get("accepted", p.get("released")) for p in payloads] == [
+                True,
+                True,
+                True,
+            ]
+            assert svc.flow_assignment() == {"x": (0,)}
+            q = svc.query("x")
+            assert q["admitted"] and q["shards"] == [0]
+            svc.release("x")
+            assert svc.flow_assignment() == {}
+            # shard 1 must not secretly retain the released flow
+            assert svc.admit(on_sw1).accepted
+
+    def test_dead_worker_degrades_without_desync(self):
+        # Killing one shard's worker mid-service must error that
+        # shard's ops, keep the other shard (and its reply pairing)
+        # intact, and keep bookkeeping consistent with shard state.
+        sc = two_star_scenario()
+        svc = ShardedAdmissionService(
+            sc.network,
+            n_shards=2,
+            shard_map={"sw0": 0, "sw1": 1},
+            workers=True,
+        )
+        try:
+            svc._shards[1]._proc.terminate()
+            svc._shards[1]._proc.join(timeout=5.0)
+            batch = [
+                Request(op="admit", flow=call_flow("a", ("sw0_a", "sw0", "sw0_b"))),
+                Request(op="admit", flow=call_flow("b", ("sw1_w", "sw1", "sw1_x"))),
+            ]
+            payloads = svc.process_batch(batch)
+            assert payloads[0]["accepted"] is True
+            assert "error" in payloads[1]
+            assert svc.flow_assignment() == {"a": (0,)}
+            # The healthy shard still answers pairable requests.
+            assert svc.query("a")["admitted"] is True
+            assert svc.stats()["errors"] == 1
+        finally:
+            svc.close()
+
+    def test_duplicate_and_unknown_errors_mirror_serial(self):
+        sc = saturating_scenario()
+        flow = sc.flows[0]
+        with ShardedAdmissionService(sc.network) as svc:
+            assert svc.admit(flow).accepted
+            with pytest.raises(ValueError, match="already admitted"):
+                svc.admit(flow)
+            with pytest.raises(KeyError, match="not admitted"):
+                svc.release("ghost")
+            svc.release(flow.name)
+            assert svc.query(flow.name) == {"admitted": False}
+
+
+# ----------------------------------------------------------------------
+# Cross-shard flows (two-phase accept)
+# ----------------------------------------------------------------------
+class TestCrossShard:
+    @staticmethod
+    def _line_service():
+        net = line_network(2, hosts_per_switch=2, speed_bps=mbps(10))
+        svc = ShardedAdmissionService(
+            net, n_shards=2, shard_map={"sw0": 0, "sw1": 1}
+        )
+        return net, svc
+
+    def test_accept_registers_on_every_shard(self):
+        net, svc = self._line_service()
+        with svc:
+            crossing = call_flow("x0", ("h0_0", "sw0", "sw1", "h1_0"))
+            decision = svc.admit(crossing)
+            assert decision.accepted and decision.cross_shard
+            assert decision.shards == (0, 1)
+            q = svc.query("x0")
+            assert q["admitted"] and q["shards"] == [0, 1]
+            svc.release("x0")
+            assert svc.query("x0") == {"admitted": False}
+
+    def test_reject_rolls_back_tentative_accepts(self):
+        net, svc = self._line_service()
+        with svc:
+            # Load the sw1 -> h1_0 link (shard 1); a 14 ms crossing
+            # deadline is feasible in isolation (shard 0's view) but
+            # not against this interference (shard 1's view).
+            for i in range(2):
+                assert svc.admit(
+                    call_flow(f"s1_{i}", ("h1_1", "sw1", "h1_0"))
+                ).accepted
+            crossing = call_flow(
+                "x0", ("h0_0", "sw0", "sw1", "h1_0"), deadline=ms(14)
+            )
+            decision = svc.admit(crossing)
+            assert not decision.accepted and decision.cross_shard
+            assert decision.reason.startswith("shard 1:")
+            # Rollback must leave shard 0 clean: the name is reusable.
+            local = call_flow("x0", ("h0_0", "sw0", "h0_1"))
+            assert svc.admit(local).accepted
+            assert svc.query("x0")["shards"] == [0]
+
+
+# ----------------------------------------------------------------------
+# Snapshot / restore
+# ----------------------------------------------------------------------
+class TestSnapshotRestore:
+    def test_restored_service_is_byte_identical_on_replayed_log(self, tmp_path):
+        sc = saturating_scenario()
+        trace = trace_from_scenario(
+            sc, n_requests=60, arrival="poisson", rate=150, hold=12, seed=11
+        )
+        warmup, remainder = trace.requests[:30], trace.requests[30:]
+        with ShardedAdmissionService(sc.network, n_shards=1) as svc:
+            svc.process_batch(list(warmup))
+            path = tmp_path / "state.json"
+            save_service_state(path, svc)
+            with load_service_state(path) as restored:
+                a = svc.process_batch(list(remainder))
+                b = restored.process_batch(list(remainder))
+        assert a == b
+
+    def test_snapshot_document_shape(self):
+        sc = two_star_scenario()
+        with ShardedAdmissionService(
+            sc.network, n_shards=2, shard_map={"sw0": 0, "sw1": 1}
+        ) as svc:
+            for f in sc.flows[:4]:
+                svc.admit(f)
+            doc = service_state_to_dict(svc)
+        assert doc["schema_version"] == STATE_VERSION
+        assert doc["kind"] == "admission-service-state"
+        assert doc["n_shards"] == 2
+        assert len(doc["shards"]) == 2
+        assert set(doc["flow_shards"]) == {f.name for f in sc.flows[:4]}
+        json.dumps(doc)  # JSON-able throughout
+
+    def test_snapshot_protocol_op(self, tmp_path):
+        sc = saturating_scenario()
+        with ShardedAdmissionService(sc.network) as svc:
+            svc.admit(sc.flows[0])
+            path = str(tmp_path / "op.json")
+            payload = svc.process_batch(
+                [Request(op="snapshot", path=path)]
+            )[0]
+            assert payload == {"path": path, "admitted": 1}
+            inline = svc.process_batch([Request(op="snapshot")])[0]
+        assert inline["state"]["flow_shards"] == {sc.flows[0].name: [0]}
+        with load_service_state(path) as restored:
+            assert restored.query(sc.flows[0].name)["admitted"]
+
+    def test_newer_state_version_refused(self):
+        sc = saturating_scenario()
+        with ShardedAdmissionService(sc.network) as svc:
+            doc = service_state_to_dict(svc)
+        doc["schema_version"] = STATE_VERSION + 1
+        with pytest.raises(Exception, match="newer"):
+            service_state_from_dict(doc)
+
+    def test_non_state_document_refused(self):
+        sc = saturating_scenario()
+        with ShardedAdmissionService(sc.network) as svc:
+            doc = service_state_to_dict(svc)
+        doc["kind"] = "something-else"
+        with pytest.raises(Exception, match="not a service-state"):
+            service_state_from_dict(doc)
+
+    def test_controller_restore_matches_original(self):
+        sc = saturating_scenario()
+        ctrl = AdmissionController(sc.network)
+        for f in sc.flows[:3]:
+            ctrl.request(f)
+        flows, jitters = ctrl.export_state()
+        restored = AdmissionController.restore(
+            sc.network, flows=flows, jitters=jitters
+        )
+        for f in sc.flows[3:]:
+            assert ctrl.request(f).accepted == restored.request(f).accepted
+        assert [f.name for f in ctrl.admitted_flows] == [
+            f.name for f in restored.admitted_flows
+        ]
+
+
+# ----------------------------------------------------------------------
+# Replay traces
+# ----------------------------------------------------------------------
+class TestReplayTraces:
+    def test_traces_are_deterministic(self):
+        sc = saturating_scenario()
+        kw = dict(n_requests=30, arrival="poisson", rate=100, seed=4)
+        assert (
+            trace_from_scenario(sc, **kw).requests
+            == trace_from_scenario(sc, **kw).requests
+        )
+
+    def test_trace_file_round_trip(self, tmp_path):
+        sc = saturating_scenario()
+        trace = trace_from_scenario(sc, n_requests=20, seed=1)
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, trace)
+        back = load_trace(path)
+        assert back.requests == trace.requests
+        # every line of the log is a valid protocol request
+        for line in path.read_text().splitlines():
+            request_from_dict(json.loads(line))
+
+    def test_burst_arrivals_share_timestamps(self):
+        sc = saturating_scenario()
+        trace = trace_from_scenario(
+            sc, n_requests=12, arrival="burst", burst_size=4, burst_gap=0.1
+        )
+        stamps = [r.at for r in trace.requests]
+        assert stamps[0] == stamps[3] and stamps[4] == stamps[7]
+        assert stamps[4] == pytest.approx(0.1)
+
+    def test_recorded_arrival_replays_churn(self):
+        events = 0
+        sc = saturating_scenario()
+        trace = trace_from_scenario(sc, arrival="recorded", rate=100)
+        assert [r.op for r in trace.requests] == ["admit"] * len(sc.flows)
+        for req, flow in zip(trace.requests, sc.flows):
+            assert req.flow == flow
+            events += 1
+        assert events == len(sc.flows)
+
+    def test_releases_keep_live_set_bounded(self):
+        sc = saturating_scenario()
+        trace = trace_from_scenario(sc, n_requests=40, hold=5, seed=0)
+        live = 0
+        peak = 0
+        for r in trace.requests:
+            live += 1 if r.op == "admit" else -1
+            peak = max(peak, live)
+        assert peak <= 5
+
+
+# ----------------------------------------------------------------------
+# TCP server
+# ----------------------------------------------------------------------
+class TestServer:
+    def test_tcp_replay_matches_serial(self):
+        sc = saturating_scenario()
+        trace = trace_from_scenario(
+            sc, n_requests=36, arrival="poisson", rate=400, hold=12, seed=3
+        )
+        serial = replay_serial(sc.network, trace, sc.options)
+
+        async def run():
+            svc = ShardedAdmissionService(sc.network, n_shards=1)
+            server = AdmissionServer(svc, port=0, batch_window_s=0.001)
+            await server.start()
+            try:
+                return await replay_over_tcp(
+                    "127.0.0.1", server.port, trace, window=12
+                )
+            finally:
+                await server.stop()
+                svc.close()
+
+        summary = asyncio.run(run())
+        assert summary.admit_decisions == serial.admit_decisions
+        # An open-loop trace may release flows whose admit was rejected;
+        # both controllers must refuse those identically.
+        assert summary.errors == serial.errors
+
+    def test_protocol_errors_answered_in_order(self):
+        sc = saturating_scenario()
+
+        async def run():
+            svc = ShardedAdmissionService(sc.network)
+            server = AdmissionServer(svc, port=0)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b'{"v": 1, "id": 1, "op": "bogus"}\n')
+                writer.write(b"not json at all\n")
+                writer.write(b'{"v": 1, "id": 3, "op": "stats"}\n')
+                await writer.drain()
+                lines = [await reader.readline() for _ in range(3)]
+                writer.close()
+                await writer.wait_closed()
+                return [json.loads(l) for l in lines]
+            finally:
+                await server.stop()
+                svc.close()
+
+        first, second, third = asyncio.run(run())
+        assert first["ok"] is False and "unknown op" in first["error"]
+        assert second["ok"] is False
+        assert third["ok"] is True and third["id"] == 3
+        assert third["admitted"] == 0 and third["server_requests"] == 3
+
+    def test_half_closing_client_still_gets_all_responses(self):
+        # `cat trace.jsonl | nc host port` half-closes after writing;
+        # every queued request must still be answered before the server
+        # closes the connection.
+        sc = saturating_scenario()
+        trace = trace_from_scenario(sc, n_requests=6, hold=6, seed=0)
+
+        async def run():
+            svc = ShardedAdmissionService(sc.network)
+            server = AdmissionServer(svc, port=0)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                from repro.service import encode_line, request_to_dict
+
+                for req in trace.requests:
+                    writer.write(encode_line(request_to_dict(req)))
+                await writer.drain()
+                writer.write_eof()
+                docs = []
+                while line := await reader.readline():
+                    docs.append(json.loads(line))
+                writer.close()
+                await writer.wait_closed()
+                return docs
+            finally:
+                await server.stop()
+                svc.close()
+
+        docs = asyncio.run(run())
+        assert [d["id"] for d in docs] == [r.id for r in trace.requests]
+        assert all(d["ok"] for d in docs)
+
+    def test_unwritable_snapshot_path_is_a_contained_error(self, tmp_path):
+        # An unwritable snapshot target (missing directory) must come
+        # back as an error payload without disturbing the batch or the
+        # connection.
+        sc = saturating_scenario()
+
+        async def run():
+            svc = ShardedAdmissionService(sc.network)
+            server = AdmissionServer(
+                svc, port=0, snapshot_dir=str(tmp_path / "missing-subdir")
+            )
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    b'{"v":1,"id":1,"op":"snapshot","path":"x.json"}\n'
+                    b'{"v":1,"id":2,"op":"stats"}\n'
+                )
+                await writer.drain()
+                first = json.loads(await reader.readline())
+                second = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return first, second
+            finally:
+                await server.stop()
+                svc.close()
+
+        first, second = asyncio.run(run())
+        assert first["ok"] is False and "snapshot" in first["error"]
+        assert second["ok"] is True and second["admitted"] == 0
+
+    def test_failing_batch_does_not_kill_the_dispatcher(self):
+        # Even if process_batch itself raises, the dispatcher must
+        # answer the batch with errors and keep serving.
+        sc = saturating_scenario()
+
+        async def run():
+            svc = ShardedAdmissionService(sc.network)
+            real = svc.process_batch
+            calls = {"n": 0}
+
+            def flaky(requests):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise RuntimeError("injected fault")
+                return real(requests)
+
+            svc.process_batch = flaky
+            server = AdmissionServer(svc, port=0)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b'{"v":1,"id":1,"op":"stats"}\n')
+                await writer.drain()
+                first = json.loads(await reader.readline())
+                writer.write(b'{"v":1,"id":2,"op":"stats"}\n')
+                await writer.drain()
+                second = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return first, second
+            finally:
+                await server.stop()
+                svc.close()
+
+        first, second = asyncio.run(run())
+        assert first["ok"] is False and "internal error" in first["error"]
+        assert second["ok"] is True and second["admitted"] == 0
+
+    def test_overlong_line_answered_then_closed(self):
+        sc = saturating_scenario()
+
+        async def run():
+            svc = ShardedAdmissionService(sc.network)
+            server = AdmissionServer(svc, port=0, line_limit=4096)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port, limit=1 << 20
+                )
+                writer.write(b'{"v":1,"id":1,"op":"stats"}\n')
+                writer.write(b'{"pad":"' + b"x" * 8192 + b'"}\n')
+                await writer.drain()
+                docs = []
+                while line := await reader.readline():
+                    docs.append(json.loads(line))
+                writer.close()
+                await writer.wait_closed()
+                return docs
+            finally:
+                await server.stop()
+                svc.close()
+
+        docs = asyncio.run(run())
+        assert docs[0]["ok"] is True and docs[0]["id"] == 1
+        assert docs[1]["ok"] is False and "exceeds" in docs[1]["error"]
+
+    def test_file_snapshots_gated_by_snapshot_dir(self, tmp_path):
+        sc = saturating_scenario()
+
+        async def exchange(server_kwargs, path_req):
+            svc = ShardedAdmissionService(sc.network)
+            server = AdmissionServer(svc, port=0, **server_kwargs)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    json.dumps(
+                        {"v": 1, "id": 1, "op": "snapshot", "path": path_req}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                doc = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return doc
+            finally:
+                await server.stop()
+                svc.close()
+
+        # No snapshot_dir: file snapshots over the wire are refused.
+        refused = asyncio.run(exchange({}, str(tmp_path / "steal.json")))
+        assert refused["ok"] is False and "disabled" in refused["error"]
+        assert not (tmp_path / "steal.json").exists()
+        # With snapshot_dir: only the basename inside the dir is honoured.
+        sandbox = tmp_path / "snaps"
+        sandbox.mkdir()
+        escaped = asyncio.run(
+            exchange(
+                {"snapshot_dir": str(sandbox)},
+                str(tmp_path / "outside.json"),
+            )
+        )
+        assert escaped["ok"] is True
+        assert not (tmp_path / "outside.json").exists()
+        assert (sandbox / "outside.json").exists()
+
+
+# ----------------------------------------------------------------------
+# Retained demand generations (release -> re-admit hot path)
+# ----------------------------------------------------------------------
+class TestRetainedDemands:
+    def test_release_then_readmit_reuses_demand_profiles(self):
+        sc = saturating_scenario()
+        ctrl = AdmissionController(sc.network)
+        flow = sc.flows[0]
+        assert ctrl.request(flow).accepted
+        entries = ctrl._ctx._demand_cache[flow.name]
+        ctrl.release(flow.name)
+        assert flow.name in ctrl._retired
+        assert ctrl.request(flow).accepted
+        assert ctrl._ctx._demand_cache[flow.name] is entries
+
+    def test_retired_store_is_bounded(self):
+        sc = saturating_scenario()
+        ctrl = AdmissionController(sc.network, retained_flows=2)
+        for i in range(4):
+            f = call_flow(f"r{i}", ("h0", "sw", "h1"))
+            assert ctrl.request(f).accepted
+            ctrl.release(f.name)
+        assert len(ctrl._retired) == 2
+        assert set(ctrl._retired) == {"r2", "r3"}
+
+    def test_equal_flow_from_the_wire_reuses_profiles(self):
+        # The service path never sees the same Flow *object* twice —
+        # requests are re-parsed / unpickled — so revival must work on
+        # value equality, not identity.
+        from repro.io import flow_from_dict, flow_to_dict
+
+        sc = saturating_scenario()
+        ctrl = AdmissionController(sc.network)
+        flow = sc.flows[0]
+        assert ctrl.request(flow).accepted
+        demands_before = {
+            link: entry[1]
+            for link, entry in ctrl._ctx._demand_cache[flow.name].items()
+        }
+        ctrl.release(flow.name)
+        reparsed = flow_from_dict(flow_to_dict(flow))
+        assert reparsed is not flow and reparsed == flow
+        assert ctrl.request(reparsed).accepted
+        demands_after = ctrl._ctx._demand_cache[flow.name]
+        for link, demand in demands_before.items():
+            assert demands_after[link][1] is demand
+
+    def test_reused_name_never_serves_stale_profile(self):
+        sc = saturating_scenario()
+        ctrl = AdmissionController(sc.network)
+        small = call_flow("dual", ("h0", "sw", "h1"), payload=8_000)
+        assert ctrl.request(small).accepted
+        ctrl.release("dual")
+        # Same name, different flow object and payload: the revived
+        # entries are identity-checked away, not served stale.
+        big = call_flow("dual", ("h0", "sw", "h1"), payload=64_000)
+        assert ctrl.request(big).accepted
+        bound_big = ctrl.last_analysis.result("dual").worst_response
+        fresh = AdmissionController(sc.network)
+        assert fresh.request(big).accepted
+        assert bound_big == fresh.last_analysis.result("dual").worst_response

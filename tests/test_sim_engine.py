@@ -46,6 +46,41 @@ class TestOrdering:
         assert eng.now == 2.0
 
 
+class TestArgsScheduling:
+    def test_callback_args_passed(self):
+        eng = EventEngine()
+        hits = []
+        eng.schedule(1.0, hits.append, "a")
+        eng.schedule_in(2.0, hits.append, "b")
+        eng.run()
+        assert hits == ["a", "b"]
+
+    def test_args_and_closures_interleave_in_seq_order(self):
+        eng = EventEngine()
+        hits = []
+        eng.schedule(1.0, hits.append, 0)
+        eng.schedule(1.0, lambda: hits.append(1))
+        eng.schedule(1.0, hits.append, 2)
+        eng.run()
+        assert hits == [0, 1, 2]
+
+    def test_same_timestamp_batch_sees_new_events(self):
+        # An event scheduled *at* the current timestamp from inside a
+        # callback still fires within the same drain, in seq order.
+        eng = EventEngine()
+        hits = []
+
+        def first():
+            hits.append("first")
+            eng.schedule(1.0, hits.append, "nested")
+
+        eng.schedule(1.0, first)
+        eng.schedule(1.0, hits.append, "second")
+        eng.run()
+        assert hits == ["first", "second", "nested"]
+        assert eng.events_processed == 3
+
+
 class TestCausality:
     def test_past_scheduling_rejected(self):
         eng = EventEngine()

@@ -13,7 +13,7 @@ from repro.model.gmf import GmfSpec
 from repro.sim.simulator import SimConfig, simulate
 from repro.util.units import mbps, ms
 from repro.workloads.generator import random_flow_set
-from repro.workloads.topologies import line_network
+from repro.workloads.topologies import fat_tree_network, line_network
 
 
 def _network():
@@ -56,6 +56,24 @@ def test_simulator_event_throughput(benchmark):
     net = line_network(2, hosts_per_switch=2, speed_bps=mbps(100))
     flows = random_flow_set(
         net, n_flows=6, total_utilization=0.5, seed=7
+    )
+
+    def run():
+        return simulate(net, flows, config=SimConfig(duration=0.5))
+
+    trace = benchmark(run)
+    assert trace.count_completed() > 0
+
+
+def test_simulator_event_throughput_fat_tree(benchmark):
+    """The larger case: a leaf/spine fabric with many switches, where
+    per-switch rotation overhead and topology construction both weigh
+    in (the fast backend's bulk releases + O(1) idle sleep carry it)."""
+    net = fat_tree_network(
+        spines=2, leaves=4, hosts_per_leaf=2, speed_bps=mbps(100)
+    )
+    flows = random_flow_set(
+        net, n_flows=12, total_utilization=0.4, seed=11
     )
 
     def run():

@@ -722,8 +722,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--actions",
         default="analyze",
-        help="comma-separated: analyze,simulate,validate,admit "
-        "(default analyze)",
+        help="comma-separated: analyze,simulate,simulate-batched,"
+        "validate,admit (default analyze; simulate-batched reuses one "
+        "built simulator topology across same-network grid points)",
     )
     p.add_argument(
         "-j",

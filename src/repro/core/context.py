@@ -76,6 +76,17 @@ class AnalysisOptions:
         worklist engine (see ``core/holistic.py``), re-analysing only
         flows whose interfering jitters changed.  Produces bit-identical
         results to the full sweep; disable to force the full sweep.
+    anderson_fixed_points:
+        Opt-in Anderson(1)/secant extrapolation in the fixed-point
+        solver (see ``util/fixed_point.py``), layered on top of the
+        certified floor and defended by the same overshoot safeguard
+        (any non-increase at a jump target restarts plain Picard; a
+        jump can never prove divergence).  Off by default and **not**
+        part of the bit-identical engine family: unlike the floor, the
+        jumps carry no certificate, so on multi-crossing demand
+        staircases the returned bound can be a non-least fixed point —
+        still a sound (pessimistic) upper bound, since every stage and
+        the holistic iteration are monotone in it, but not exact.
     memoize_stages:
         Cache each (flow, resource) stage analysis on its exact varying
         inputs — the flow's own per-frame jitters at the resource and
@@ -93,6 +104,7 @@ class AnalysisOptions:
     max_fp_iterations: int = 100_000
     holistic_max_iterations: int = 200
     accelerate_fixed_points: bool = True
+    anderson_fixed_points: bool = False
     incremental_holistic: bool = True
     memoize_stages: bool = True
 

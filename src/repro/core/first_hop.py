@@ -92,6 +92,7 @@ def first_hop_stage(ctx: AnalysisContext, flow: Flow) -> list[StageResult]:
         strict=strict,
     )
     accelerate = ctx.options.accelerate_fixed_points
+    anderson = ctx.options.anderson_fixed_points
     busy_accel = None
     others_rate = others_intercept = 0.0
     if accelerate:
@@ -115,6 +116,7 @@ def first_hop_stage(ctx: AnalysisContext, flow: Flow) -> list[StageResult]:
             max_iterations=ctx.options.max_fp_iterations,
             what=what,
             accelerator=busy_accel,
+            anderson=anderson,
         )
 
     def w_for(own_backlog: float, what: str) -> float | None:
@@ -131,6 +133,7 @@ def first_hop_stage(ctx: AnalysisContext, flow: Flow) -> list[StageResult]:
                 if accelerate
                 else None
             ),
+            anderson=anderson,
         )
 
     results: list[StageResult] = []

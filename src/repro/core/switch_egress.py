@@ -95,6 +95,7 @@ def egress_stage(
         strict=strict,
     )
     accelerate = ctx.options.accelerate_fixed_points
+    anderson = ctx.options.anderson_fixed_points
     busy_accel = None
     hep_rate = hep_intercept = 0.0
     if accelerate:
@@ -118,6 +119,7 @@ def egress_stage(
             max_iterations=ctx.options.max_fp_iterations,
             what=f"egress busy period of {flow.name} on {node}->{nxt}",
             accelerator=busy_accel,
+            anderson=anderson,
         ).value
     except FixedPointDiverged:
         return [diverged_stage(StageKind.EGRESS, resource)] * n
@@ -148,6 +150,7 @@ def egress_stage(
                 max_iterations=ctx.options.max_fp_iterations,
                 what=f"egress w({q}) of {flow.name} on {node}->{nxt}",
                 accelerator=accel,
+                anderson=anderson,
             ).value
         except FixedPointDiverged:
             return [diverged_stage(StageKind.EGRESS, resource)] * n

@@ -93,6 +93,7 @@ def ingress_stage(
         strict=strict,
     )
     accelerate = ctx.options.accelerate_fixed_points
+    anderson = ctx.options.anderson_fixed_points
     busy_accel = None
     others_rate = others_intercept = 0.0
     if accelerate:
@@ -119,6 +120,7 @@ def ingress_stage(
             max_iterations=ctx.options.max_fp_iterations,
             what=what,
             accelerator=busy_accel,
+            anderson=anderson,
         )
 
     def w_for(own_backlog: float, what: str) -> float | None:
@@ -135,6 +137,7 @@ def ingress_stage(
                 if accelerate
                 else None
             ),
+            anderson=anderson,
         )
 
     results: list[StageResult] = []

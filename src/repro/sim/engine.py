@@ -1,24 +1,43 @@
 """Deterministic discrete-event engine.
 
-A heapq of ``(time, sequence, callback, args)`` tuples; the sequence
-number makes simultaneous events fire in scheduling order, so runs are
-exactly reproducible — a property the validation experiments rely on.
+A binary heap of **flat event records** ``(time, seq, kind, a, b)``;
+the sequence number makes simultaneous events fire in scheduling order,
+so runs are exactly reproducible — a property the validation
+experiments rely on.
 
-Events carry their arguments explicitly (``schedule(when, fn, *args)``)
-so hot callers — transmitters, switch drivers, the release scheduler —
-bind a method plus arguments instead of allocating a fresh closure per
-event.  The dispatch loop batches all pops sharing a timestamp under a
-single horizon check.  Both are pure overhead cuts: the pop order is
-still governed by ``(time, sequence)`` alone, so traces are bit-
-identical to the closure-based engine.
+``kind`` is an integer index into a per-engine **handler table**
+(:meth:`EventEngine.register_handler`); the dispatch loop resolves it to
+a fixed two-operand callable ``handler(a, b)``.  Hot callers —
+transmitters, switch drivers, source ports — register their bound
+methods once at construction and schedule ``(kind, operand, operand)``
+triples through :meth:`schedule_call`, paying neither a closure nor an
+argument-tuple allocation per event.  Kind ``0`` is the generic
+callback handler backing the classic ``schedule(when, fn, *args)`` API,
+which remains fully supported.  (A recycled-list record pool was
+measured and rejected: CPython allocates small tuples from a free list,
+and tuple comparison beats list comparison in every heap sift.)
+
+:meth:`schedule_many` bulk-loads a prebuilt release list by extending
+the heap and heapifying once instead of N pushes.  All of this is pure
+overhead cutting: records compare on their ``(time, sequence)`` prefix
+exactly like the old nested ``(time, seq, callback, args)`` tuples
+(sequence numbers are unique, so the comparison never reaches the
+payload slots), heapify of the same records yields the same pop order
+as N pushes, and the dispatch loop batches all pops sharing a timestamp
+under a single horizon check.  Traces are bit-identical to the
+closure-based engine.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable
+
+
+def _dispatch_generic(callback: Callable[..., None], args: tuple) -> None:
+    """Kind 0: the classic ``schedule(when, fn, *args)`` payload."""
+    callback(*args)
 
 
 class EventEngine:
@@ -34,8 +53,10 @@ class EventEngine:
     """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
-        self._seq = itertools.count()
+        # Flat records (time, seq, kind, a, b).
+        self._heap: list[tuple] = []
+        self._handlers: list[Callable[[Any, Any], None]] = [_dispatch_generic]
+        self._seq = 0
         self._now = 0.0
         self._events_processed = 0
 
@@ -48,6 +69,37 @@ class EventEngine:
     def events_processed(self) -> int:
         return self._events_processed
 
+    # ------------------------------------------------------------------
+    # Handler table
+    # ------------------------------------------------------------------
+    def register_handler(self, handler: Callable[[Any, Any], None]) -> int:
+        """Add ``handler(a, b)`` to the dispatch table; returns its kind.
+
+        Handlers take exactly two positional operands (pad unused slots
+        with defaults).  Registration is construction-time work — hot
+        components register their bound methods once and schedule
+        int-coded records ever after.
+        """
+        self._handlers.append(handler)
+        return len(self._handlers) - 1
+
+    def replace_handler(
+        self, kind: int, handler: Callable[[Any, Any], None]
+    ) -> None:
+        """Swap the handler behind an existing kind code.
+
+        Lets builders register a kind before its final target exists
+        (forward references during topology construction) and patch in
+        the specialised handler afterwards; already-scheduled records
+        dispatch through the new handler.
+        """
+        if not 0 < kind < len(self._handlers):
+            raise IndexError(f"unknown handler kind {kind}")
+        self._handlers[kind] = handler
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
     def schedule(
         self, when: float, callback: Callable[..., None], *args: Any
     ) -> None:
@@ -58,15 +110,7 @@ class EventEngine:
         """
         if math.isnan(when) or math.isinf(when):
             raise ValueError(f"cannot schedule at t={when!r}")
-        now = self._now
-        if when < now - 1e-12:
-            raise ValueError(
-                f"causality violation: scheduling at {when!r} but now is {now!r}"
-            )
-        heapq.heappush(
-            self._heap,
-            (when if when > now else now, next(self._seq), callback, args),
-        )
+        self.schedule_call(when, 0, callback, args)
 
     def schedule_in(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -76,36 +120,125 @@ class EventEngine:
             raise ValueError(f"negative delay {delay!r}")
         self.schedule(self._now + delay, callback, *args)
 
+    def schedule_call(
+        self, when: float, kind: int, a: Any = None, b: Any = None
+    ) -> None:
+        """Hot path: schedule handler-table event ``kind`` with operands.
+
+        Skips the NaN/inf validation of :meth:`schedule` (internal
+        callers compute finite times from finite inputs) but keeps the
+        causality guard.
+        """
+        now = self._now
+        if when <= now:
+            if when < now - 1e-12:
+                raise ValueError(
+                    f"causality violation: scheduling at {when!r} "
+                    f"but now is {now!r}"
+                )
+            when = now
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (when, seq, kind, a, b))
+
+    def schedule_call_in(
+        self, delay: float, kind: int, a: Any = None, b: Any = None
+    ) -> None:
+        """:meth:`schedule_call` relative to now (no negative check)."""
+        self.schedule_call(self._now + delay, kind, a, b)
+
+    def schedule_many(self, events) -> None:
+        """Bulk-schedule ``(when, kind, a, b)`` tuples.
+
+        Appends prebuilt records and heapifies once — O(n) instead of
+        n pushes — with the sequence numbers assigned in iteration
+        order.  Because ``(time, sequence)`` is a total order (sequence
+        numbers are unique), heapify yields exactly the pop order N
+        individual pushes would have produced.
+        """
+        now = self._now
+        heap = self._heap
+        seq = self._seq
+        for when, kind, a, b in events:
+            if when <= now:
+                if when < now - 1e-12:
+                    raise ValueError(
+                        f"cannot bulk-schedule at t={when!r} (now {now!r})"
+                    )
+                when = now
+            elif when != when or math.isinf(when):  # NaN-safe
+                raise ValueError(f"cannot bulk-schedule at t={when!r}")
+            heap.append((when, seq, kind, a, b))
+            seq += 1
+        self._seq = seq
+        heapify(heap)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
     def run(self, until: float = math.inf, max_events: int | None = None) -> None:
         """Process events in time order until the queue empties, the
         horizon ``until`` is reached, or ``max_events`` fire."""
         heap = self._heap
-        pop = heapq.heappop
-        budget = math.inf if max_events is None else max_events
+        pop = heappop
+        handlers = self._handlers
         processed = 0
         try:
-            while heap and processed < budget:
-                when = heap[0][0]
-                if when > until:
-                    break
-                self._now = when
-                # Drain the whole run of events at this timestamp (the
-                # common case: fragment bursts, simultaneous slot
-                # boundaries) without re-checking the horizon.  Events a
-                # callback schedules *at* `when` join the same drain, in
-                # sequence order — exactly where the per-event loop
-                # would have popped them.
-                while processed < budget:
-                    _, _, callback, args = pop(heap)
-                    processed += 1
-                    callback(*args)
-                    if not heap or heap[0][0] != when:
+            if max_events is None:
+                # Unbudgeted loop (the standard full run): no per-event
+                # budget compares.
+                while heap:
+                    when = heap[0][0]
+                    if when > until:
                         break
+                    self._now = when
+                    # Drain the whole run of events at this timestamp
+                    # (the common case: fragment bursts, simultaneous
+                    # slot boundaries) without re-checking the horizon.
+                    # Events a callback schedules *at* `when` join the
+                    # same drain, in sequence order — exactly where the
+                    # per-event loop would have popped them.
+                    while True:
+                        rec = pop(heap)
+                        processed += 1
+                        handlers[rec[2]](rec[3], rec[4])
+                        if not heap or heap[0][0] != when:
+                            break
+            else:
+                budget = max_events
+                while heap and processed < budget:
+                    when = heap[0][0]
+                    if when > until:
+                        break
+                    self._now = when
+                    while processed < budget:
+                        rec = pop(heap)
+                        processed += 1
+                        handlers[rec[2]](rec[3], rec[4])
+                        if not heap or heap[0][0] != when:
+                            break
         finally:
             self._events_processed += processed
-        if until is not math.inf and until > self._now and not self._heap:
+        # Value comparison, not `is`: a computed float('inf') is a
+        # different object from math.inf, and identity would wrongly
+        # advance the clock to infinity on an empty queue.
+        if until != math.inf and until > self._now and not self._heap:
             self._now = until
 
+    # ------------------------------------------------------------------
     def pending(self) -> int:
         """Number of events still queued."""
         return len(self._heap)
+
+    def reset(self) -> None:
+        """Clear queue, clock and counters for a fresh run.
+
+        Registered handlers survive — components built around this
+        engine keep their kind codes, which is what lets
+        :meth:`repro.sim.simulator.Simulator.rebind` reuse a built
+        topology across runs.
+        """
+        self._heap.clear()
+        self._seq = 0
+        self._now = 0.0
+        self._events_processed = 0

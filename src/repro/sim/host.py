@@ -22,7 +22,9 @@ class OutputPort:
 
     Frames enter via :meth:`enqueue`; the attached
     :class:`~repro.sim.nic.LinkTransmitter` drains the queue
-    work-conservingly.
+    work-conservingly.  ``enqueue_kind`` is the port's handler-table
+    code on the engine — the simulator bulk-schedules all precomputed
+    frame releases as flat ``(time, enqueue_kind, frame)`` records.
     """
 
     def __init__(
@@ -33,31 +35,47 @@ class OutputPort:
         prop_delay: float,
         deliver: Callable[[QueuedFrame], None],
         discipline: str = "fifo",
+        deliver_kind: int | None = None,
     ):
         if discipline not in ("fifo", "priority"):
             raise ValueError(f"unknown source discipline {discipline!r}")
         self.discipline = discipline
         self._fifo = FifoQueue()
         self._prio = PriorityQueue()
+        self._queue = self._fifo if discipline == "fifo" else self._prio
+        self._fifo_items = self._fifo._items
+        self.enqueue_kind = engine.register_handler(self.enqueue)
         self.transmitter = LinkTransmitter(
             engine,
             speed_bps=speed_bps,
             prop_delay=prop_delay,
             pull=self._pull,
             deliver=deliver,
+            deliver_kind=deliver_kind,
         )
 
-    def enqueue(self, frame: QueuedFrame) -> None:
-        if self.discipline == "fifo":
-            self._fifo.push(frame)
+    def enqueue(self, frame: QueuedFrame, _unused=None) -> None:
+        tx = self.transmitter
+        if tx.busy or self._queue:
+            self._queue.push(frame)
+            tx.kick()
         else:
-            self._prio.push(frame)
-        self.transmitter.kick()
+            # Idle transmitter over an empty queue: kick would pull
+            # this very frame straight back out — skip the round-trip.
+            tx._transmit(frame)
 
     def _pull(self) -> QueuedFrame | None:
         if self.discipline == "fifo":
-            return self._fifo.pop() if self._fifo else None
-        return self._prio.pop() if self._prio else None
+            items = self._fifo_items
+            return items.popleft() if items else None
+        queue = self._prio
+        return queue.pop() if queue else None
+
+    def reset(self) -> None:
+        """Empty queues and idle the transmitter (topology reuse)."""
+        self._fifo.clear()
+        self._prio.clear()
+        self.transmitter.reset()
 
     def backlog(self) -> int:
         return len(self._fifo) + len(self._prio)

@@ -9,6 +9,12 @@ The transmitter pulls from an attached queue-like *source* via a
 callback, so the same class serves both endpoint output ports (pull
 from a work-conserving queue) and switch NICs (pull from the tx FIFO,
 notifying the egress task when the FIFO drains).
+
+Completion and delivery events go through the engine's flat-record
+handler table: ``_finish`` is registered once at construction, and
+``deliver`` either arrives pre-registered (``deliver_kind``, the
+simulator's fast path) or is wrapped into a two-operand handler here —
+either way no per-event closure or argument tuple is allocated.
 """
 
 from __future__ import annotations
@@ -41,6 +47,10 @@ class LinkTransmitter:
     on_idle:
         Optional hook fired when a transmission ends and ``pull``
         returned nothing — switches use it to wake the egress task.
+    deliver_kind:
+        Optional pre-registered handler-table kind for the delivery
+        event (a ``handler(frame, None)`` registered on ``engine``).
+        When omitted, ``deliver`` is wrapped and registered here.
     """
 
     def __init__(
@@ -52,6 +62,7 @@ class LinkTransmitter:
         pull: PullFn,
         deliver: DeliverFn,
         on_idle: Callable[[], None] | None = None,
+        deliver_kind: int | None = None,
     ):
         if speed_bps <= 0:
             raise ValueError("linkspeed must be positive")
@@ -65,6 +76,14 @@ class LinkTransmitter:
         self.frames_sent = 0
         self.bits_sent = 0
         self.busy_until = 0.0
+        self._schedule_call = engine.schedule_call
+        self._k_finish = engine.register_handler(self._finish)
+        if deliver_kind is None:
+            # `self.deliver` is re-read per event so tests may swap it.
+            deliver_kind = engine.register_handler(
+                lambda frame, _unused, _self=self: _self.deliver(frame)
+            )
+        self._k_deliver = deliver_kind
 
     def kick(self) -> None:
         """Notify the transmitter that the source may have a frame.
@@ -81,17 +100,19 @@ class LinkTransmitter:
 
     def _transmit(self, frame: QueuedFrame) -> None:
         self.busy = True
-        wire_time = frame.wire_bits / self.speed_bps
-        done = self.engine.now + wire_time
+        wire_bits = frame.wire_bits
+        done = self.engine._now + wire_bits / self.speed_bps
         self.busy_until = done
         self.frames_sent += 1
-        self.bits_sent += frame.wire_bits
-        self.engine.schedule(done, self._finish, frame)
+        self.bits_sent += wire_bits
+        self._schedule_call(done, self._k_finish, frame)
 
-    def _finish(self, frame: QueuedFrame) -> None:
+    def _finish(self, frame: QueuedFrame, _unused=None) -> None:
         # Deliver after propagation; receiving is independent of the
         # transmitter's next action.
-        self.engine.schedule_in(self.prop_delay, self.deliver, frame)
+        self._schedule_call(
+            self.engine._now + self.prop_delay, self._k_deliver, frame
+        )
         nxt = self.pull()
         if nxt is not None:
             self._transmit(nxt)
@@ -99,6 +120,13 @@ class LinkTransmitter:
             self.busy = False
             if self.on_idle is not None:
                 self.on_idle()
+
+    def reset(self) -> None:
+        """Back to idle with zeroed counters (topology reuse)."""
+        self.busy = False
+        self.frames_sent = 0
+        self.bits_sent = 0
+        self.busy_until = 0.0
 
     @property
     def utilization_bits(self) -> int:

@@ -21,11 +21,21 @@ an egress task moves the highest-priority frame from its output queue to
 the NIC transmit FIFO, but only when that FIFO is empty (cost
 ``CSEND``).  Work is claimed at dispatch time and its downstream effect
 applies at completion (tasks are non-preemptive).
+
+Implementation note: the :class:`EventDriver` dispatch rotation is the
+simulator's hottest loop (one work-probe per task per dispatch).  For
+the paper's round-robin ticket configuration it runs over a prebuilt
+per-task table binding each task's queue containers directly, probing
+them inline instead of through ``task_has_work``; the probe order,
+predicates and claims are exactly those of the method-based path (which
+remains in use for weighted-stride configurations and the rotation
+driver), so traces are unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop
 from typing import Callable, Mapping
 
 from repro.sim.engine import EventEngine
@@ -78,22 +88,60 @@ class SimSwitch:
         self._driver_of = {
             itf: self.drivers[click.processor_of[itf]] for itf in click.interfaces
         }
+        # Prebound per-interface hot paths (one dict lookup instead of
+        # two or three).  When the rx FIFO is unbounded its push cannot
+        # drop, so the deque's append is bound directly.
+        self._rx_of = {
+            itf: (
+                click.rx_fifo[itf]._items.append
+                if click.rx_fifo[itf].capacity is None
+                else click.rx_fifo[itf].push,
+                self._driver_of[itf],
+            )
+            for itf in click.interfaces
+        }
+        self._out_of = {
+            itf: (click.output_queue[itf].push, self._driver_of[itf])
+            for itf in click.interfaces
+        }
+        self._tx_of = {
+            itf: (click.tx_fifo[itf], self.transmitters[itf])
+            for itf in click.interfaces
+        }
+        # Event drivers register their per-task completion handlers
+        # once the switch's lookup tables above exist.
+        for driver in self.drivers:
+            finish = getattr(driver, "bind_completions", None)
+            if finish is not None:
+                finish()
 
     # ------------------------------------------------------------------
     # External events
     # ------------------------------------------------------------------
     def receive(self, frame: QueuedFrame, from_interface: str) -> None:
         """An Ethernet frame fully arrived on a NIC (after the wire)."""
-        stamped = frame.with_enqueue_time(self.engine.now)
-        self.click.rx_fifo[from_interface].push(stamped)
-        self._driver_of[from_interface].wake()
+        push, driver = self._rx_of[from_interface]
+        # deque.append returns None, FifoQueue.push returns False on a
+        # drop — only frames actually queued count as pending work.
+        if push(frame.with_enqueue_time(self.engine._now)) is not False:
+            driver._pending += 1
+        if not driver._running:
+            driver.wake()
 
     def on_tx_idle(self, interface: str) -> None:
         """The NIC transmit path drained; the egress task may refill."""
         self._driver_of[interface].wake()
 
     def notify_output_enqueued(self, interface: str) -> None:
-        self._driver_of[interface].wake()
+        """External hook: a frame entered ``output_queue[interface]``.
+
+        Keeps the pending-work count (the event driver's O(1) sleep
+        test) in step with the queue — callers who push to an output
+        queue directly must use this, not a bare ``wake``.
+        """
+        driver = self._driver_of[interface]
+        driver._pending += 1
+        driver.wake()
 
     # ------------------------------------------------------------------
     # Task work predicates and actions (shared by both drivers)
@@ -117,29 +165,35 @@ class SimSwitch:
 
     def complete_work(self, task: SwitchTask, frame: QueuedFrame) -> None:
         """Apply the task's effect (completion time)."""
-        now = self.engine.now
+        now = self.engine._now
         if task.kind is TaskKind.INGRESS:
             out_itf, priority = self.route_fn(frame)
-            if out_itf not in self.click.output_queue:
+            try:
+                out_queue = self.click.output_queue[out_itf]
+            except KeyError:
                 raise KeyError(
                     f"switch {self.click.name!r}: routed to unknown "
                     f"interface {out_itf!r}"
-                )
-            routed = QueuedFrame(
-                flow=frame.flow,
-                wire_bits=frame.wire_bits,
-                priority=priority,
-                packet_id=frame.packet_id,
-                fragment=frame.fragment,
-                n_fragments=frame.n_fragments,
-                enqueued_at=now,
-            )
-            self.click.output_queue[out_itf].push(routed)
-            self.notify_output_enqueued(out_itf)
+                ) from None
+            out_queue.push(frame.reclassified(priority, now))
+            driver = self._driver_of[out_itf]
+            driver._pending += 1
+            if not driver._running:
+                driver.wake()
         else:
-            self.click.tx_fifo[task.interface].push(frame.with_enqueue_time(now))
+            fifo, tx = self._tx_of[task.interface]
             self.frames_forwarded += 1
-            self.transmitters[task.interface].kick()
+            # No re-stamp on the NIC handoff: the tx copy's enqueue
+            # time is never read (egress claims gate on the FIFO being
+            # *empty*, and the receiver re-stamps on arrival).
+            if tx.busy:
+                fifo.push(frame)
+            else:
+                # The egress task only claims against an empty tx FIFO
+                # and nothing else fills it, so an idle transmitter's
+                # kick would pull this very frame straight back out —
+                # skip the FIFO round-trip.
+                tx._transmit(frame)
 
     def pull_tx(self, interface: str) -> QueuedFrame | None:
         """Transmitter pull hook: next frame of the NIC transmit FIFO."""
@@ -154,6 +208,13 @@ class SimSwitch:
             if self.click.output_queue[itf]:
                 return True
         return False
+
+    def reset(self) -> None:
+        """Drain all state for a fresh run on the same topology."""
+        self.click.reset()
+        self.frames_forwarded = 0
+        for driver in self.drivers:
+            driver.reset()
 
 
 class ProcessorDriverBase:
@@ -183,8 +244,25 @@ class ProcessorDriverBase:
                 self.tasks.append(task)
         self.dispatches = 0
         self.busy_time = 0.0
+        # Unclaimed frames in this processor's rx FIFOs and output
+        # queues, maintained by SimSwitch.receive / complete_work and
+        # the claim sites.  ``_pending == 0`` proves no task has work
+        # (claimability additionally needs an empty tx FIFO, so the
+        # converse does not hold) — the event driver uses it to sleep
+        # in O(1) instead of probing a provably empty rotation.
+        self._pending = 0
+
+    #: Class-level default so callers can guard ``wake()`` with a plain
+    #: attribute read on any driver type; only the event driver ever
+    #: sets it per instance (the rotation driver gates on ``_armed``
+    #: inside ``wake`` and keeps this False, so the guard degrades to
+    #: always calling ``wake`` — the original behaviour).
+    _running = False
 
     def wake(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def reset(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
 
@@ -208,6 +286,113 @@ class EventDriver(ProcessorDriverBase):
         # Weighted stride allocations must follow the actual scheduler's
         # dispatch order; round-robin uses the equivalent cheap rotation.
         self._use_stride = scheduler is not None and not scheduler.is_round_robin()
+        # O(1) sleep is sound only when idle probes neither cost
+        # simulated time (idle_cost > 0) nor advance scheduler passes
+        # (weighted stride).
+        self._can_fast_sleep = not self._use_stride and idle_cost == 0.0
+        self._complete_work = switch.complete_work
+        self._k_step = engine.register_handler(self._step)
+        self._k_complete = engine.register_handler(self._complete)
+        # Per-task probe table for the inlined rotation, built by
+        # :meth:`bind_completions` once the owning switch's lookup
+        # tables exist (SimSwitch calls it at the end of its own
+        # construction; drivers never run before that).
+        self._probe: list[tuple] = []
+
+    def bind_completions(self) -> None:
+        """Build the probe table with a dedicated completion handler
+        per task.
+
+        Each row binds the task's queue containers directly — ingress
+        probes the rx FIFO's deque; egress probes the output queue's
+        heap and the tx FIFO's deque — plus the engine kind of a
+        completion closure with the task's effect targets prebound
+        (route + classify into an output queue for ingress; NIC handoff
+        for egress), so a completed task never goes through the generic
+        ``complete_work`` dispatch.  The containers are mutated in
+        place for the simulator's lifetime (see ``queues.clear``), so
+        the bindings stay valid across topology-reusing resets.
+        """
+        engine = self.engine
+        switch = self.switch
+        click = switch.click
+        self._probe = []
+        for task in self.tasks:
+            itf = task.interface
+            if task.kind is TaskKind.INGRESS:
+                kind = engine.register_handler(
+                    self._make_ingress_complete(switch)
+                )
+                self._probe.append(
+                    (task, True, click.rx_fifo[itf]._items, None, task.cost, kind)
+                )
+            else:
+                kind = engine.register_handler(
+                    self._make_egress_complete(switch, itf)
+                )
+                self._probe.append(
+                    (
+                        task,
+                        False,
+                        click.output_queue[itf]._heap,
+                        click.tx_fifo[itf]._items,
+                        task.cost,
+                        kind,
+                    )
+                )
+
+    def _make_ingress_complete(self, switch: SimSwitch):
+        route_fn = switch.route_fn
+        out_of = switch._out_of
+        engine = self.engine
+
+        def complete(frame: QueuedFrame, _unused=None) -> None:
+            out_itf, priority = route_fn(frame)
+            try:
+                out_push, out_driver = out_of[out_itf]
+            except KeyError:
+                raise KeyError(
+                    f"switch {switch.click.name!r}: routed to unknown "
+                    f"interface {out_itf!r}"
+                ) from None
+            # The claimed frame is uniquely owned (it left its rx FIFO
+            # at claim time), so classification mutates it in place
+            # instead of cloning — the generic complete_work keeps the
+            # cloning semantics for externally supplied frames.
+            d = frame.__dict__
+            d["priority"] = priority
+            d["enqueued_at"] = engine._now
+            out_push(frame)
+            out_driver._pending += 1
+            if not out_driver._running:
+                out_driver.wake()
+            self._misses = 0
+            if self._pending == 0 and self._can_fast_sleep:
+                self._running = False
+                return
+            self._step()
+
+        return complete
+
+    def _make_egress_complete(self, switch: SimSwitch, itf: str):
+        fifo, tx = switch._tx_of[itf]
+
+        def complete(frame: QueuedFrame, _unused=None) -> None:
+            switch.frames_forwarded += 1
+            # See complete_work: no re-stamp (the tx copy's enqueue
+            # time is never read), and an idle transmitter skips the
+            # FIFO round-trip its kick would immediately undo.
+            if tx.busy:
+                fifo.push(frame)
+            else:
+                tx._transmit(frame)
+            self._misses = 0
+            if self._pending == 0 and self._can_fast_sleep:
+                self._running = False
+                return
+            self._step()
+
+        return complete
 
     def _next_task(self) -> SwitchTask:
         if self._use_stride:
@@ -223,38 +408,111 @@ class EventDriver(ProcessorDriverBase):
         self._misses = 0
         self._step()
 
-    def _step(self) -> None:
+    def reset(self) -> None:
+        self._running = False
+        self._rotation = 0
+        self._misses = 0
+        self.dispatches = 0
+        self.busy_time = 0.0
+        self._pending = 0
+
+    def _step(self, _a=None, _b=None) -> None:
         """Dispatch tasks until work is found or a full rotation idles."""
+        if self._pending == 0 and self._can_fast_sleep:
+            # Nothing claimable anywhere on this processor, and a free
+            # rotation neither schedules events nor moves the rotation
+            # index (n probes mod n) — sleep in O(1).  (With a timed
+            # rotation the probes cost simulated time, so they must
+            # run; with weighted stride they advance scheduler passes,
+            # so _step_stride never short-circuits.)
+            self._running = False
+            return
+        if self._use_stride:
+            return self._step_stride()
+        engine = self.engine
+        now = engine._now
+        probe = self._probe
+        n = len(probe)
+        rotation = self._rotation
+        misses = self._misses
+        idle_cost = self.idle_cost
+        dispatches = self.dispatches
+        while True:
+            if misses >= n:
+                # One full rotation without work.  With idle_cost 0
+                # the rotation is instantaneous — no event fired and
+                # the clock did not move between probes, so a
+                # re-check would find exactly what the probes found;
+                # sleep directly.  A timed rotation (idle_cost > 0)
+                # may have been overtaken by work for a task already
+                # passed, so re-check before sleeping.
+                if idle_cost == 0.0 or not any(
+                    self.switch.task_has_work(t, now) for t in self.tasks
+                ):
+                    self._running = False
+                    break
+                misses = 0
+            task, is_ingress, a, b, cost, k_complete = probe[rotation]
+            rotation += 1
+            if rotation == n:
+                rotation = 0
+            dispatches += 1
+            if is_ingress:
+                # rx FIFO head arrived?
+                has = a and a[0].enqueued_at <= now
+            else:
+                # output-queue head arrived and tx FIFO empty?
+                has = a and a[0][2].enqueued_at <= now and not b
+            if has:
+                misses = 0
+                frame = a.popleft() if is_ingress else heappop(a)[2]
+                self._pending -= 1
+                self.busy_time += cost
+                engine.schedule_call(now + cost, k_complete, frame)
+                break
+            misses += 1
+            if idle_cost > 0.0:
+                engine.schedule_call(now + idle_cost, self._k_step)
+                break
+        self._rotation = rotation
+        self._misses = misses
+        self.dispatches = dispatches
+
+    def _step_stride(self) -> None:
+        """Weighted-stride dispatch (the scheduler owns the order)."""
+        engine = self.engine
         while True:
             if self._misses >= len(self.tasks):
-                # One full rotation without work.  Work may have arrived
-                # mid-rotation for a task we already passed (possible when
-                # idle_cost > 0 spreads the rotation over time), so
-                # re-check before sleeping.
                 if any(
-                    self.switch.task_has_work(t, self.engine.now)
+                    self.switch.task_has_work(t, engine._now)
                     for t in self.tasks
                 ):
                     self._misses = 0
                 else:
                     self._running = False
                     return
-            task = self._next_task()
+            task = self.scheduler.dispatch().payload
             self.dispatches += 1
-            if self.switch.task_has_work(task, self.engine.now):
+            if self.switch.task_has_work(task, engine._now):
                 self._misses = 0
                 frame = self.switch.claim_work(task)
+                self._pending -= 1
                 self.busy_time += task.cost
-                self.engine.schedule_in(task.cost, self._complete, task, frame)
+                engine.schedule_call(
+                    engine._now + task.cost, self._k_complete, task, frame
+                )
                 return
             self._misses += 1
             if self.idle_cost > 0.0:
-                self.engine.schedule_in(self.idle_cost, self._step)
+                engine.schedule_call(engine._now + self.idle_cost, self._k_step)
                 return
 
     def _complete(self, task: SwitchTask, frame: QueuedFrame) -> None:
-        self.switch.complete_work(task, frame)
+        self._complete_work(task, frame)
         self._misses = 0
+        if self._pending == 0 and self._can_fast_sleep:
+            self._running = False
+            return
         self._step()
 
 
@@ -293,6 +551,8 @@ class RotationDriver(ProcessorDriverBase):
             )
         self._armed = False
         self._idle_slots = 0
+        self._k_slot = engine.register_handler(self._slot)
+        self._k_complete_slot = engine.register_handler(self._complete_slot)
 
     # ------------------------------------------------------------------
     def wake(self) -> None:
@@ -302,9 +562,16 @@ class RotationDriver(ProcessorDriverBase):
         self._idle_slots = 0
         self._arm_next_slot()
 
+    def reset(self) -> None:
+        self._armed = False
+        self._idle_slots = 0
+        self.dispatches = 0
+        self.busy_time = 0.0
+        self._pending = 0
+
     def _arm_next_slot(self) -> None:
         """Schedule the next slot boundary at or after 'now'."""
-        now = self.engine.now
+        now = self.engine._now
         best_time = None
         best_idx = None
         for idx, off in enumerate(self.offsets):
@@ -316,7 +583,7 @@ class RotationDriver(ProcessorDriverBase):
             if best_time is None or t < best_time - 1e-15:
                 best_time = t
                 best_idx = idx
-        self.engine.schedule(best_time, self._slot, best_idx, best_time)
+        self.engine.schedule_call(best_time, self._k_slot, best_idx, best_time)
 
     def _slot(self, idx: int, start: float) -> None:
         task = self.tasks[idx]
@@ -324,16 +591,18 @@ class RotationDriver(ProcessorDriverBase):
         if self.switch.task_has_work(task, start):
             self._idle_slots = 0
             frame = self.switch.claim_work(task)
+            self._pending -= 1
             self.busy_time += task.cost
             done = start + task.cost
-            self.engine.schedule(done, self._complete_slot, task, frame, idx, start)
+            self.engine.schedule_call(
+                done, self._k_complete_slot, frame, (task, idx, start)
+            )
         else:
             self._idle_slots += 1
             self._after_slot(idx, start)
 
-    def _complete_slot(
-        self, task: SwitchTask, frame: QueuedFrame, idx: int, start: float
-    ) -> None:
+    def _complete_slot(self, frame: QueuedFrame, slot: tuple) -> None:
+        task, idx, start = slot
         self.switch.complete_work(task, frame)
         self._after_slot(idx, start)
 
@@ -351,4 +620,4 @@ class RotationDriver(ProcessorDriverBase):
             if nxt_idx > idx
             else self.period - self.offsets[idx] + self.offsets[nxt_idx]
         )
-        self.engine.schedule(nxt_start, self._slot, nxt_idx, nxt_start)
+        self.engine.schedule_call(nxt_start, self._k_slot, nxt_idx, nxt_start)

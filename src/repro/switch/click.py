@@ -140,6 +140,22 @@ class ClickSwitch:
         """The stride scheduler of the processor owning ``interface``."""
         return self.schedulers[self.processor_of[interface]]
 
+    def reset(self) -> None:
+        """Empty every queue and re-boot the schedulers (topology reuse).
+
+        All queue containers are cleared *in place* — the simulator's
+        hot loops bind the underlying deques/heaps directly and must
+        keep seeing the same objects.
+        """
+        for q in self.rx_fifo.values():
+            q.clear()
+        for q in self.tx_fifo.values():
+            q.clear()
+        for q in self.output_queue.values():
+            q.clear()
+        for sched in self.schedulers:
+            sched.reset()
+
     def total_backlog(self) -> int:
         """Frames currently buffered anywhere in the switch (diagnostics)."""
         total = 0

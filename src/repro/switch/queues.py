@@ -14,7 +14,7 @@ Two kinds appear in the paper's switch:
 from __future__ import annotations
 
 import heapq
-import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Generic, Iterator, Optional, TypeVar
 
@@ -51,16 +51,50 @@ class QueuedFrame:
     n_fragments: int
     enqueued_at: float = 0.0
 
+    # The simulator clones a frame at every queue hop, and a frozen
+    # dataclass pays one guarded __setattr__ per field in __init__.
+    # The clone helpers below bypass that by copying the instance dict
+    # directly — same immutable value semantics, a fraction of the cost.
     def with_enqueue_time(self, t: float) -> "QueuedFrame":
-        return QueuedFrame(
-            flow=self.flow,
-            wire_bits=self.wire_bits,
-            priority=self.priority,
-            packet_id=self.packet_id,
-            fragment=self.fragment,
-            n_fragments=self.n_fragments,
-            enqueued_at=t,
-        )
+        clone = object.__new__(QueuedFrame)
+        d = clone.__dict__
+        d.update(self.__dict__)
+        d["enqueued_at"] = t
+        return clone
+
+    def reclassified(self, priority: int, t: float) -> "QueuedFrame":
+        """Copy with the outgoing link's priority and a fresh enqueue
+        time — the ingress task's classification step."""
+        clone = object.__new__(QueuedFrame)
+        d = clone.__dict__
+        d.update(self.__dict__)
+        d["priority"] = priority
+        d["enqueued_at"] = t
+        return clone
+
+
+def make_frame(
+    flow: str,
+    wire_bits: int,
+    priority: int,
+    packet_id: int,
+    fragment: int,
+    n_fragments: int,
+    enqueued_at: float,
+) -> QueuedFrame:
+    """Construct a :class:`QueuedFrame` without the frozen-dataclass
+    per-field ``__setattr__`` toll (bulk release precomputation)."""
+    frame = object.__new__(QueuedFrame)
+    frame.__dict__.update(
+        flow=flow,
+        wire_bits=wire_bits,
+        priority=priority,
+        packet_id=packet_id,
+        fragment=fragment,
+        n_fragments=n_fragments,
+        enqueued_at=enqueued_at,
+    )
+    return frame
 
 
 class FifoQueue:
@@ -75,7 +109,9 @@ class FifoQueue:
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 or None")
         self.capacity = capacity
-        self._items: list[QueuedFrame] = []
+        # A deque (O(1) popleft) — the simulator's hot loops also peek
+        # at it directly, so it is never replaced, only mutated.
+        self._items: deque[QueuedFrame] = deque()
         self.dropped = 0
 
     def push(self, frame: QueuedFrame) -> bool:
@@ -89,7 +125,13 @@ class FifoQueue:
     def pop(self) -> QueuedFrame:
         if not self._items:
             raise IndexError("pop from empty FIFO")
-        return self._items.pop(0)
+        return self._items.popleft()
+
+    def clear(self) -> None:
+        """Empty the queue and reset the drop counter (in place, so
+        hot-loop bindings to the underlying deque stay valid)."""
+        self._items.clear()
+        self.dropped = 0
 
     def peek(self) -> QueuedFrame | None:
         return self._items[0] if self._items else None
@@ -118,7 +160,7 @@ class PriorityQueue:
             raise ValueError("need at least one priority level")
         self.n_levels = n_levels
         self._heap: list[tuple[int, int, QueuedFrame]] = []
-        self._seq = itertools.count()
+        self._seq = 0
 
     def push(self, frame: QueuedFrame) -> None:
         if self.n_levels is not None and not (0 <= frame.priority < self.n_levels):
@@ -126,7 +168,15 @@ class PriorityQueue:
                 f"priority {frame.priority} outside 0..{self.n_levels - 1}"
             )
         # Max-priority first; FIFO within level via the sequence number.
-        heapq.heappush(self._heap, (-frame.priority, next(self._seq), frame))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (-frame.priority, seq, frame))
+
+    def clear(self) -> None:
+        """Empty the queue and restart FIFO numbering (in place, so
+        hot-loop bindings to the underlying heap list stay valid)."""
+        self._heap.clear()
+        self._seq = 0
 
     def pop(self) -> QueuedFrame:
         if not self._heap:

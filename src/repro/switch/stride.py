@@ -82,6 +82,16 @@ class StrideScheduler:
         self._counter += 1
         return task
 
+    def reset(self) -> None:
+        """Return every task to its boot state (``pass = stride``).
+
+        Used when a built simulator topology is reused for a fresh run:
+        dispatch order after a reset is bit-identical to a newly
+        constructed scheduler with the same tasks.
+        """
+        for task in self._tasks.values():
+            task.passes = task.stride
+
     def remove_task(self, name: str) -> None:
         if name not in self._tasks:
             raise KeyError(f"unknown task {name!r}")

@@ -103,6 +103,36 @@ def test_fast_engine_matches_seed_engine(engine, topology, seed, utilization):
     assert_bit_identical(fast, reference)
 
 
+@pytest.mark.parametrize("topology", ["line3", "tree2"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("utilization", [0.3, 0.85])
+def test_anderson_engine_is_sound_never_optimistic(topology, seed, utilization):
+    """The opt-in Anderson(1) solver mode is *sound but not exact*:
+    every returned bound is a true fixed point of its recurrence, so at
+    the engine level no response may ever drop below the seed engine's
+    (that would be optimistic = unsafe); rare pessimistic excesses are
+    the documented price of the uncertified jumps, which is why the
+    mode is off by default and not part of :data:`FAST_ENGINES`."""
+    net = _topology(topology)
+    flows = random_flow_set(
+        net, n_flows=10, total_utilization=utilization, seed=seed
+    )
+    reference = holistic_analysis(net, flows, SEED_ENGINE)
+    anderson = holistic_analysis(
+        net, flows, AnalysisOptions(anderson_fixed_points=True)
+    )
+    assert anderson.converged == reference.converged
+    if not reference.converged:
+        return
+    for name, ref in reference.flow_results.items():
+        got = anderson.flow_results[name]
+        for frame_a, frame_b in zip(got.frames, ref.frames):
+            assert frame_a.response >= frame_b.response, (
+                f"{name} frame {frame_a.frame}: anderson bound "
+                f"{frame_a.response!r} below seed {frame_b.response!r}"
+            )
+
+
 @pytest.mark.parametrize("utilization", [0.5, 1.6])
 @pytest.mark.parametrize("seed", [11, 23])
 def test_admission_decisions_match_seed_engine(seed, utilization):

@@ -279,7 +279,13 @@ class TestCampaignRunner:
             )
 
     def test_all_builtin_actions_listed(self):
-        assert set(ACTIONS) == {"analyze", "simulate", "validate", "admit"}
+        assert set(ACTIONS) == {
+            "analyze",
+            "simulate",
+            "simulate-batched",
+            "validate",
+            "admit",
+        }
 
     def test_jobs_validation(self):
         with pytest.raises(ValueError):

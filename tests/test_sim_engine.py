@@ -134,3 +134,22 @@ class TestHorizon:
         eng.schedule(1.0, lambda: None)
         eng.run(until=7.0)
         assert eng.now == 7.0
+
+    def test_empty_queue_advances_to_finite_horizon(self):
+        eng = EventEngine()
+        eng.run(until=5.0)
+        assert eng.now == 5.0
+
+    def test_computed_infinity_never_advances_clock(self):
+        """Regression: the infinite-horizon check must compare by
+        value, not identity — a *computed* float('inf') is a different
+        object from math.inf, and the old ``until is not math.inf``
+        test advanced the clock to infinity on an empty queue."""
+        eng = EventEngine()
+        eng.schedule(1.0, lambda: None)
+        eng.run(until=float("1e300") * float("1e300"))  # inf, fresh object
+        assert eng.now == 1.0
+
+        eng2 = EventEngine()
+        eng2.run(until=float("inf"))  # empty queue, computed inf
+        assert eng2.now == 0.0

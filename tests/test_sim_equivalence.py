@@ -1,0 +1,216 @@
+"""Fast simulation backend: not a single bit may move.
+
+The fast backend (``SimConfig.fast``, on by default) layers three
+optimisations over the reference simulator — vectorised release
+precomputation bulk-loaded through the engine's ``schedule_many``, flat
+per-packet completion/hop counters with trace records materialised at
+finalisation, and (via the campaign) topology reuse through
+:meth:`Simulator.rebind`.  All three are exactness-preserving by
+construction: the release instants come from the identical IEEE-754
+operations, the schedule order (hence every ``(time, sequence)``
+tie-break) is unchanged, and a rebound topology is reset to its
+freshly-built state.
+
+These tests are the executable form of that claim, mirroring
+``test_engine_equivalence.py`` for the analysis engine: across **every
+registered scenario family**, both switch modes, and finite NIC FIFOs
+(loss!), the fast backend's trace must be bit-identical (``==`` on
+floats, no tolerance) to ``fast=False``; a rebound simulator must
+reproduce a fresh build; and the campaign's batched simulate action
+must return byte-identical payloads to the plain one.
+"""
+
+import hashlib
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.scenario.campaign import (
+    CampaignRunner,
+    action_simulate,
+    action_simulate_batched,
+)
+from repro.scenario.registry import REGISTRY, build_scenario, scenario_grid
+from repro.sim.simulator import SimConfig, Simulator, simulate
+from repro.util.units import mbps
+from repro.workloads.generator import random_flow_set
+from repro.workloads.topologies import line_network
+
+#: Scenario families are exercised at a reduced duration so the full
+#: (family x mode) sweep stays test-suite friendly; the traces still
+#: cover thousands of events each.
+TEST_DURATION = 0.25
+
+
+def record_tuple(p):
+    """Every field of a PacketRecord, exactly."""
+    return (
+        p.packet_id,
+        p.flow,
+        p.frame,
+        p.arrival,
+        p.n_fragments,
+        p.fragments_received,
+        p.completed,
+        tuple(p.node_arrivals.items()),  # values AND insertion order
+    )
+
+
+def assert_traces_bit_identical(a, b):
+    assert a.duration == b.duration
+    assert a.events_processed == b.events_processed
+    assert len(a.packets) == len(b.packets)
+    for pa, pb in zip(a.packets, b.packets):
+        assert record_tuple(pa) == record_tuple(pb)
+
+
+def trace_hash(trace) -> str:
+    """Canonical digest of a trace (the CI smoke compares these)."""
+    doc = {
+        "duration": trace.duration,
+        "events": trace.events_processed,
+        "packets": [
+            [
+                p.packet_id,
+                p.flow,
+                p.frame,
+                p.arrival.hex(),
+                p.n_fragments,
+                p.fragments_received,
+                None if p.completed is None else p.completed.hex(),
+                [[n, t.hex()] for n, t in p.node_arrivals.items()],
+            ]
+            for p in trace.packets
+        ],
+    }
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def scenario_for(family: str):
+    scenario = build_scenario(family)
+    return replace(
+        scenario, sim=replace(scenario.sim, duration=TEST_DURATION)
+    )
+
+
+def run_pair(network, flows, cfg):
+    fast = simulate(network, flows, config=replace(cfg, fast=True))
+    ref = simulate(network, flows, config=replace(cfg, fast=False))
+    return fast, ref
+
+
+# ----------------------------------------------------------------------
+# Fast vs reference across every registered family and both modes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("family", sorted(REGISTRY.names()))
+@pytest.mark.parametrize("mode", ["event", "rotation"])
+def test_fast_backend_bit_identical_per_family(family, mode):
+    scenario = scenario_for(family)
+    if not scenario.flows:
+        pytest.skip(f"{family} carries only a churn workload")
+    cfg = replace(scenario.sim, switch_mode=mode)
+    fast, ref = run_pair(scenario.network, scenario.flows, cfg)
+    assert fast.events_processed > 0
+    assert_traces_bit_identical(fast, ref)
+
+
+def test_fast_backend_bit_identical_finite_fifo_overload():
+    """Loss regime: tiny NIC FIFOs under heavy load drop fragments in
+    both backends at exactly the same points."""
+    net = line_network(2, hosts_per_switch=2, speed_bps=mbps(100))
+    flows = random_flow_set(net, n_flows=6, total_utilization=3.0, seed=5)
+    cfg = SimConfig(duration=0.2, nic_fifo_capacity=1)
+    fast, ref = run_pair(net, flows, cfg)
+    assert_traces_bit_identical(fast, ref)
+    # The scenario must actually exercise loss to be meaningful.
+    assert fast.count_incomplete() > 0
+
+
+def test_fast_backend_bit_identical_priority_sources():
+    net = line_network(2, hosts_per_switch=2, speed_bps=mbps(100))
+    flows = random_flow_set(net, n_flows=5, total_utilization=0.6, seed=9)
+    cfg = SimConfig(duration=0.2, source_discipline="priority")
+    fast, ref = run_pair(net, flows, cfg)
+    assert_traces_bit_identical(fast, ref)
+
+
+def test_fast_backend_smoke_hashes():
+    """One scenario per family, fast vs reference trace hash — the CI
+    sim-equivalence smoke step runs exactly this test."""
+    for family in sorted(REGISTRY.names()):
+        scenario = scenario_for(family)
+        if not scenario.flows:
+            continue
+        fast, ref = run_pair(scenario.network, scenario.flows, scenario.sim)
+        assert trace_hash(fast) == trace_hash(ref), family
+
+
+# ----------------------------------------------------------------------
+# Topology reuse: rebind == fresh build
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["event", "rotation"])
+@pytest.mark.parametrize("fast", [True, False])
+def test_rebind_matches_fresh_build(mode, fast):
+    """One built topology re-run across flow sets and durations is
+    bit-identical to building a simulator per run."""
+    net = line_network(2, hosts_per_switch=2, speed_bps=mbps(100))
+    base = SimConfig(duration=0.2, switch_mode=mode, fast=fast)
+    sim = None
+    for i, seed in enumerate((7, 11, 13)):
+        flows = random_flow_set(
+            net, n_flows=5, total_utilization=0.4, seed=seed
+        )
+        cfg = replace(base, duration=0.2 + 0.05 * (i % 2))
+        if sim is None:
+            sim = Simulator(net, flows, cfg)
+        else:
+            sim.rebind(flows, cfg)
+        fresh = Simulator(net, flows, cfg)
+        assert_traces_bit_identical(sim.run(), fresh.run())
+
+
+def test_rebind_rejects_topology_config_changes():
+    net = line_network(2, hosts_per_switch=2, speed_bps=mbps(100))
+    flows = random_flow_set(net, n_flows=3, total_utilization=0.3, seed=1)
+    sim = Simulator(net, flows, SimConfig(duration=0.1))
+    with pytest.raises(ValueError, match="baked into the built topology"):
+        sim.rebind(flows, SimConfig(duration=0.1, switch_mode="rotation"))
+
+
+# ----------------------------------------------------------------------
+# Campaign: batched simulate == plain simulate
+# ----------------------------------------------------------------------
+def test_batched_simulate_action_matches_plain():
+    specs = scenario_grid(
+        "random-line", seed=[0, 1, 2], n_flows=3, duration=0.2
+    )
+    plain = CampaignRunner(actions=(action_simulate,)).run(specs)
+    batched = CampaignRunner(actions=(action_simulate_batched,)).run(specs)
+    assert len(plain) == len(batched) == 3
+    for p, b in zip(plain, batched):
+        assert p.payload == b.payload
+
+
+def test_batched_simulate_reuses_one_simulator(monkeypatch):
+    """Same-topology grid points build the simulator once."""
+    import repro.scenario.campaign as campaign
+
+    campaign._SIM_CACHE.clear()
+    builds = []
+    original = campaign.Simulator
+
+    class CountingSimulator(original):
+        def __init__(self, *args, **kwargs):
+            builds.append(1)
+            super().__init__(*args, **kwargs)
+
+    monkeypatch.setattr(campaign, "Simulator", CountingSimulator)
+    specs = scenario_grid(
+        "random-line", seed=[0, 1, 2, 3], n_flows=3, duration=0.2
+    )
+    CampaignRunner(actions=(action_simulate_batched,)).run(specs)
+    assert sum(builds) == 1
+    campaign._SIM_CACHE.clear()

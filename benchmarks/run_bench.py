@@ -21,12 +21,21 @@ The headline numbers tracked across PRs:
 
 * ``test_analysis_scaling_flows[16]`` — one offline holistic analysis;
 * ``test_admission_sequential[64]``  — draining 64 admission requests.
+
+Each entry also records per-benchmark telemetry KPIs (fixed-point
+iterations, cache hit rates, events dispatched — see
+:mod:`repro.telemetry`), collected in a second *un-timed*
+``--benchmark-disable`` pass so the timed numbers keep telemetry's
+zero-overhead disabled path.  ``--compare <label>`` prints KPI deltas
+against another entry — "same speed but doing more work" regressions
+show up here before they show up in wall time.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -85,6 +94,51 @@ def run_benchmarks(extra_pytest_args: list[str]) -> dict[str, dict]:
     return results
 
 
+def _derived_metrics(snapshot: dict) -> dict:
+    try:
+        from repro.telemetry.report import derived_metrics
+    except ImportError:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.telemetry.report import derived_metrics
+    return derived_metrics(snapshot)
+
+
+def collect_telemetry(extra_pytest_args: list[str]) -> dict[str, dict]:
+    """Second, un-timed pass: run every benchmark once with telemetry on.
+
+    Returns ``{test id: flat KPI dict}``.  Timings stay trustworthy
+    because the timed pass above runs with telemetry disabled (the
+    zero-overhead path); work counters — iterations, cache hits,
+    events — are deterministic, so measuring them un-timed is exact.
+    """
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = Path(tmp.name)
+    env = dict(os.environ, REPRO_BENCH_TELEMETRY_OUT=str(out_path))
+    try:
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *BENCH_FILES,
+            "--benchmark-disable",
+            "-q",
+            *extra_pytest_args,
+        ]
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(
+                f"telemetry pass failed with exit code {proc.returncode}"
+            )
+        raw = (
+            json.loads(out_path.read_text())
+            if out_path.stat().st_size
+            else {}
+        )
+    finally:
+        out_path.unlink(missing_ok=True)
+    return {name: _derived_metrics(snap) for name, snap in raw.items()}
+
+
 def load_trajectory(path: Path) -> dict:
     if path.exists():
         return json.loads(path.read_text())
@@ -130,6 +184,57 @@ def print_comparison(entries: list[dict], label: str, baseline: str) -> None:
         print(f"  {name:<{width}}  {b:.6f} -> {c:.6f}  ({ratio:.2f}x)")
 
 
+def print_telemetry_compare(entries: list[dict], label: str, compare: str) -> None:
+    """KPI deltas of ``label`` vs ``compare``, regression-flagged."""
+    try:
+        from repro.telemetry.report import DEFAULT_THRESHOLD, classify
+    except ImportError:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.telemetry.report import DEFAULT_THRESHOLD, classify
+
+    by_label = {e["label"]: e for e in entries}
+    if compare not in by_label:
+        raise SystemExit(
+            f"--compare: no entry labelled {compare!r} "
+            f"(known: {sorted(by_label)})"
+        )
+    base = by_label[compare].get("telemetry") or {}
+    cur = by_label[label].get("telemetry") or {}
+    shared_tests = sorted(set(base) & set(cur))
+    if not shared_tests:
+        print(
+            f"\nNo shared telemetry between {label!r} and {compare!r} "
+            "(older entries predate telemetry recording)"
+        )
+        return
+    print(f"\nTelemetry deltas vs {compare!r} (changed KPIs only):")
+    regressions = 0
+    for test in shared_tests:
+        rows = []
+        for name in sorted(set(base[test]) & set(cur[test])):
+            b, c = base[test][name], cur[test][name]
+            if b == c:
+                continue
+            rel = (c - b) / abs(b) if b else float("inf")
+            direction, gating = classify(name)
+            worse = (rel < -DEFAULT_THRESHOLD) if direction == "higher" else (
+                rel > DEFAULT_THRESHOLD
+            )
+            flag = "REGRESSION" if gating and worse else (
+                "ok" if gating else "info"
+            )
+            if flag == "REGRESSION":
+                regressions += 1
+            rows.append(f"    {name}: {b:g} -> {c:g} ({rel:+.1%}) [{flag}]")
+        if rows:
+            print(f"  {test}")
+            print("\n".join(rows))
+    if regressions:
+        print(f"{regressions} telemetry regression(s) flagged")
+    else:
+        print("no telemetry regressions flagged")
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -153,6 +258,18 @@ def main(argv: list[str] | None = None) -> None:
         "--baseline",
         default="seed",
         help="entry label to print speedups against (default 'seed')",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="LABEL",
+        help="also print telemetry KPI deltas against this entry's "
+        "recorded snapshot metrics",
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="skip the un-timed telemetry pass (entry gets no "
+        "'telemetry' block)",
     )
     parser.add_argument(
         "pytest_args",
@@ -184,12 +301,16 @@ def main(argv: list[str] | None = None) -> None:
         "git": git_revision(),
         "benchmarks": results,
     }
+    if not args.no_telemetry:
+        entry["telemetry"] = collect_telemetry(args.pytest_args)
     entries = [e for e in trajectory["entries"] if e["label"] != args.label]
     entries.append(entry)
     trajectory["entries"] = entries
     args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
     print(f"\nRecorded {len(results)} benchmarks as {args.label!r} in {args.output}")
     print_comparison(entries, args.label, args.baseline)
+    if args.compare:
+        print_telemetry_compare(entries, args.label, args.compare)
 
 
 if __name__ == "__main__":

@@ -45,11 +45,31 @@ drives either an in-process sharded service or a live server;
 ``--check-serial`` re-runs the stream through a plain serial
 :class:`~repro.core.admission.AdmissionController` and verifies the
 decisions match request for request.
+
+Observability (the :mod:`repro.telemetry` subsystem) closes the loop
+from measured runs to regression gates::
+
+    python -m repro.cli campaign --family voip-star \\
+        --grid seed=0..7 --label pr6-baseline       # record a labelled run
+    python -m repro.cli report --label pr6-baseline # rollup of that label
+    python -m repro.cli report --diff pr6-baseline pr6-candidate
+                                                    # regression gate
+    python -m repro.cli replay --family voip-star \\
+        --requests 200 --metrics-out metrics.json   # dump raw snapshots
+    python -m repro.cli serve scenario.json --telemetry
+
+``campaign --label`` appends a run record (KPIs + merged telemetry
+snapshot) to ``TELEMETRY_runs.jsonl``; ``report --diff A B`` compares
+two labels KPI by KPI and exits non-zero when a gating metric (cache
+hit rates, admission rate, iteration counts — not wall-clock numbers)
+moved the wrong way by more than ``--threshold``.  ``-v`` / ``-q``
+raise or silence status logging for every subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import math
 import sys
 from typing import Any, Sequence
@@ -61,6 +81,32 @@ from repro.core.utilization import network_convergence_report
 from repro.sim.simulator import SimConfig, simulate
 from repro.util.tables import Table
 from repro.util.units import fmt_duration, fmt_rate
+
+log = logging.getLogger("repro.cli")
+
+
+def _configure_logging(args) -> None:
+    """One logging config for the whole CLI (``-v`` / ``-q``).
+
+    Status chatter (``serve``/``replay``/``campaign`` progress) goes
+    through :mod:`logging` at INFO; results (tables, digests, verdicts)
+    stay on plain ``print``.  The default format is bare messages on
+    stdout, so default-level output is byte-identical to the historic
+    ad-hoc prints; ``-q`` silences the chatter, ``-v`` adds DEBUG
+    detail.
+    """
+    if getattr(args, "quiet", False):
+        level = logging.WARNING
+    elif getattr(args, "verbose", False):
+        level = logging.DEBUG
+    else:
+        level = logging.INFO
+    logging.basicConfig(
+        level=level,
+        format="%(message)s",
+        stream=sys.stdout,
+        force=True,
+    )
 
 
 class _CliScenario:
@@ -228,7 +274,73 @@ def cmd_validate(args) -> int:
     return 0 if violations == 0 else 1
 
 
+def _report_store(args) -> int:
+    """Telemetry-store half of ``report``: rollups and label diffs."""
+    from repro.telemetry.report import (
+        DEFAULT_THRESHOLD,
+        aggregate,
+        diff,
+        render_diff,
+        render_rollup,
+    )
+    from repro.telemetry.store import StoreError, labels, load_runs
+
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+
+    def rollup(label: str):
+        records = load_runs(args.store, label=label)
+        if not records:
+            known = ", ".join(labels(args.store)) or "<store is empty>"
+            raise SystemExit(
+                f"no runs labelled {label!r} in {args.store} "
+                f"(known labels: {known})"
+            )
+        return aggregate(label, records)
+
+    try:
+        if args.diff:
+            base_label, cand_label = args.diff
+            result = diff(
+                rollup(base_label), rollup(cand_label), threshold=threshold
+            )
+            print(render_diff(result))
+            return 0 if result.ok else 1
+        if args.label:
+            print(render_rollup(rollup(args.label)))
+            return 0
+        # No label given: list what the store holds.
+        table = Table(
+            ["label", "runs"], title=f"telemetry store {args.store}"
+        )
+        counts: dict[str, int] = {}
+        for record in load_runs(args.store):
+            counts[record.label] = counts.get(record.label, 0) + 1
+        for label in labels(args.store):
+            table.add_row([label, counts[label]])
+        print(table.render())
+        return 0
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+
+
 def cmd_report(args) -> int:
+    if args.store is None:
+        from repro.telemetry.store import DEFAULT_STORE
+
+        args.store = DEFAULT_STORE
+    if args.diff or args.label or not args.scenario:
+        if not args.scenario:
+            from pathlib import Path
+
+            if not (args.diff or args.label) and not Path(args.store).exists():
+                raise SystemExit(
+                    "report needs a scenario file (utilisation report) or "
+                    "a telemetry store with --label/--diff "
+                    f"(no {args.store} found)"
+                )
+        return _report_store(args)
     loaded = _CliScenario(args.scenario)
     network, flows = loaded.network, loaded.flows
     ctx = AnalysisContext(network, flows, loaded.options(args))
@@ -373,13 +485,60 @@ def _campaign_detail(action: str, payload: dict) -> str:
     return ""
 
 
+def _record_campaign_run(args, units, actions, results, digest) -> None:
+    """Append one labelled RunRecord for this campaign to the store."""
+    from datetime import datetime, timezone
+
+    from repro import telemetry as _telemetry
+    from repro.telemetry.store import RunRecord, append_run, git_revision
+
+    reg = _telemetry.REGISTRY
+    snapshot = reg.snapshot() if reg is not None else None
+    ok_rows = sum(
+        1 for row in results if _campaign_ok(row.action, row.payload)
+    )
+    metrics = {
+        "campaign.scenarios": float(len(units)),
+        "campaign.rows": float(len(results)),
+        "campaign.ok_rows": float(ok_rows),
+        "campaign.elapsed_s": sum(row.elapsed_s for row in results),
+    }
+    scenario = args.family or ",".join(args.scenarios or []) or None
+    record = RunRecord(
+        label=args.label,
+        kind="campaign",
+        scenario=scenario,
+        git=git_revision(),
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        metrics=metrics,
+        telemetry=snapshot,
+        meta={
+            "actions": list(actions),
+            "jobs": args.jobs,
+            "digest": digest,
+        },
+    )
+    append_run(args.store, record)
+    log.info(
+        "recorded run %r (%d row(s)) to %s", args.label, len(results),
+        args.store,
+    )
+
+
 def cmd_campaign(args) -> int:
+    from repro import telemetry as _telemetry
     from repro.scenario import (
         CampaignRunner,
         campaign_digest,
         load_scenario_file,
         scenario_grid,
     )
+
+    if args.label and _telemetry.REGISTRY is None:
+        # A labelled run is a measured run: collect telemetry for the
+        # stored record (workers inherit per-action capture semantics).
+        _telemetry.enable()
+        log.debug("telemetry enabled for labelled campaign %r", args.label)
 
     actions = tuple(a.strip() for a in args.actions.split(",") if a.strip())
     if args.family and args.scenarios:
@@ -423,7 +582,10 @@ def cmd_campaign(args) -> int:
             cells.append(f"{row.elapsed_s:.3f}")
         table.add_row(cells)
     print(table.render())
-    print(f"campaign digest: {campaign_digest(results)}")
+    digest = campaign_digest(results)
+    print(f"campaign digest: {digest}")
+    if args.label:
+        _record_campaign_run(args, units, actions, results, digest)
     return 0 if all_ok else 1
 
 
@@ -465,6 +627,7 @@ def cmd_generate(args) -> int:
 # Serving (repro.service)
 # ----------------------------------------------------------------------
 def cmd_serve(args) -> int:
+    from repro import telemetry as _telemetry
     from repro.service import (
         Request,
         ShardedAdmissionService,
@@ -472,6 +635,11 @@ def cmd_serve(args) -> int:
         run_server,
     )
 
+    if args.telemetry and _telemetry.REGISTRY is None:
+        # Enable before the service spawns shard workers so they fork
+        # with collection on and answer the ``metrics`` verb.
+        _telemetry.enable()
+        log.debug("telemetry collection enabled")
     if args.scenario and args.restore:
         raise SystemExit(
             "serve takes a scenario file OR --restore, not both"
@@ -500,9 +668,9 @@ def cmd_serve(args) -> int:
             True if args.workers else False if args.no_workers else None
         )
         service = load_service_state(args.restore, workers=workers)
-        print(
-            f"restored {service.stats()['admitted']} admitted flow(s) "
-            f"across {service.n_shards} shard(s) from {args.restore}"
+        log.info(
+            "restored %d admitted flow(s) across %d shard(s) from %s",
+            service.stats()["admitted"], service.n_shards, args.restore,
         )
     else:
         loaded = _CliScenario(args.scenario)
@@ -517,10 +685,10 @@ def cmd_serve(args) -> int:
                 [Request(op="admit", flow=f) for f in loaded.flows]
             )
             ok = sum(1 for p in payloads if p.get("accepted"))
-            print(f"pre-admitted {ok}/{len(payloads)} base flow(s)")
-    print(
-        f"admission service: {service.n_shards} shard(s), "
-        f"workers={service.workers}"
+            log.info("pre-admitted %d/%d base flow(s)", ok, len(payloads))
+    log.info(
+        "admission service: %d shard(s), workers=%s",
+        service.n_shards, service.workers,
     )
     # run_server owns the shutdown: it closes the service on exit.
     run_server(
@@ -535,6 +703,7 @@ def cmd_serve(args) -> int:
 
 
 def cmd_replay(args) -> int:
+    from repro import telemetry as _telemetry
     from repro.scenario import REGISTRY
     from repro.service import (
         ShardedAdmissionService,
@@ -545,6 +714,12 @@ def cmd_replay(args) -> int:
         save_trace,
         trace_from_scenario,
     )
+
+    if args.metrics_out and not args.connect and _telemetry.REGISTRY is None:
+        # Local replay: collection must be on before the service forks
+        # its shard workers, or there is nothing to dump.
+        _telemetry.enable()
+        log.debug("telemetry collection enabled for --metrics-out")
 
     scenario = None
     if args.scenario and args.family:
@@ -579,8 +754,11 @@ def cmd_replay(args) -> int:
         )
     if args.trace_out:
         save_trace(args.trace_out, trace)
-        print(f"wrote {trace.n_requests}-request log to {args.trace_out}")
+        log.info(
+            "wrote %d-request log to %s", trace.n_requests, args.trace_out
+        )
 
+    metrics_doc = None
     if args.connect:
         if args.shards != 1 or args.workers:
             raise SystemExit(
@@ -592,6 +770,10 @@ def cmd_replay(args) -> int:
         if not host or not port.isdigit():
             raise SystemExit(f"--connect expects HOST:PORT, got {args.connect!r}")
         summary = replay_tcp(host, int(port), trace, window=args.batch)
+        if args.metrics_out:
+            from repro.service.replay import fetch_metrics_tcp
+
+            metrics_doc = fetch_metrics_tcp(host, int(port))
         target = f"server {args.connect}"
     else:
         if scenario is None:
@@ -607,9 +789,19 @@ def cmd_replay(args) -> int:
         )
         try:
             summary = replay_service(service, trace, batch=args.batch)
+            if args.metrics_out:
+                metrics_doc = service.metrics()
         finally:
             service.close()
         target = f"local service ({args.shards} shard(s))"
+
+    if args.metrics_out:
+        import json as _json
+
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            _json.dump(metrics_doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        log.info("wrote telemetry snapshots to %s", args.metrics_out)
 
     table = Table(["metric", "value"], title=f"replay of {trace.name} -> {target}")
     table.add_row(["requests", summary.n_requests])
@@ -651,6 +843,18 @@ def build_parser() -> argparse.ArgumentParser:
         description="GMF schedulability analysis for multihop software-"
         "switched Ethernet (Andersson, IPPS 2008)",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="debug-level status logging",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress status logging (results still print)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p):
@@ -691,8 +895,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_validate)
 
-    p = sub.add_parser("report", help="per-resource utilisation report")
-    common(p)
+    p = sub.add_parser(
+        "report",
+        help="utilisation report (scenario file) or telemetry "
+        "rollups/diffs (--label / --diff)",
+    )
+    p.add_argument(
+        "scenario",
+        nargs="?",
+        help="scenario JSON file for the utilisation report "
+        "(omit to query the telemetry store)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="use the paper's equations exactly as printed",
+    )
+    p.add_argument(
+        "--no-jitter",
+        action="store_true",
+        help="ignore generalized jitter (ablation)",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        help="telemetry run store (default TELEMETRY_runs.jsonl)",
+    )
+    p.add_argument(
+        "--label", help="roll up every stored run under this label"
+    )
+    p.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("BASELINE", "CANDIDATE"),
+        help="compare two labels; exits non-zero on flagged regressions",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative change before a gating metric flags (default 0.05)",
+    )
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
@@ -737,6 +980,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--timing",
         action="store_true",
         help="include per-action wall time (varies run to run)",
+    )
+    p.add_argument(
+        "--label",
+        help="record this run (with its telemetry snapshot) to the "
+        "run store under LABEL; enables telemetry collection",
+    )
+    p.add_argument(
+        "--store",
+        default="TELEMETRY_runs.jsonl",
+        help="telemetry run store to append to (with --label)",
     )
     p.set_defaults(func=cmd_campaign)
 
@@ -804,6 +1057,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory client snapshot requests may write into "
         "(default: file snapshots over the wire are refused)",
     )
+    p.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect telemetry; clients read it via the 'metrics' verb "
+        "and versioned 'stats' responses",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -861,12 +1120,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="verify decisions against a serial AdmissionController",
     )
+    p.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="dump the service's telemetry snapshots to FILE as JSON "
+        "(local replays enable collection; --connect asks the server)",
+    )
     p.set_defaults(func=cmd_replay)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
     return args.func(args)
 
 

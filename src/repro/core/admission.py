@@ -41,10 +41,12 @@ snapshot/restore (:mod:`repro.service.state`).
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from repro import telemetry as _telemetry
 from repro.core.context import AnalysisContext, AnalysisOptions
 from repro.core.holistic import holistic_analysis
 from repro.core.results import HolisticResult
@@ -150,6 +152,22 @@ class AdmissionController:
 
     def request(self, flow: Flow) -> AdmissionDecision:
         """Try to admit ``flow``; accepted flows become part of the state."""
+        reg = _telemetry.REGISTRY
+        if reg is None:
+            return self._request(flow)
+        reg.add("admission.requests")
+        start = time.perf_counter()
+        decision = self._request(flow)
+        reg.observe("admission.request_s", time.perf_counter() - start)
+        if decision.accepted:
+            reg.add("admission.accepted")
+        else:
+            reg.add("admission.rejected")
+            if decision.analysis is None:
+                reg.add("admission.fast_rejects")
+        return decision
+
+    def _request(self, flow: Flow) -> AdmissionDecision:
         validate_route(self.network, flow.route)
         if any(f.name == flow.name for f in self._flows):
             raise ValueError(f"flow name {flow.name!r} already admitted")
@@ -175,6 +193,7 @@ class AdmissionController:
                 )
         if self.warm_start and self._flows:
             ctx.jitters.warm_start_from(self._ctx.jitters)
+            _telemetry.add("admission.warm_starts")
         analysis = holistic_analysis(
             self.network, tentative, self.options, context=ctx
         )
@@ -211,6 +230,7 @@ class AdmissionController:
         self._flows = [f for f in self._flows if f.name != flow_name]
         if len(self._flows) == before:
             raise KeyError(f"flow {flow_name!r} is not admitted")
+        _telemetry.add("admission.releases")
         self._retire_demands(flow_name)
         # Cold jitter start: removing interference lowers the fixed
         # point, so warm-starting from the old table would be unsound.

@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping, Sequence
 
+from repro import telemetry as _telemetry
 from repro.core.demand import LinkDemand, build_link_demand
 from repro.core.packetization import DEFAULT_CONFIG, STRICT_CONFIG, PacketizationConfig
 from repro.model.flow import Flow, check_unique_names, flows_on_link, hep_flows
@@ -347,7 +348,10 @@ class AnalysisContext:
         if per_flow is None:
             per_flow = self._demand_cache[flow.name] = {}
         entry = per_flow.get((n1, n2))
+        reg = _telemetry.REGISTRY
         if entry is None or (entry[0] is not flow and entry[0] != flow):
+            if reg is not None:
+                reg.add("engine.demand_cache.misses")
             entry = (
                 flow,
                 build_link_demand(
@@ -357,11 +361,14 @@ class AnalysisContext:
                 ),
             )
             per_flow[(n1, n2)] = entry
-        elif entry[0] is not flow:
-            # Equal value, new object (e.g. a re-parsed request): rekey
-            # so subsequent lookups take the identity fast path.
-            entry = (flow, entry[1])
-            per_flow[(n1, n2)] = entry
+        else:
+            if reg is not None:
+                reg.add("engine.demand_cache.hits")
+            if entry[0] is not flow:
+                # Equal value, new object (e.g. a re-parsed request):
+                # rekey so later lookups take the identity fast path.
+                entry = (flow, entry[1])
+                per_flow[(n1, n2)] = entry
         return entry[1]
 
     def pop_demands(

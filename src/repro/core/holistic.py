@@ -48,6 +48,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro import telemetry as _telemetry
 from repro.core.context import (
     AnalysisContext,
     AnalysisOptions,
@@ -100,6 +101,7 @@ def _full_sweep_analysis(ctx: AnalysisContext) -> HolisticResult:
         if _any_diverged(results):
             # A diverged stage yields infinite jitters downstream; the
             # iteration can never recover (monotone), so stop now.
+            _note_analysis(ctx, iterations, iterations * len(ctx.flows), 0)
             return HolisticResult(
                 flow_results=results, iterations=iterations, converged=False
             )
@@ -107,6 +109,7 @@ def _full_sweep_analysis(ctx: AnalysisContext) -> HolisticResult:
         if delta <= JITTER_TOLERANCE:
             converged = True
             break
+    _note_analysis(ctx, iterations, iterations * len(ctx.flows), 0)
     return HolisticResult(
         flow_results=results, iterations=iterations, converged=converged
     )
@@ -136,6 +139,8 @@ def _worklist_analysis(ctx: AnalysisContext) -> HolisticResult:
     pending: set[str] = {f.name for f in ctx.flows}
     converged = False
     iterations = 0
+    flow_evals = 0
+    invalidations = 0
     for iterations in range(1, max_iter + 1):
         ctx.jitters.begin_round()
         next_pending: set[str] = set()
@@ -143,14 +148,17 @@ def _worklist_analysis(ctx: AnalysisContext) -> HolisticResult:
             if f.name not in pending:
                 continue
             results[f.name] = analyze_flow(ctx, f)
+            flow_evals += 1
             position = order[f.name]
             for key in ctx.jitters.drain_changed_keys():
                 for reader in readers.get(key, ()):
+                    invalidations += 1
                     if order[reader] > position:
                         pending.add(reader)
                     else:
                         next_pending.add(reader)
         if _any_diverged(results):
+            _note_analysis(ctx, iterations, flow_evals, invalidations)
             return HolisticResult(
                 flow_results=results, iterations=iterations, converged=False
             )
@@ -158,6 +166,7 @@ def _worklist_analysis(ctx: AnalysisContext) -> HolisticResult:
             converged = True
             break
         pending = next_pending
+    _note_analysis(ctx, iterations, flow_evals, invalidations)
     return HolisticResult(
         flow_results=results, iterations=iterations, converged=converged
     )
@@ -193,6 +202,23 @@ def _read_set(ctx: AnalysisContext, flow: Flow) -> set[tuple]:
                 keys.add((j.name, egress))
             n1, n2 = n2, n3
     return keys
+
+
+def _note_analysis(
+    ctx: AnalysisContext, rounds: int, flow_evals: int, invalidations: int
+) -> None:
+    """Record one holistic analysis's totals (once, at its exit)."""
+    reg = _telemetry.REGISTRY
+    if reg is None:
+        return
+    reg.add("engine.holistic.analyses")
+    reg.add("engine.holistic.rounds", rounds)
+    reg.add("engine.holistic.flow_analyses", flow_evals)
+    reg.add(
+        "engine.holistic.worklist_skips",
+        rounds * len(ctx.flows) - flow_evals,
+    )
+    reg.add("engine.holistic.invalidations", invalidations)
 
 
 def _any_diverged(results: dict[str, FlowResult]) -> bool:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 
+from repro import telemetry as _telemetry
 from repro.core.context import AnalysisContext, ingress_resource, link_resource
 from repro.core.first_hop import first_hop_stage
 from repro.core.results import FlowResult, FrameResult, StageResult
@@ -77,9 +78,14 @@ def analyze_flow(ctx: AnalysisContext, flow: Flow) -> FlowResult:
             )
             key = (flow.name, resource)
             hit = ctx._stage_cache.get(key)
+            reg = _telemetry.REGISTRY
             if hit is not None and hit[0] == inputs:
+                if reg is not None:
+                    reg.add("engine.stage_memo.hits")
                 results = hit[1]
             else:
+                if reg is not None:
+                    reg.add("engine.stage_memo.misses")
                 results = stage()
                 ctx._stage_cache[key] = (inputs, results)
         else:

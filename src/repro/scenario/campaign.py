@@ -41,6 +41,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Mapping, Sequence
 
+from repro import telemetry as _telemetry
 from repro.core.admission import AdmissionController
 from repro.core.holistic import holistic_analysis
 from repro.scenario.model import Scenario, ScenarioSpec
@@ -273,6 +274,9 @@ class CampaignResult:
     ``payload`` is the action's JSON-able result document;
     ``elapsed_s`` is the worker-side wall time of the action (the only
     field allowed to differ between serial and parallel runs).
+    ``telemetry`` is the action's registry snapshot when collection was
+    enabled (None otherwise); like the timing, it is observational and
+    excluded from :meth:`signature`.
     """
 
     index: int
@@ -281,9 +285,10 @@ class CampaignResult:
     action: str
     elapsed_s: float
     payload: Mapping[str, Any]
+    telemetry: Mapping[str, Any] | None = None
 
     def signature(self) -> str:
-        """Deterministic digest of everything except the timing."""
+        """Deterministic digest of everything except timing/telemetry."""
         doc = {
             "index": self.index,
             "scenario": self.scenario,
@@ -333,16 +338,31 @@ def _run_item(
     family = scenario.generator.family if scenario.generator else None
     rows: list[CampaignResult] = []
     for name, fn in actions:
-        start = time.perf_counter()
-        payload = fn(scenario)
+        if _telemetry.REGISTRY is None:
+            start = time.perf_counter()
+            payload = fn(scenario)
+            elapsed = time.perf_counter() - start
+            snapshot = None
+        else:
+            # Per-action capture: the row carries exactly this action's
+            # counts (forked workers inherit the parent registry, so the
+            # swap also keeps pre-fork totals out of the row).  The
+            # runner merges row snapshots back into the campaign total.
+            with _telemetry.capture() as reg:
+                with reg.span(f"campaign.{name}"):
+                    start = time.perf_counter()
+                    payload = fn(scenario)
+                    elapsed = time.perf_counter() - start
+            snapshot = reg.snapshot()
         rows.append(
             CampaignResult(
                 index=index,
                 scenario=scenario.name,
                 family=family,
                 action=name,
-                elapsed_s=time.perf_counter() - start,
+                elapsed_s=elapsed,
                 payload=dict(payload),
+                telemetry=snapshot,
             )
         )
     return rows
@@ -405,7 +425,15 @@ class CampaignRunner:
         else:
             with _pool_context().Pool(processes=min(jobs, len(work))) as pool:
                 nested = pool.map(_run_item, work)
-        return [row for rows in nested for row in rows]
+        flat = [row for rows in nested for row in rows]
+        # Fold the per-row captures into the caller's registry so a
+        # campaign contributes one set of totals regardless of jobs.
+        reg = _telemetry.REGISTRY
+        if reg is not None:
+            for row in flat:
+                if row.telemetry:
+                    reg.merge(row.telemetry)
+        return flat
 
     def run_grid(
         self,

@@ -13,6 +13,13 @@ Requests::
     {"v": 1, "id": 9, "op": "query",   "flow_name": "call3"}
     {"v": 1, "id": 10, "op": "stats"}
     {"v": 1, "id": 11, "op": "snapshot", "path": "state.json"}
+    {"v": 1, "id": 12, "op": "metrics"}
+
+``metrics`` returns the service's telemetry snapshots (merged across
+shard workers; see :mod:`repro.telemetry`) — empty when telemetry is
+disabled.  ``stats`` responses are versioned via ``stats_version``:
+version 2 adds the merged telemetry snapshot under ``"telemetry"``
+when collection is enabled (older clients ignore unknown keys).
 
 ``id`` is an opaque client token echoed in the response; ``at`` is an
 optional replay timestamp (seconds into the trace) carried for log
@@ -38,7 +45,7 @@ from repro.model.flow import Flow
 PROTOCOL_VERSION = 1
 
 #: Operations the service understands.
-OPS = ("admit", "release", "query", "stats", "snapshot")
+OPS = ("admit", "release", "query", "stats", "snapshot", "metrics")
 
 
 class ProtocolError(ValueError):
@@ -68,7 +75,7 @@ class Request:
 
     @property
     def target(self) -> str | None:
-        """Name of the flow the request concerns (None for stats/snapshot)."""
+        """Flow the request concerns (None for stats/snapshot/metrics)."""
         if self.flow is not None:
             return self.flow.name
         return self.flow_name

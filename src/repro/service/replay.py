@@ -369,3 +369,30 @@ async def replay_over_tcp(
 def replay_tcp(host: str, port: int, trace: ReplayTrace, **kwargs) -> ReplaySummary:
     """Synchronous wrapper around :func:`replay_over_tcp`."""
     return asyncio.run(replay_over_tcp(host, port, trace, **kwargs))
+
+
+async def _metrics_over_tcp(host: str, port: int) -> dict[str, Any]:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(encode_line(request_to_dict(Request(op="metrics", id=0))))
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        doc = decode_line(line)
+        if not doc.get("ok"):
+            raise RuntimeError(
+                f"metrics request failed: {doc.get('error', 'unknown error')}"
+            )
+        return {k: v for k, v in doc.items() if k not in ("v", "id", "ok")}
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown
+            pass
+
+
+def fetch_metrics_tcp(host: str, port: int) -> dict[str, Any]:
+    """Ask a live server for its telemetry via the ``metrics`` verb."""
+    return asyncio.run(_metrics_over_tcp(host, port))

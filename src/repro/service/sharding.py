@@ -49,9 +49,11 @@ decisions by construction.
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
+from repro import telemetry as _telemetry
 from repro.core.admission import AdmissionController
 from repro.core.context import AnalysisOptions
 from repro.model.flow import Flow
@@ -149,13 +151,24 @@ class ShardRouter:
 ShardOp = tuple
 
 
-def _apply_op(ctrl: AdmissionController, op: ShardOp) -> dict[str, Any]:
+def _apply_op(
+    ctrl: AdmissionController, op: ShardOp, shard_id: int = 0
+) -> dict[str, Any]:
     """Execute one op on a shard's controller; errors become payloads
     (a shard worker must survive bad requests)."""
     kind = op[0]
     try:
         if kind == "request":
-            decision = ctrl.request(op[1])
+            reg = _telemetry.REGISTRY
+            if reg is None:
+                decision = ctrl.request(op[1])
+            else:
+                start = time.perf_counter()
+                decision = ctrl.request(op[1])
+                reg.observe(
+                    f"service.shard.{shard_id}.admit_s",
+                    time.perf_counter() - start,
+                )
             return {"accepted": decision.accepted, "reason": decision.reason}
         if kind == "release":
             ctrl.release(op[1])
@@ -184,13 +197,17 @@ class _InlineShard:
         *,
         fast_reject: bool,
         warm_start: bool,
+        shard_id: int = 0,
     ):
+        self.shard_id = shard_id
         self._ctrl = AdmissionController(
             network, options, fast_reject=fast_reject, warm_start=warm_start
         )
 
     def send_batch(self, ops: Sequence[ShardOp]) -> None:
-        self._pending = [_apply_op(self._ctrl, op) for op in ops]
+        self._pending = [
+            _apply_op(self._ctrl, op, self.shard_id) for op in ops
+        ]
 
     def recv_batch(self) -> list[dict[str, Any]]:
         out, self._pending = self._pending, None
@@ -212,12 +229,26 @@ class _InlineShard:
             warm_start=self._ctrl.warm_start,
         )
 
+    def telemetry_snapshot(self) -> dict[str, Any] | None:
+        # Inline shards record straight into the service process's own
+        # registry: nothing separate to collect (returning a snapshot
+        # here would double-count on merge).
+        return None
+
     def close(self) -> None:
         pass
 
 
-def _shard_worker(conn, network, options, fast_reject, warm_start) -> None:
+def _shard_worker(
+    conn, network, options, fast_reject, warm_start, shard_id=0,
+    telemetry_on=False,
+) -> None:
     """Process body of one shard: a controller behind a message pipe."""
+    if telemetry_on:
+        # Fork inherits the parent's registry *contents* too; start
+        # from a clean one so the parent's pre-fork counts are not
+        # re-merged when this worker's snapshot is collected.
+        _telemetry.enable(_telemetry.Registry())
     ctrl = AdmissionController(
         network, options, fast_reject=fast_reject, warm_start=warm_start
     )
@@ -228,9 +259,12 @@ def _shard_worker(conn, network, options, fast_reject, warm_start) -> None:
             return
         kind = msg[0]
         if kind == "batch":
-            conn.send([_apply_op(ctrl, op) for op in msg[1]])
+            conn.send([_apply_op(ctrl, op, shard_id) for op in msg[1]])
         elif kind == "export":
             conn.send(ctrl.export_state())
+        elif kind == "telemetry":
+            reg = _telemetry.REGISTRY
+            conn.send(reg.snapshot() if reg is not None else None)
         elif kind == "restore":
             ctrl = AdmissionController.restore(
                 network,
@@ -270,12 +304,17 @@ class _ProcessShard:
         *,
         fast_reject: bool,
         warm_start: bool,
+        shard_id: int = 0,
     ):
+        self.shard_id = shard_id
         ctx = mp_context()
         self._conn, child = ctx.Pipe()
         self._proc = ctx.Process(
             target=_shard_worker,
-            args=(child, network, options, fast_reject, warm_start),
+            args=(
+                child, network, options, fast_reject, warm_start,
+                shard_id, _telemetry.enabled(),
+            ),
             daemon=True,
         )
         self._proc.start()
@@ -335,6 +374,17 @@ class _ProcessShard:
         except (BrokenPipeError, EOFError, OSError):
             self._mark_dead()
             raise RuntimeError(self.DEAD_ERROR) from None
+
+    def telemetry_snapshot(self) -> dict[str, Any] | None:
+        """The worker's registry snapshot (None when dead/disabled)."""
+        if self._dead:
+            return None
+        try:
+            self._conn.send(("telemetry",))
+            return self._conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            self._mark_dead()
+            return None
 
     def close(self) -> None:
         if not self._dead:
@@ -412,8 +462,9 @@ class ShardedAdmissionService:
                 self.options,
                 fast_reject=fast_reject,
                 warm_start=warm_start,
+                shard_id=sid,
             )
-            for _ in range(n_shards)
+            for sid in range(n_shards)
         ]
         #: flow name -> shard ids holding it (insertion = admission order).
         self._flow_shards: dict[str, tuple[int, ...]] = {}
@@ -425,6 +476,7 @@ class ShardedAdmissionService:
             "errors": 0,
             "cross_shard_offered": 0,
             "batches": 0,
+            "rollbacks": 0,
         }
 
     # ------------------------------------------------------------------
@@ -486,7 +538,11 @@ class ShardedAdmissionService:
                 cross += 1
             for sid in shards:
                 shard_flows[sid] += 1
-        return {
+        out = {
+            # Response layout version: 2 added the optional merged
+            # "telemetry" snapshot.  Strictly additive, so version-1
+            # clients keep working unchanged.
+            "stats_version": 2,
             "n_shards": self.n_shards,
             "workers": self.workers,
             "admitted": len(self._flow_shards),
@@ -494,6 +550,34 @@ class ShardedAdmissionService:
             "shard_flows": shard_flows,
             "switch_shards": self.router.assignment(),
             **self._counters,
+        }
+        if _telemetry.enabled():
+            out["telemetry"] = self.metrics()["merged"]
+        return out
+
+    def metrics(self) -> dict[str, Any]:
+        """Telemetry snapshots of the service process and its shards.
+
+        Returns ``{"enabled", "process", "shards", "merged"}`` where
+        ``process`` is this process's registry snapshot (inline shards
+        record here), ``shards`` has one entry per worker-backed shard
+        (None for inline shards or dead workers) and ``merged`` folds
+        them all into one snapshot.  All values are None/empty when
+        telemetry is disabled.
+        """
+        reg = _telemetry.REGISTRY
+        process = reg.snapshot() if reg is not None else None
+        shard_snaps = [shard.telemetry_snapshot() for shard in self._shards]
+        merged = _telemetry.merge_snapshots(
+            snap
+            for snap in [process, *shard_snaps]
+            if snap is not None
+        )
+        return {
+            "enabled": reg is not None,
+            "process": process,
+            "shards": shard_snaps,
+            "merged": merged,
         }
 
     # ------------------------------------------------------------------
@@ -512,6 +596,10 @@ class ShardedAdmissionService:
         semantics are exactly the one-at-a-time semantics.
         """
         self._counters["batches"] += 1
+        reg = _telemetry.REGISTRY
+        if reg is not None:
+            reg.add("service.batches")
+            reg.observe("service.batch_size", len(requests))
         results: list[dict[str, Any] | None] = [None] * len(requests)
         # One planned run: per-shard op lists plus their result slots.
         run: dict[int, list[tuple[int, ShardOp]]] = {}
@@ -597,6 +685,9 @@ class ShardedAdmissionService:
             elif req.op == "snapshot":
                 flush()
                 results[pos] = self._snapshot(req.path)
+            elif req.op == "metrics":
+                flush()  # barrier: include every earlier op's counts
+                results[pos] = self.metrics()
             else:  # pragma: no cover - Request.__post_init__ rejects
                 results[pos] = {"error": f"unknown op {req.op!r}"}
         flush()
@@ -677,6 +768,9 @@ class ShardedAdmissionService:
         ).to_payload()
 
     def _rollback(self, flow_name: str, shard_ids: Sequence[int]) -> None:
+        if shard_ids:
+            self._counters["rollbacks"] += 1
+            _telemetry.add("service.rollbacks")
         for sid in shard_ids:
             self._shards[sid].send_batch([("release", flow_name)])
             self._shards[sid].recv_batch()

@@ -34,6 +34,8 @@ import math
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable
 
+from repro import telemetry as _telemetry
+
 
 def _dispatch_generic(callback: Callable[..., None], args: tuple) -> None:
     """Kind 0: the classic ``schedule(when, fn, *args)`` payload."""
@@ -170,8 +172,12 @@ class EventEngine:
                 raise ValueError(f"cannot bulk-schedule at t={when!r}")
             heap.append((when, seq, kind, a, b))
             seq += 1
+        scheduled = seq - self._seq
         self._seq = seq
         heapify(heap)
+        reg = _telemetry.REGISTRY
+        if reg is not None:
+            reg.observe("sim.bulk_schedule", scheduled)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -183,8 +189,14 @@ class EventEngine:
         pop = heappop
         handlers = self._handlers
         processed = 0
+        # Read the registry once per run; the disabled dispatch loops
+        # below stay free of any telemetry test (the heap-peak probe
+        # costs one compare per timestamp batch, which only the enabled
+        # copies pay).
+        reg = _telemetry.REGISTRY
+        peak = len(heap) if reg is not None else 0
         try:
-            if max_events is None:
+            if max_events is None and reg is None:
                 # Unbudgeted loop (the standard full run): no per-event
                 # budget compares.
                 while heap:
@@ -204,12 +216,30 @@ class EventEngine:
                         handlers[rec[2]](rec[3], rec[4])
                         if not heap or heap[0][0] != when:
                             break
+            elif max_events is None:
+                # Instrumented copy of the unbudgeted loop: identical
+                # dispatch semantics plus the per-batch heap-peak probe.
+                while heap:
+                    when = heap[0][0]
+                    if when > until:
+                        break
+                    if len(heap) > peak:
+                        peak = len(heap)
+                    self._now = when
+                    while True:
+                        rec = pop(heap)
+                        processed += 1
+                        handlers[rec[2]](rec[3], rec[4])
+                        if not heap or heap[0][0] != when:
+                            break
             else:
                 budget = max_events
                 while heap and processed < budget:
                     when = heap[0][0]
                     if when > until:
                         break
+                    if reg is not None and len(heap) > peak:
+                        peak = len(heap)
                     self._now = when
                     while processed < budget:
                         rec = pop(heap)
@@ -219,6 +249,8 @@ class EventEngine:
                             break
         finally:
             self._events_processed += processed
+            if reg is not None and processed:
+                reg.observe("sim.heap_peak", peak)
         # Value comparison, not `is`: a computed float('inf') is a
         # different object from math.inf, and identity would wrongly
         # advance the clock to infinity on an empty queue.

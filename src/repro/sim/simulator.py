@@ -43,10 +43,13 @@ jitter)`` — both built-ins are; stateful policies should run with
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
+
+from repro import telemetry as _telemetry
 
 from repro.core.packetization import DEFAULT_CONFIG, PacketizationConfig, packetize
 from repro.model.flow import Flow, check_unique_names
@@ -747,7 +750,16 @@ class Simulator:
     def run(self) -> SimulationTrace:
         """Release traffic, drain, and return the trace."""
         horizon = self.config.duration * (1.0 + self.config.drain_factor)
-        self.engine.run(until=horizon)
+        reg = _telemetry.REGISTRY
+        if reg is None:
+            self.engine.run(until=horizon)
+        else:
+            before = self.engine.events_processed
+            start = time.perf_counter()
+            self.engine.run(until=horizon)
+            reg.observe("sim.run_s", time.perf_counter() - start)
+            reg.add("sim.runs")
+            reg.add("sim.events", self.engine.events_processed - before)
         if self.config.fast and not self._finalized:
             self._finalize_trace()
         self.trace.events_processed = self.engine.events_processed

@@ -64,6 +64,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import telemetry as _telemetry
+
 
 class FixedPointDiverged(RuntimeError):
     """Raised when a busy-period iteration exceeds its divergence bound.
@@ -156,7 +158,10 @@ def solve_cached(
     convention) they all share.  ``max_iterations <= 0`` means the
     module default.
     """
+    reg = _telemetry.REGISTRY
     if key not in cache:
+        if reg is not None:
+            reg.add("engine.fixed_point.cache_misses")
         try:
             cache[key] = iterate_fixed_point(
                 f,
@@ -173,6 +178,8 @@ def solve_cached(
             ).value
         except FixedPointDiverged:
             cache[key] = None
+    elif reg is not None:
+        reg.add("engine.fixed_point.cache_hits")
     return cache[key]
 
 
@@ -261,6 +268,7 @@ def iterate_fixed_point(
         floor = accelerator.floor
         if math.isinf(floor):
             # rate >= 1 with positive intercept: f(t) > t everywhere.
+            _note_diverged()
             raise FixedPointDiverged(
                 f"{what}: certified divergent "
                 f"(demand rate {accelerator.rate!r} >= 1)",
@@ -268,6 +276,7 @@ def iterate_fixed_point(
                 iterations=0,
             )
         if floor > horizon:
+            _note_diverged()
             raise FixedPointDiverged(
                 f"{what}: certified floor {floor!r} exceeds horizon "
                 f"{horizon!r}",
@@ -284,6 +293,7 @@ def iterate_fixed_point(
     prev_x = prev_f = 0.0
     have_prev = False  # a (prev_x, prev_f) graph point for the secant
     at_jump = False    # x is an unconfirmed Anderson jump target
+    anderson_jumps = 0
     for iteration in range(max_iterations):
         nxt = float(f(x))
         if jumped and iteration == 0 and nxt < x:
@@ -291,6 +301,7 @@ def iterate_fixed_point(
             # f(t) > t strictly, so any decrease at the floor proves
             # the certificate's rounding overshot it.  Restart as plain
             # Picard from the original seed (sound, merely slower).
+            _telemetry.add("engine.fixed_point.floor_restarts")
             return iterate_fixed_point(
                 f,
                 seed,
@@ -305,6 +316,7 @@ def iterate_fixed_point(
             # target could sit on a fixed point that is not the least)
             # is overshoot evidence.  Restart without extrapolation;
             # the certified floor, if any, remains in force.
+            _telemetry.add("engine.fixed_point.anderson_restarts")
             return iterate_fixed_point(
                 f,
                 seed,
@@ -325,6 +337,7 @@ def iterate_fixed_point(
                 # could have overshot the least fixed point into a
                 # region whose demand exceeds the horizon.  Restart and
                 # let plain Picard decide.
+                _telemetry.add("engine.fixed_point.anderson_restarts")
                 return iterate_fixed_point(
                     f,
                     seed,
@@ -334,6 +347,7 @@ def iterate_fixed_point(
                     what=what,
                     accelerator=accelerator,
                 )
+            _note_diverged()
             raise FixedPointDiverged(
                 f"{what}: iterate {nxt!r} exceeded horizon {horizon!r}",
                 last_value=nxt,
@@ -343,6 +357,16 @@ def iterate_fixed_point(
             # The final application only confirmed the fixed point when
             # it reproduced its input exactly (seed-was-fixed contract).
             advanced = iteration + (0 if nxt == x else 1)
+            reg = _telemetry.REGISTRY
+            if reg is not None:
+                reg.add("engine.fixed_point.solves")
+                reg.observe("engine.fixed_point.iterations", advanced)
+                if jumped:
+                    reg.add("engine.fixed_point.floor_jumps")
+                if anderson_jumps:
+                    reg.add(
+                        "engine.fixed_point.anderson_jumps", anderson_jumps
+                    )
             return FixedPointResult(value=nxt, iterations=advanced)
         at_jump = False
         new_x = nxt
@@ -362,13 +386,20 @@ def iterate_fixed_point(
                 ):
                     new_x = target
                     at_jump = True
+                    anderson_jumps += 1
         prev_x = x
         prev_f = nxt
         have_prev = True
         x = new_x
+    _note_diverged()
     raise FixedPointDiverged(
         f"{what}: no convergence after {max_iterations} iterations "
         f"(last value {x!r})",
         last_value=x,
         iterations=max_iterations,
     )
+
+
+def _note_diverged() -> None:
+    """Count a divergence declaration (cold path)."""
+    _telemetry.add("engine.fixed_point.diverged")

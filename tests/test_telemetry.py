@@ -1,0 +1,432 @@
+"""The telemetry layer: registry semantics, stores, reports, no-ops.
+
+Three contracts matter most:
+
+* **Zero overhead when disabled** — the module-level helpers must not
+  allocate or mutate anything while ``REGISTRY`` is ``None`` (the
+  default), because they sit on the admission/analysis hot paths.
+* **Exact cross-process merging** — campaign and shard workers capture
+  locally and ship snapshots; merged totals must equal a serial run.
+* **Observation only** — enabling telemetry changes no analysis,
+  admission or simulation result (spot-checked here; the full
+  equivalence suites run with ``REPRO_TELEMETRY=1`` in CI).
+"""
+
+import gc
+import json
+import math
+import sys
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import Histogram, Registry, capture, merge_snapshots
+from repro.telemetry.report import (
+    aggregate,
+    classify,
+    derived_metrics,
+    diff,
+    render_diff,
+    render_rollup,
+)
+from repro.telemetry.store import (
+    RunRecord,
+    StoreError,
+    append_run,
+    labels,
+    load_runs,
+    merge_run_telemetry,
+)
+from repro.util.mp import mp_context
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_disabled_by_default():
+    """Tests here manage activation explicitly; never leak a registry."""
+    before = telemetry.REGISTRY
+    yield
+    telemetry.REGISTRY = before
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+class TestHistogram:
+    def test_basic_stats(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.mean == 2.5
+
+    def test_power_of_two_bucketing(self):
+        h = Histogram()
+        h.observe(3.0)  # 2 < 3 <= 4 -> bucket 2
+        h.observe(4.0)  # exact power of two -> same bucket
+        h.observe(5.0)  # 4 < 5 <= 8 -> bucket 3
+        assert h.buckets == {2: 2, 3: 1}
+
+    def test_zero_and_negative_underflow(self):
+        h = Histogram()
+        h.observe(0.0)
+        h.observe(-2.5)
+        assert h.buckets == {Histogram.UNDERFLOW: 2}
+        assert h.quantile(0.5) == 0.0
+
+    def test_quantile_endpoints_exact(self):
+        h = Histogram()
+        for v in (0.5, 7.0, 100.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.5
+        assert h.quantile(1.0) == 100.0
+        # p50 lands in 7.0's bucket (4, 8]: geometric midpoint.
+        assert h.quantile(0.5) == pytest.approx(math.sqrt(4 * 8))
+
+    def test_empty_quantile_nan(self):
+        assert math.isnan(Histogram().quantile(0.5))
+
+    def test_roundtrip_and_merge(self):
+        a, b = Histogram(), Histogram()
+        for v in (1.0, 10.0):
+            a.observe(v)
+        for v in (0.25, 100.0):
+            b.observe(v)
+        merged = Histogram.from_dict(a.to_dict())
+        merged.merge_dict(b.to_dict())
+        assert merged.count == 4
+        assert merged.total == pytest.approx(111.25)
+        assert merged.min == 0.25
+        assert merged.max == 100.0
+        # Bucket-wise sum of the two.
+        expect = dict(a.buckets)
+        for e, n in b.buckets.items():
+            expect[e] = expect.get(e, 0) + n
+        assert merged.buckets == expect
+
+    def test_merge_empty_is_noop(self):
+        h = Histogram()
+        h.observe(1.0)
+        h.merge_dict(Histogram().to_dict())
+        assert h.count == 1
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_counters_and_histograms(self):
+        reg = Registry()
+        reg.add("a.count")
+        reg.add("a.count", 2.0)
+        reg.observe("a.val", 3.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a.count": 3.0}
+        assert snap["histograms"]["a.val"]["count"] == 1
+
+    def test_snapshot_order_deterministic(self):
+        """Same content, different insertion order -> identical JSON."""
+        a, b = Registry(), Registry()
+        for reg, names in (
+            (a, ("z.last", "a.first", "m.mid")),
+            (b, ("m.mid", "z.last", "a.first")),
+        ):
+            for name in names:
+                reg.add(name)
+                reg.observe(f"h.{name}", 1.0)
+        assert json.dumps(a.snapshot(), sort_keys=False) == json.dumps(
+            b.snapshot(), sort_keys=False
+        )
+
+    def test_merge_roundtrip_doubles(self):
+        reg = Registry()
+        reg.add("c", 5.0)
+        reg.observe("h", 2.0)
+        reg.merge(reg.snapshot())
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 10.0
+        assert snap["histograms"]["h"]["count"] == 2
+
+    def test_merge_refuses_newer_snapshot(self):
+        with pytest.raises(ValueError, match="newer"):
+            Registry().merge({"v": telemetry.SNAPSHOT_VERSION + 1})
+
+    def test_merge_snapshots_order_independent(self):
+        snaps = []
+        for k in range(3):
+            reg = Registry()
+            reg.add("n", k + 1)
+            reg.observe("v", float(k))
+            snaps.append(reg.snapshot())
+        forward = merge_snapshots(snaps)
+        backward = merge_snapshots(reversed(snaps))
+        assert forward == backward
+        assert forward["counters"]["n"] == 6.0
+
+    def test_spans_nest_by_stack_path(self):
+        reg = Registry()
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+        snap = reg.snapshot()
+        assert "span.outer" in snap["histograms"]
+        assert "span.outer/inner" in snap["histograms"]
+        assert snap["counters"]["span.outer/inner.calls"] == 1.0
+
+    def test_timer_records_histogram(self):
+        reg = Registry()
+        with reg.timer("t_s"):
+            pass
+        assert reg.histograms["t_s"].count == 1
+
+
+# ----------------------------------------------------------------------
+# Activation and the disabled no-op path
+# ----------------------------------------------------------------------
+class TestActivation:
+    def test_disabled_helpers_record_nothing(self):
+        telemetry.REGISTRY = None
+        telemetry.add("x")
+        telemetry.observe("y", 1.0)
+        with telemetry.span("z"):
+            pass
+        assert telemetry.REGISTRY is None
+        assert not telemetry.enabled()
+
+    def test_disabled_span_is_shared_singleton(self):
+        telemetry.REGISTRY = None
+        assert telemetry.span("a") is telemetry.span("b")
+
+    def test_disabled_path_allocates_nothing(self):
+        """The hot-path no-op must not build objects or grow dicts."""
+        telemetry.REGISTRY = None
+        for _ in range(16):  # warm up caches / small-int pools
+            telemetry.add("x")
+            telemetry.observe("y", 1.0)
+            with telemetry.span("z"):
+                pass
+        gc.collect()
+        before = sys.getallocatedblocks()
+        for _ in range(10_000):
+            telemetry.add("x")
+            telemetry.observe("y", 1.0)
+            with telemetry.span("z"):
+                pass
+        gc.collect()
+        # Zero new persistent blocks modulo interpreter noise.
+        assert sys.getallocatedblocks() - before < 50
+
+    def test_enable_disable_cycle(self):
+        telemetry.REGISTRY = None
+        reg = telemetry.enable()
+        assert telemetry.enabled()
+        assert telemetry.enable() is reg  # idempotent
+        telemetry.add("hit")
+        assert reg.counters["hit"] == 1.0
+        assert telemetry.disable() is reg
+        assert not telemetry.enabled()
+
+    def test_capture_restores_previous(self):
+        telemetry.REGISTRY = None
+        outer = telemetry.enable()
+        with capture() as inner:
+            telemetry.add("inner.only")
+            assert telemetry.REGISTRY is inner
+        assert telemetry.REGISTRY is outer
+        assert "inner.only" not in outer.counters
+        assert inner.counters["inner.only"] == 1.0
+        telemetry.disable()
+
+
+# ----------------------------------------------------------------------
+# Cross-process merging through the shared mp policy
+# ----------------------------------------------------------------------
+def _worker_snapshot(k):
+    with capture() as reg:
+        reg.add("w.count", k)
+        reg.observe("w.val", float(k))
+    return reg.snapshot()
+
+
+def test_merge_across_mp_workers():
+    """Worker-captured snapshots fold into exact fleet totals."""
+    with mp_context().Pool(2) as pool:
+        snaps = pool.map(_worker_snapshot, [1, 2, 3, 4])
+    merged = merge_snapshots(snaps)
+    assert merged["counters"]["w.count"] == 10.0
+    hist = merged["histograms"]["w.val"]
+    assert hist["count"] == 4
+    assert hist["sum"] == 10.0
+    assert hist["min"] == 1.0
+    assert hist["max"] == 4.0
+
+
+# ----------------------------------------------------------------------
+# Run store
+# ----------------------------------------------------------------------
+class TestStore:
+    def test_append_load_roundtrip(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        rec = RunRecord(
+            label="a",
+            kind="campaign",
+            scenario="voip-star",
+            metrics={"x": 1.0},
+            telemetry=None,
+            meta={"jobs": 2},
+        )
+        append_run(path, rec)
+        (loaded,) = load_runs(path)
+        assert loaded == rec
+
+    def test_label_filter_and_order(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        for label in ("b", "a", "b"):
+            append_run(path, RunRecord(label=label))
+        assert labels(path) == ["b", "a"]
+        assert len(load_runs(path, label="b")) == 2
+
+    def test_missing_store_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="not found"):
+            load_runs(tmp_path / "absent.jsonl")
+
+    def test_newer_version_refused(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text(json.dumps({"v": 99, "label": "x"}) + "\n")
+        with pytest.raises(StoreError, match="newer"):
+            load_runs(path)
+
+    def test_merge_run_telemetry(self, tmp_path):
+        reg = Registry()
+        reg.add("c", 2.0)
+        snap = reg.snapshot()
+        records = [
+            RunRecord(label="a", telemetry=snap),
+            RunRecord(label="a", telemetry=snap),
+            RunRecord(label="a", telemetry=None),
+        ]
+        merged = merge_run_telemetry(records)
+        assert merged["counters"]["c"] == 4.0
+
+
+# ----------------------------------------------------------------------
+# Reports: classification, rollups, regression diffs
+# ----------------------------------------------------------------------
+class TestReport:
+    def test_classify_gating_vs_timing(self):
+        assert classify("engine.fixed_point.iterations") == ("lower", True)
+        assert classify("admission.accept_rate") == ("higher", True)
+        assert classify("engine.demand_cache.hit_rate") == ("higher", True)
+        # Wall-clock numbers never gate.
+        assert classify("admission.request_s.p99") == ("lower", False)
+        assert classify("sim.events_per_s") == ("higher", False)
+        assert classify("span.campaign.analyze.mean") == ("lower", False)
+
+    def _snapshot(self, accepted):
+        reg = Registry()
+        reg.add("admission.requests", 10.0)
+        reg.add("admission.accepted", accepted)
+        reg.add("engine.demand_cache.hits", 9.0)
+        reg.add("engine.demand_cache.misses", 1.0)
+        reg.observe("admission.request_s", 0.001)
+        return reg.snapshot()
+
+    def test_derived_metrics(self):
+        kpis = derived_metrics(self._snapshot(accepted=8.0))
+        assert kpis["admission.accept_rate"] == pytest.approx(0.8)
+        assert kpis["engine.demand_cache.hit_rate"] == pytest.approx(0.9)
+        assert "admission.request_s.p99" in kpis
+        assert derived_metrics(None) == {}
+
+    def test_identical_runs_diff_clean(self):
+        rec = RunRecord(label="a", telemetry=self._snapshot(8.0))
+        base = aggregate("a", [rec])
+        cand = aggregate("b", [RunRecord(label="b", telemetry=self._snapshot(8.0))])
+        result = diff(base, cand)
+        assert result.ok
+        assert "no regressions flagged" in render_diff(result)
+
+    def test_seeded_regression_flagged(self):
+        base = aggregate("a", [RunRecord(label="a", telemetry=self._snapshot(8.0))])
+        cand = aggregate("b", [RunRecord(label="b", telemetry=self._snapshot(4.0))])
+        result = diff(base, cand)
+        assert not result.ok
+        flagged = {row.metric for row in result.regressions}
+        assert "admission.accept_rate" in flagged
+        assert "REGRESSION" in render_diff(result)
+
+    def test_recorded_kpis_win_over_derived(self):
+        rec = RunRecord(
+            label="a",
+            metrics={"admission.accept_rate": 0.5},
+            telemetry=self._snapshot(8.0),
+        )
+        rollup = aggregate("a", [rec])
+        assert rollup.metrics["admission.accept_rate"] == 0.5
+
+    def test_rollup_renders(self):
+        rollup = aggregate(
+            "a", [RunRecord(label="a", telemetry=self._snapshot(8.0))]
+        )
+        text = render_rollup(rollup)
+        assert "telemetry rollup" in text
+        assert "admission.accept_rate" in text
+
+    def test_aggregate_empty_label_raises(self):
+        with pytest.raises(ValueError, match="no runs"):
+            aggregate("ghost", [])
+
+
+# ----------------------------------------------------------------------
+# Observation only: results identical with telemetry on
+# ----------------------------------------------------------------------
+class TestObservationOnly:
+    def _workload(self):
+        from repro.util.units import mbps
+        from repro.workloads.generator import random_flow_set
+        from repro.workloads.topologies import star_network
+
+        net = star_network(6, speed_bps=mbps(100))
+        flows = random_flow_set(
+            net, n_flows=10, total_utilization=0.85, seed=3
+        )
+        return net, flows
+
+    def test_analysis_bit_identical_with_telemetry(self):
+        from repro.core.holistic import holistic_analysis
+
+        net, flows = self._workload()
+        plain = holistic_analysis(net, flows)
+        with capture() as reg:
+            instrumented = holistic_analysis(net, flows)
+        assert plain.converged == instrumented.converged
+        assert plain.iterations == instrumented.iterations
+        for name in plain.flow_results:
+            for fa, fb in zip(
+                plain.result(name).frames,
+                instrumented.result(name).frames,
+            ):
+                assert fa.response == fb.response
+        # ... and the run actually recorded engine activity.
+        snap = reg.snapshot()
+        assert snap["counters"]["engine.holistic.analyses"] >= 1.0
+        assert snap["counters"]["engine.fixed_point.solves"] > 0.0
+
+    def test_simulation_identical_with_telemetry(self):
+        from repro.sim.simulator import SimConfig, simulate
+
+        net, flows = self._workload()
+        config = SimConfig(duration=0.05)
+        plain = simulate(net, flows, config=config)
+        with capture() as reg:
+            instrumented = simulate(net, flows, config=config)
+        assert plain.events_processed == instrumented.events_processed
+        for f in flows:
+            assert plain.worst_response(f.name) == instrumented.worst_response(
+                f.name
+            )
+        snap = reg.snapshot()
+        assert snap["counters"]["sim.events"] == plain.events_processed
+        assert snap["histograms"]["sim.heap_peak"]["count"] >= 1

@@ -101,3 +101,40 @@ def test_service_throughput(benchmark, n_shards):
     assert summary.admit_decisions == SERIAL.admit_decisions
     benchmark.extra_info["requests_per_s"] = round(summary.requests_per_s, 1)
     benchmark.extra_info["accepted"] = summary.accepted
+
+
+def test_service_recovery(benchmark):
+    """Drain the trace while killing two shard workers mid-run.
+
+    The supervisor respawns each dead worker and restores its exact
+    state (baseline snapshot + op journal), so the decisions still
+    match the serial reference; the cost of that resilience — respawn,
+    restore, journal replay — is what this case prices relative to
+    ``test_service_throughput``.
+    """
+    from repro.service import FaultPlan
+
+    plan = FaultPlan.parse("kill:shard=0,at=6;kill:shard=2,at=6")
+
+    def run():
+        service = ShardedAdmissionService(
+            SCENARIO.network,
+            n_shards=N_STARS,
+            options=SCENARIO.options,
+            shard_map=SHARD_MAP,
+            workers=True,
+            fault_plan=plan,
+            journal_limit=32,
+        )
+        try:
+            summary = replay_service(service, TRACE, batch=16)
+            return summary, service.health()
+        finally:
+            service.close()
+
+    summary, health = benchmark(run)
+    assert summary.admit_decisions == SERIAL.admit_decisions
+    assert health["restarts"] == 2
+    benchmark.extra_info["requests_per_s"] = round(summary.requests_per_s, 1)
+    benchmark.extra_info["restarts"] = health["restarts"]
+    benchmark.extra_info["recovery_s"] = round(health["recovery_s_total"], 4)

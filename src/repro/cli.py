@@ -627,14 +627,32 @@ def cmd_generate(args) -> int:
 # Serving (repro.service)
 # ----------------------------------------------------------------------
 def cmd_serve(args) -> int:
+    import os
+
     from repro import telemetry as _telemetry
     from repro.service import (
+        FaultError,
+        FaultPlan,
         Request,
         ShardedAdmissionService,
         load_service_state,
         run_server,
     )
 
+    try:
+        fault_plan = FaultPlan.parse(
+            args.faults or os.environ.get("REPRO_FAULTS")
+        )
+    except FaultError as exc:
+        raise SystemExit(f"--faults: {exc}")
+    if (
+        fault_plan is not None
+        and fault_plan.worker_faults()
+        and not args.workers
+    ):
+        raise SystemExit(
+            "worker faults (kill/hang/slow_batch) need --workers"
+        )
     if args.telemetry and _telemetry.REGISTRY is None:
         # Enable before the service spawns shard workers so they fork
         # with collection on and answer the ``metrics`` verb.
@@ -661,13 +679,24 @@ def cmd_serve(args) -> int:
             "serve needs a scenario file (topology + options) or "
             "--restore with a service-state snapshot"
         )
+    resilience = dict(
+        supervise=not args.no_supervise,
+        max_restarts=args.max_restarts,
+        journal_limit=args.journal_limit,
+        fault_plan=fault_plan,
+    )
     if args.restore:
         # Tri-state: --workers forces processes, --no-workers forces
         # inline, neither keeps the snapshot's backend choice.
         workers = (
             True if args.workers else False if args.no_workers else None
         )
-        service = load_service_state(args.restore, workers=workers)
+        try:
+            service = load_service_state(
+                args.restore, workers=workers, **resilience
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
         log.info(
             "restored %d admitted flow(s) across %d shard(s) from %s",
             service.stats()["admitted"], service.n_shards, args.restore,
@@ -679,6 +708,7 @@ def cmd_serve(args) -> int:
             n_shards=args.shards,
             options=loaded.scenario.options,
             workers=args.workers,
+            **resilience,
         )
         if args.admit_base and loaded.flows:
             payloads = service.process_batch(
@@ -687,9 +717,14 @@ def cmd_serve(args) -> int:
             ok = sum(1 for p in payloads if p.get("accepted"))
             log.info("pre-admitted %d/%d base flow(s)", ok, len(payloads))
     log.info(
-        "admission service: %d shard(s), workers=%s",
-        service.n_shards, service.workers,
+        "admission service: %d shard(s), workers=%s, supervise=%s",
+        service.n_shards, service.workers, service.supervise,
     )
+    if fault_plan is not None:
+        log.info(
+            "fault injection active: %d fault(s), seed=%d",
+            len(fault_plan.faults), fault_plan.seed,
+        )
     # run_server owns the shutdown: it closes the service on exit.
     run_server(
         service,
@@ -698,6 +733,8 @@ def cmd_serve(args) -> int:
         batch_max=args.batch_max,
         batch_window_s=args.batch_window,
         snapshot_dir=args.snapshot_dir,
+        max_queue=args.max_queue,
+        fault_plan=fault_plan,
     )
     return 0
 
@@ -769,13 +806,35 @@ def cmd_replay(args) -> int:
         host, _, port = args.connect.rpartition(":")
         if not host or not port.isdigit():
             raise SystemExit(f"--connect expects HOST:PORT, got {args.connect!r}")
-        summary = replay_tcp(host, int(port), trace, window=args.batch)
+        retry = None
+        if args.retries > 0:
+            from repro.service import RetryPolicy
+
+            retry = RetryPolicy(
+                attempts=args.retries,
+                base_s=args.retry_base,
+                seed=args.seed,
+            )
+        summary = replay_tcp(
+            host,
+            int(port),
+            trace,
+            window=args.batch,
+            retry=retry,
+            request_timeout=args.timeout,
+        )
         if args.metrics_out:
             from repro.service.replay import fetch_metrics_tcp
 
             metrics_doc = fetch_metrics_tcp(host, int(port))
         target = f"server {args.connect}"
     else:
+        if args.retries or args.timeout:
+            raise SystemExit(
+                "--retries/--timeout are wire-level client options and "
+                "need --connect (a local in-process replay cannot lose "
+                "responses)"
+            )
         if scenario is None:
             raise SystemExit(
                 "local replay needs --family/--scenario for the topology "
@@ -810,6 +869,8 @@ def cmd_replay(args) -> int:
     table.add_row(["rejected", summary.rejected])
     table.add_row(["released", summary.released])
     table.add_row(["errors", summary.errors])
+    if summary.retries or args.retries:
+        table.add_row(["retries", summary.retries])
     table.add_row(["accept rate", f"{summary.accept_rate:.3f}"])
     table.add_row(["throughput", f"{summary.requests_per_s:.1f} req/s"])
     print(table.render())
@@ -1063,6 +1124,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect telemetry; clients read it via the 'metrics' verb "
         "and versioned 'stats' responses",
     )
+    p.add_argument(
+        "--faults",
+        metavar="PLAN",
+        help="deterministic fault plan, e.g. "
+        "'kill:shard=1,at=40;drop_conn:at=120;seed=7' "
+        "(falls back to the REPRO_FAULTS environment variable)",
+    )
+    p.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help="disable worker supervision: a dead shard worker degrades "
+        "permanently instead of being respawned and state-restored",
+    )
+    p.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        help="supervisor restart budget per shard (default 5)",
+    )
+    p.add_argument(
+        "--journal-limit",
+        type=int,
+        default=256,
+        help="recovery-journal length that triggers compaction into a "
+        "fresh baseline snapshot (default 256)",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=0,
+        help="shed requests with 'overloaded' + retry_after once the "
+        "dispatch queue reaches this depth (0 = unbounded)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1125,6 +1219,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="dump the service's telemetry snapshots to FILE as JSON "
         "(local replays enable collection; --connect asks the server)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="with --connect: retry budget per pipeline window — "
+        "reconnect on connection loss, re-send retryable errors, "
+        "idempotency keys on admits/releases (0 = fail fast)",
+    )
+    p.add_argument(
+        "--retry-base",
+        type=float,
+        default=0.05,
+        help="base backoff delay in seconds (exponential, "
+        "deterministically jittered by --seed)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        help="with --connect: per-response read timeout in seconds "
+        "(a stall counts as a retryable connection loss)",
     )
     p.set_defaults(func=cmd_replay)
     return parser

@@ -5,27 +5,50 @@ controller" (Sec. 3.5) — made concrete as a production-shaped serving
 layer on top of :mod:`repro.core.admission`:
 
 * :mod:`repro.service.protocol` — versioned JSON-lines request protocol
-  (admit / release / query / stats / snapshot);
+  (admit / release / query / stats / snapshot / metrics / health) with
+  an error-code taxonomy, idempotency keys and per-request deadlines;
 * :mod:`repro.service.sharding` — :class:`ShardedAdmissionService`:
   deterministic link-disjoint network shards, each owning its own
   controller (inline or worker-process backed), with two-phase accept
-  for cross-shard flows and per-shard micro-batch coalescing;
+  for cross-shard flows, per-shard micro-batch coalescing, and a
+  supervisor that respawns dead workers and restores exact state from
+  baseline snapshots plus a bounded op journal;
 * :mod:`repro.service.server` — the asyncio TCP front end
-  (``repro.cli serve``);
+  (``repro.cli serve``) with load shedding, deadline enforcement and
+  server-side idempotency dedup;
 * :mod:`repro.service.replay` — scenario families x arrival processes
   -> reproducible request streams, with sharded / serial / over-the-
-  wire drivers (``repro.cli replay``);
+  wire drivers (``repro.cli replay``), the latter resilient via
+  :mod:`repro.service.retry`;
+* :mod:`repro.service.retry` — shared :class:`RetryPolicy` (timeouts,
+  exponential backoff, deterministic jitter);
+* :mod:`repro.service.faults` — seeded deterministic
+  :class:`FaultPlan` (kill/hang/slow workers, drop connections) so
+  chaos runs replay identically everywhere;
 * :mod:`repro.service.state` — versioned snapshot/restore of a running
   service (byte-identical decisions on a replayed request log).
 """
 
+from repro.service.faults import (
+    FaultError,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_DEADLINE,
+    ERR_INTERNAL,
+    ERR_OVERLOADED,
+    ERR_UNAVAILABLE,
+    ERROR_CODES,
     OPS,
     PROTOCOL_VERSION,
+    RETRYABLE_CODES,
     ProtocolError,
     Request,
     decode_line,
     encode_line,
+    is_retryable,
     request_from_dict,
     request_to_dict,
     response_to_dict,
@@ -43,6 +66,7 @@ from repro.service.replay import (
     trace_from_family,
     trace_from_scenario,
 )
+from repro.service.retry import RetryPolicy, connect_with_backoff
 from repro.service.server import AdmissionServer, run_server
 from repro.service.sharding import (
     ServiceDecision,
@@ -59,19 +83,32 @@ from repro.service.state import (
 
 __all__ = [
     "ARRIVALS",
+    "ERR_BAD_REQUEST",
+    "ERR_DEADLINE",
+    "ERR_INTERNAL",
+    "ERR_OVERLOADED",
+    "ERR_UNAVAILABLE",
+    "ERROR_CODES",
     "OPS",
     "PROTOCOL_VERSION",
+    "RETRYABLE_CODES",
     "STATE_VERSION",
     "AdmissionServer",
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
     "ProtocolError",
     "ReplaySummary",
     "ReplayTrace",
     "Request",
+    "RetryPolicy",
     "ServiceDecision",
     "ShardRouter",
     "ShardedAdmissionService",
+    "connect_with_backoff",
     "decode_line",
     "encode_line",
+    "is_retryable",
     "load_service_state",
     "load_trace",
     "replay_over_tcp",

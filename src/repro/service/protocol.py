@@ -8,25 +8,50 @@ refused loudly, mirroring the schema-version discipline of
 
 Requests::
 
-    {"v": 1, "id": 7, "op": "admit",   "flow": {<repro.io flow doc>}}
-    {"v": 1, "id": 8, "op": "release", "flow_name": "call3"}
-    {"v": 1, "id": 9, "op": "query",   "flow_name": "call3"}
-    {"v": 1, "id": 10, "op": "stats"}
-    {"v": 1, "id": 11, "op": "snapshot", "path": "state.json"}
-    {"v": 1, "id": 12, "op": "metrics"}
+    {"v": 2, "id": 7, "op": "admit",   "flow": {<repro.io flow doc>}}
+    {"v": 2, "id": 8, "op": "release", "flow_name": "call3"}
+    {"v": 2, "id": 9, "op": "query",   "flow_name": "call3"}
+    {"v": 2, "id": 10, "op": "stats"}
+    {"v": 2, "id": 11, "op": "snapshot", "path": "state.json"}
+    {"v": 2, "id": 12, "op": "metrics"}
+    {"v": 2, "id": 13, "op": "health"}
+
+Protocol v2 (v1 requests remain accepted) adds the fault-tolerance
+surface:
+
+* the ``health`` verb — per-shard liveness/restart/journal status plus
+  server queue depth; cheap enough to poll;
+* an **error-code taxonomy**: error responses carry ``"code"``, one of
+  :data:`ERROR_CODES`; codes in :data:`RETRYABLE_CODES` mean the same
+  request may succeed if re-sent (see :func:`is_retryable`), others are
+  fatal for that request.  Shedding responses include ``retry_after``
+  (seconds the client should wait);
+* an **idempotency key**: requests may carry ``"idem"`` (an opaque
+  string unique per logical operation).  The server caches the
+  successful response per key and replays it for duplicates, so a
+  client that retries an ``admit``/``release`` whose response was lost
+  — a crashed connection, a dropped reply — never double-applies it;
+* a **per-request deadline**: ``"deadline_s"`` (seconds from arrival).
+  A request still queued past its deadline is answered with
+  ``deadline_exceeded`` instead of being processed — stale work is
+  shed, not served.
 
 ``metrics`` returns the service's telemetry snapshots (merged across
 shard workers; see :mod:`repro.telemetry`) — empty when telemetry is
 disabled.  ``stats`` responses are versioned via ``stats_version``:
-version 2 adds the merged telemetry snapshot under ``"telemetry"``
-when collection is enabled (older clients ignore unknown keys).
+version 2 added the merged telemetry snapshot under ``"telemetry"``,
+version 3 adds supervisor restart totals (older clients ignore unknown
+keys).
 
 ``id`` is an opaque client token echoed in the response; ``at`` is an
 optional replay timestamp (seconds into the trace) carried for log
 fidelity and ignored by the server.  Responses::
 
-    {"v": 1, "id": 7, "ok": true,  ...op-specific payload...}
-    {"v": 1, "id": 8, "ok": false, "error": "flow 'x' is not admitted"}
+    {"v": 2, "id": 7, "ok": true,  ...op-specific payload...}
+    {"v": 2, "id": 8, "ok": false, "error": "flow 'x' is not admitted",
+     "code": "bad_request"}
+    {"v": 2, "id": 9, "ok": false, "error": "service overloaded",
+     "code": "overloaded", "retry_after": 0.05}
 
 The ``admit`` payload mirrors the service decision: ``accepted``,
 ``reason``, ``shards`` and ``cross_shard``.
@@ -41,11 +66,45 @@ from typing import Any, Mapping
 from repro.io import flow_from_dict, flow_to_dict
 from repro.model.flow import Flow
 
-#: Current protocol version.
-PROTOCOL_VERSION = 1
+#: Current protocol version (v2 added health / error codes / idem /
+#: deadlines; all v1 requests remain valid v2 requests).
+PROTOCOL_VERSION = 2
 
 #: Operations the service understands.
-OPS = ("admit", "release", "query", "stats", "snapshot", "metrics")
+OPS = ("admit", "release", "query", "stats", "snapshot", "metrics", "health")
+
+# ----------------------------------------------------------------------
+# Error-code taxonomy (v2)
+# ----------------------------------------------------------------------
+#: The request itself is invalid (malformed, unknown flow, duplicate
+#: name, ...); re-sending it verbatim can never succeed.
+ERR_BAD_REQUEST = "bad_request"
+#: The server shed the request before processing (queue over its
+#: limit); retry after the advertised ``retry_after``.
+ERR_OVERLOADED = "overloaded"
+#: The request's own deadline passed while it was queued.
+ERR_DEADLINE = "deadline_exceeded"
+#: The owning shard's worker is down (recovering or permanently dead);
+#: a supervised shard may be back for the retry.
+ERR_UNAVAILABLE = "shard_unavailable"
+#: Unexpected server-side failure.
+ERR_INTERNAL = "internal"
+
+ERROR_CODES = (
+    ERR_BAD_REQUEST,
+    ERR_OVERLOADED,
+    ERR_DEADLINE,
+    ERR_UNAVAILABLE,
+    ERR_INTERNAL,
+)
+
+#: Codes a client may transparently retry (with backoff).
+RETRYABLE_CODES = frozenset({ERR_OVERLOADED, ERR_DEADLINE, ERR_UNAVAILABLE})
+
+
+def is_retryable(doc: Mapping[str, Any]) -> bool:
+    """True when a response document is a retryable failure."""
+    return not doc.get("ok", False) and doc.get("code") in RETRYABLE_CODES
 
 
 class ProtocolError(ValueError):
@@ -62,6 +121,12 @@ class Request:
     flow_name: str | None = None
     at: float | None = None
     path: str | None = None
+    #: Idempotency key: the server replays the cached successful
+    #: response for a duplicate key instead of re-applying the op.
+    idem: str | None = None
+    #: Per-request deadline in seconds from server arrival; queued
+    #: requests past it are shed with ``deadline_exceeded``.
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.op not in OPS:
@@ -72,6 +137,10 @@ class Request:
             raise ProtocolError("admit request: missing 'flow'")
         if self.op in ("release", "query") and not self.flow_name:
             raise ProtocolError(f"{self.op} request: missing 'flow_name'")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ProtocolError(
+                f"request: negative deadline_s {self.deadline_s!r}"
+            )
 
     @property
     def target(self) -> str | None:
@@ -93,6 +162,10 @@ def request_to_dict(req: Request) -> dict[str, Any]:
         doc["at"] = req.at
     if req.path is not None:
         doc["path"] = req.path
+    if req.idem is not None:
+        doc["idem"] = req.idem
+    if req.deadline_s is not None:
+        doc["deadline_s"] = req.deadline_s
     return doc
 
 
@@ -122,8 +195,17 @@ def request_from_dict(doc: Mapping[str, Any]) -> Request:
             at = float(at)
         except (TypeError, ValueError):
             raise ProtocolError(f"request: non-numeric 'at' value {at!r}")
+    deadline_s = doc.get("deadline_s")
+    if deadline_s is not None:
+        try:
+            deadline_s = float(deadline_s)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                f"request: non-numeric 'deadline_s' value {deadline_s!r}"
+            )
     flow_name = doc.get("flow_name")
     path = doc.get("path")
+    idem = doc.get("idem")
     return Request(
         op=op,
         id=doc.get("id"),
@@ -131,17 +213,24 @@ def request_from_dict(doc: Mapping[str, Any]) -> Request:
         flow_name=str(flow_name) if flow_name is not None else None,
         at=at,
         path=str(path) if path is not None else None,
+        idem=str(idem) if idem is not None else None,
+        deadline_s=deadline_s,
     )
 
 
 def response_to_dict(
     request_id: Any, payload: Mapping[str, Any] | None = None, *,
-    ok: bool = True, error: str | None = None,
+    ok: bool = True, error: str | None = None, code: str | None = None,
+    retry_after: float | None = None,
 ) -> dict[str, Any]:
     doc: dict[str, Any] = {"v": PROTOCOL_VERSION, "id": request_id, "ok": ok}
     if error is not None:
         doc["ok"] = False
         doc["error"] = error
+        if code is not None:
+            doc["code"] = code
+        if retry_after is not None:
+            doc["retry_after"] = retry_after
     if payload:
         doc.update(payload)
     return doc

@@ -52,9 +52,11 @@ from repro.service.protocol import (
     Request,
     decode_line,
     encode_line,
+    is_retryable,
     request_from_dict,
     request_to_dict,
 )
+from repro.service.retry import RetryPolicy, connect_with_backoff
 
 ARRIVALS = ("poisson", "burst", "recorded")
 
@@ -218,6 +220,9 @@ class ReplaySummary:
     #: Accept/reject of every ``admit`` request, in trace order — the
     #: unit of parity between sharded, serial and over-the-wire replays.
     admit_decisions: tuple[bool, ...] = field(repr=False)
+    #: Requests re-sent by the TCP driver (reconnects and retryable
+    #: error codes); 0 for in-process replays and fault-free runs.
+    retries: int = 0
 
     @property
     def accept_rate(self) -> float:
@@ -232,6 +237,7 @@ def _summarize(
     trace: ReplayTrace,
     payloads: Sequence[Mapping[str, Any]],
     elapsed_s: float,
+    retries: int = 0,
 ) -> ReplaySummary:
     offered = accepted = rejected = released = errors = 0
     decisions: list[bool] = []
@@ -263,6 +269,7 @@ def _summarize(
         errors=errors,
         elapsed_s=elapsed_s,
         admit_decisions=tuple(decisions),
+        retries=retries,
     )
 
 
@@ -326,44 +333,131 @@ async def replay_over_tcp(
     *,
     window: int = 64,
     connect_timeout: float = 5.0,
+    retry: RetryPolicy | None = None,
+    request_timeout: float | None = None,
 ) -> ReplaySummary:
-    """Drive a live server; pipelines ``window`` requests at a time."""
-    deadline = time.monotonic() + connect_timeout
-    while True:
-        try:
-            reader, writer = await asyncio.open_connection(host, port)
-            break
-        except OSError:
-            if time.monotonic() >= deadline:
-                raise
-            await asyncio.sleep(0.05)
-    payloads: list[Mapping[str, Any]] = []
+    """Drive a live server; pipelines ``window`` requests at a time.
+
+    With ``retry`` set, the driver is resilient: connection losses
+    reconnect with backoff and re-send the unanswered suffix of the
+    current window, retryable error responses (``overloaded``,
+    ``deadline_exceeded``, ``shard_unavailable``) are re-sent after a
+    backoff delay, and every mutating request carries an idempotency
+    key so a re-send of a request the server already executed replays
+    the cached response instead of double-applying.  ``request_timeout``
+    (seconds per response read) turns a silent stall into a retryable
+    connection loss.  The retry budget is ``retry.attempts`` re-send
+    rounds per window; past it the replay raises.  Jitter is
+    deterministic (see :class:`~repro.service.retry.RetryPolicy`), so a
+    faulted replay is as reproducible as a clean one.
+    """
+    policy = retry
+    indexed: list[tuple[int, Request]] = []
+    for i, req in enumerate(trace.requests):
+        # Stamp the wire id with the trace index so responses can be
+        # matched by id: after a mid-batch connection drop the server
+        # may have answered a *suffix* of the in-flight window, so
+        # arrival order alone would mispair responses with requests.
+        changes: dict[str, Any] = {"id": i}
+        if policy is not None and req.op in ("admit", "release"):
+            changes["idem"] = f"{trace.name}#{i}"
+        indexed.append((i, dataclasses.replace(req, **changes)))
+
+    reader, writer = await connect_with_backoff(
+        host, port, timeout=connect_timeout, policy=policy
+    )
+    results: dict[int, Mapping[str, Any]] = {}
+    retries = 0
     start = time.perf_counter()
+
+    async def read_response() -> dict[str, Any]:
+        if request_timeout is not None:
+            line = await asyncio.wait_for(reader.readline(), request_timeout)
+        else:
+            line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection mid-replay")
+        return decode_line(line)
+
+    async def reconnect() -> None:
+        nonlocal reader, writer
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        reader, writer = await connect_with_backoff(
+            host, port, timeout=connect_timeout, policy=policy
+        )
+
     try:
-        for chunk in _batches(trace.requests, window):
-            for req in chunk:
-                writer.write(encode_line(request_to_dict(req)))
-            await writer.drain()
-            for _ in chunk:
-                line = await reader.readline()
-                if not line:
-                    raise ConnectionError(
-                        "server closed the connection mid-replay"
+        for chunk_start in range(0, len(indexed), max(1, window)):
+            pending = indexed[chunk_start : chunk_start + max(1, window)]
+            attempt = 0
+            while pending:
+                if attempt > 0:
+                    if policy is None or attempt > policy.attempts:
+                        raise RuntimeError(
+                            f"replay retries exhausted with "
+                            f"{len(pending)} request(s) unanswered"
+                        )
+                    retries += len(pending)
+                    await asyncio.sleep(
+                        policy.delay(attempt - 1, key=f"chunk:{chunk_start}")
                     )
-                doc = decode_line(line)
-                if doc.get("ok"):
-                    payloads.append(doc)
-                else:
-                    payloads.append(
-                        {"error": doc.get("error", "unknown server error")}
-                    )
+                redo: list[tuple[int, Request]] = []
+                unanswered: dict[int, tuple[int, Request]] = {
+                    idx: (idx, req) for idx, req in pending
+                }
+                try:
+                    for _, req in pending:
+                        writer.write(encode_line(request_to_dict(req)))
+                    await writer.drain()
+                    for _ in range(len(pending)):
+                        doc = await read_response()
+                        # Match by id (the trace index stamped above): a
+                        # connection dropped mid-window may answer only a
+                        # subset, so order alone would mispair.
+                        entry = unanswered.pop(doc.get("id"), None)
+                        if entry is None:
+                            continue  # duplicate/stray answer — ignore
+                        idx, req = entry
+                        if policy is not None and is_retryable(doc):
+                            redo.append((idx, req))
+                        elif doc.get("ok"):
+                            results[idx] = doc
+                        else:
+                            results[idx] = {
+                                "error": doc.get(
+                                    "error", "unknown server error"
+                                )
+                            }
+                    pending = redo
+                    attempt += 1
+                except (
+                    ConnectionError,
+                    OSError,
+                    asyncio.TimeoutError,
+                    asyncio.IncompleteReadError,
+                ):
+                    if policy is None:
+                        raise
+                    # Everything still unanswered (plus any retryable
+                    # responses already collected) re-sends on a fresh
+                    # connection.  The server-side idempotency cache
+                    # makes re-sending an executed-but-unanswered
+                    # mutation safe.
+                    pending = redo + list(unanswered.values())
+                    attempt += 1
+                    await reconnect()
     finally:
         writer.close()
         try:
             await writer.wait_closed()
         except (ConnectionError, OSError):  # pragma: no cover - teardown
             pass
-    return _summarize(trace, payloads, time.perf_counter() - start)
+    payloads = [results[i] for i in range(len(indexed))]
+    return _summarize(trace, payloads, time.perf_counter() - start, retries)
 
 
 def replay_tcp(host: str, port: int, trace: ReplayTrace, **kwargs) -> ReplaySummary:

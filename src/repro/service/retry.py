@@ -1,0 +1,98 @@
+"""Shared retry policy: timeouts, exponential backoff, deterministic jitter.
+
+Every client-side resilience path of the service — the replay driver's
+TCP connect loop, mid-trace reconnects, and retryable-error re-sends —
+routes through one :class:`RetryPolicy`, so backoff behaviour is
+configured (and reasoned about) in exactly one place.
+
+Jitter is *deterministic*: instead of ``random()``, the jitter fraction
+is derived from a SHA-256 hash of ``(seed, key, attempt)``.  Two runs
+of the same replay produce the same delay sequence (reproducible chaos
+runs), while distinct keys — different flows, different connections —
+still de-synchronise, which is all retry jitter exists to do.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "connect_with_backoff"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` grows as ``base_s * multiplier**attempt`` capped
+    at ``max_s``, then shrinks by up to ``jitter`` (a fraction in
+    [0, 1]) using the hash-derived jitter fraction — i.e. the delay
+    lands in ``[cap * (1 - jitter), cap]``.
+    """
+
+    attempts: int = 5
+    base_s: float = 0.05
+    max_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 0:
+            raise ValueError("attempts must be >= 0")
+        if self.base_s <= 0 or self.max_s <= 0:
+            raise ValueError("base_s and max_s must be > 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def jitter_fraction(self, attempt: int, key: str = "") -> float:
+        """Deterministic stand-in for ``random()`` in [0, 1)."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff delay in seconds before retry number ``attempt``."""
+        cap = min(self.max_s, self.base_s * self.multiplier ** attempt)
+        if not self.jitter:
+            return cap
+        return cap * (1.0 - self.jitter * self.jitter_fraction(attempt, key))
+
+    def delays(self, key: str = "") -> tuple[float, ...]:
+        """The full delay schedule (one entry per allowed retry)."""
+        return tuple(self.delay(a, key) for a in range(self.attempts))
+
+
+async def connect_with_backoff(
+    host: str,
+    port: int,
+    *,
+    timeout: float = 5.0,
+    policy: RetryPolicy | None = None,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Open a TCP connection, retrying with backoff until ``timeout``.
+
+    Replaces the historical fixed-interval busy-wait: early attempts
+    retry fast (a server that is one event-loop tick from binding),
+    later attempts back off (a server that is restarting), and the
+    deterministic jitter keeps many replaying clients from stampeding
+    a recovering server in lockstep.
+    """
+    policy = policy or RetryPolicy()
+    deadline = time.monotonic() + timeout
+    attempt = 0
+    while True:
+        try:
+            return await asyncio.open_connection(host, port)
+        except OSError:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise
+            delay = min(
+                policy.delay(attempt, key=f"connect:{host}:{port}"), remaining
+            )
+            await asyncio.sleep(delay)
+            attempt += 1

@@ -15,14 +15,42 @@ The service call runs in a thread-pool executor so the event loop keeps
 accepting connections and buffering requests during an analysis; the
 dispatcher is the only thread touching the service, so no further
 locking is needed.
+
+Overload and failure behaviour (protocol v2):
+
+* **Load shedding** — with ``max_queue > 0``, a request arriving while
+  the dispatch queue is at or over the limit is answered immediately
+  with ``overloaded`` + ``retry_after`` instead of being queued (the
+  error still travels through the queue so per-connection response
+  order is preserved).
+* **Deadlines** — a request carrying ``deadline_s`` that is still
+  queued when its deadline passes is answered ``deadline_exceeded``
+  without touching the service.
+* **Idempotency** — successful responses to requests carrying an
+  ``idem`` key are cached (bounded LRU) and replayed for duplicates,
+  so a client retrying an ``admit``/``release`` whose response was
+  lost never double-applies it.  Duplicates *within* one batch are
+  resolved to the first occurrence's response, which executes once.
+* **Fault injection** — a :class:`~repro.service.faults.FaultPlan`'s
+  ``drop_conn`` faults close the client connection in place of writing
+  response number ``at`` (the request *was* executed), deterministically
+  exercising the retry + idempotency path end-to-end.
 """
 
 from __future__ import annotations
 
 import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Any
 
+from repro import telemetry as _telemetry
+from repro.service.faults import FaultPlan
 from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_DEADLINE,
+    ERR_INTERNAL,
+    ERR_OVERLOADED,
     ProtocolError,
     Request,
     decode_line,
@@ -31,6 +59,25 @@ from repro.service.protocol import (
     response_to_dict,
 )
 from repro.service.sharding import ShardedAdmissionService
+
+
+@dataclass
+class _Pending:
+    """One queued unit: a request, a parse error, or a connection EOF."""
+
+    kind: str  # "req" | "eof"
+    writer: asyncio.StreamWriter
+    request: Request | None = None
+    request_id: Any = None
+    error: str | None = None
+    code: str | None = None
+    retry_after: float | None = None
+    #: Event-loop time the item entered the queue (deadline anchor).
+    arrived: float = 0.0
+    #: Resolved idempotency-cache hit (a complete response doc).
+    cached: dict[str, Any] | None = field(default=None, repr=False)
+    #: Batch index of an earlier in-batch item with the same idem key.
+    dup_of: int | None = None
 
 
 class AdmissionServer:
@@ -46,6 +93,10 @@ class AdmissionServer:
         batch_window_s: float = 0.0,
         snapshot_dir: str | None = None,
         line_limit: int = 1 << 20,
+        max_queue: int = 0,
+        retry_after_s: float = 0.05,
+        idem_cache: int = 4096,
+        fault_plan: FaultPlan | None = None,
     ):
         if batch_max < 1:
             raise ValueError("batch_max must be >= 1")
@@ -60,8 +111,23 @@ class AdmissionServer:
         #: (basename of the requested path); None disables file
         #: snapshots over the wire — inline snapshots always work.
         self.snapshot_dir = snapshot_dir
+        #: Queue depth that triggers load shedding (0 = unbounded).
+        self.max_queue = max_queue
+        #: ``retry_after`` hint attached to shed responses.
+        self.retry_after_s = retry_after_s
         self.requests_served = 0
         self.batches_dispatched = 0
+        self.requests_shed = 0
+        self.idem_hits = 0
+        self.conns_dropped = 0
+        self._idem_cache_max = idem_cache
+        #: idem key -> successful response doc (without the "id").
+        self._idem: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        #: Response counters the drop_conn faults key on.
+        self._responses_sent = 0
+        self._drop_at = (
+            {f.at for f in fault_plan.server_faults()} if fault_plan else set()
+        )
         self._queue: asyncio.Queue = asyncio.Queue()
         self._server: asyncio.AbstractServer | None = None
         self._dispatcher: asyncio.Task | None = None
@@ -97,6 +163,7 @@ class AdmissionServer:
     async def _on_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        loop = asyncio.get_running_loop()
         try:
             while True:
                 try:
@@ -105,12 +172,14 @@ class AdmissionServer:
                     # Line longer than the stream limit: framing is lost,
                     # so answer with an ordered error and close.
                     await self._queue.put(
-                        (
+                        _Pending(
                             "req",
                             writer,
-                            None,
-                            None,
-                            f"request line exceeds {self.line_limit} bytes",
+                            error=(
+                                "request line exceeds "
+                                f"{self.line_limit} bytes"
+                            ),
+                            code=ERR_BAD_REQUEST,
                         )
                     )
                     break
@@ -118,18 +187,32 @@ class AdmissionServer:
                     break
                 if not line.strip():
                     continue
-                request: Request | None = None
-                request_id: Any = None
-                error: str | None = None
+                item = _Pending("req", writer, arrived=loop.time())
                 try:
                     doc = decode_line(line)
-                    request_id = doc.get("id")
-                    request = request_from_dict(doc)
+                    item.request_id = doc.get("id")
+                    item.request = request_from_dict(doc)
                 except ProtocolError as exc:
-                    error = str(exc)
+                    item.error = str(exc)
+                    item.code = ERR_BAD_REQUEST
                 except Exception as exc:  # defensive: never drop the line
-                    error = f"malformed request: {exc}"
-                await self._queue.put(("req", writer, request, request_id, error))
+                    item.error = f"malformed request: {exc}"
+                    item.code = ERR_BAD_REQUEST
+                if (
+                    item.error is None
+                    and self.max_queue > 0
+                    and self._queue.qsize() >= self.max_queue
+                ):
+                    # Shed — but *through* the queue, so this connection's
+                    # responses still come back in request order.
+                    item.error = (
+                        f"service overloaded (queue >= {self.max_queue})"
+                    )
+                    item.code = ERR_OVERLOADED
+                    item.retry_after = self.retry_after_s
+                    self.requests_shed += 1
+                    _telemetry.add("service.server.sheds")
+                await self._queue.put(item)
         except (ConnectionError, OSError):  # pragma: no cover - teardown
             pass
         finally:
@@ -137,9 +220,9 @@ class AdmissionServer:
             # get every response it is owed.  The queue is FIFO and this
             # marker trails all of the connection's requests, so the
             # dispatcher closes the writer only after answering them.
-            await self._queue.put(("eof", writer, None, None, None))
+            await self._queue.put(_Pending("eof", writer))
 
-    def _gate_snapshot_path(self, item: tuple) -> tuple:
+    def _gate_snapshot_path(self, item: _Pending) -> None:
         """Confine client-requested snapshot files to ``snapshot_dir``.
 
         A network client must not gain an arbitrary-file-write
@@ -148,43 +231,76 @@ class AdmissionServer:
         basename of the requested path is honoured, inside the
         directory.
         """
-        kind, writer, request, request_id, error = item
         if (
-            kind != "req"
-            or error is not None
-            or request.op != "snapshot"
-            or request.path is None
+            item.kind != "req"
+            or item.error is not None
+            or item.request is None
+            or item.request.op != "snapshot"
+            or item.request.path is None
         ):
-            return item
+            return
         if self.snapshot_dir is None:
-            return (
-                kind,
-                writer,
-                request,
-                request_id,
+            item.error = (
                 "file snapshots are disabled on this server (no snapshot "
-                "directory configured); omit 'path' for an inline snapshot",
+                "directory configured); omit 'path' for an inline snapshot"
             )
+            item.code = ERR_BAD_REQUEST
+            return
         import dataclasses
         from pathlib import Path
 
-        basename = Path(request.path).name
+        basename = Path(item.request.path).name
         if not basename:
-            return (
-                kind,
-                writer,
-                request,
-                request_id,
-                f"snapshot path {request.path!r} has no file name",
+            item.error = (
+                f"snapshot path {item.request.path!r} has no file name"
             )
-        gated = str(Path(self.snapshot_dir) / basename)
-        return (
-            kind,
-            writer,
-            dataclasses.replace(request, path=gated),
-            request_id,
-            None,
+            item.code = ERR_BAD_REQUEST
+            return
+        item.request = dataclasses.replace(
+            item.request, path=str(Path(self.snapshot_dir) / basename)
         )
+
+    def _resolve_idem(self, batch: list[_Pending]) -> None:
+        """Resolve idempotency-key duplicates before the service runs.
+
+        A key already in the cache short-circuits to the cached doc; a
+        key repeated within this batch executes once — later copies
+        mirror the first occurrence's response.
+        """
+        first_seen: dict[str, int] = {}
+        for idx, item in enumerate(batch):
+            if (
+                item.kind != "req"
+                or item.error is not None
+                or item.request is None
+                or not item.request.idem
+            ):
+                continue
+            key = item.request.idem
+            hit = self._idem.get(key)
+            if hit is not None:
+                self._idem.move_to_end(key)
+                item.cached = dict(hit)
+                self.idem_hits += 1
+                _telemetry.add("service.server.idem_hits")
+            elif key in first_seen:
+                item.dup_of = first_seen[key]
+                self.idem_hits += 1
+                _telemetry.add("service.server.idem_hits")
+            else:
+                first_seen[key] = idx
+
+    def _idem_store(self, key: str, doc: dict[str, Any]) -> None:
+        if not doc.get("ok"):
+            # Only *successful* responses are replayable: a shed or
+            # shard-down error must not mask a later real retry.
+            return
+        stored = dict(doc)
+        stored.pop("id", None)
+        self._idem[key] = stored
+        self._idem.move_to_end(key)
+        while len(self._idem) > self._idem_cache_max:
+            self._idem.popitem(last=False)
 
     async def _dispatch_loop(self) -> None:
         loop = asyncio.get_running_loop()
@@ -197,11 +313,30 @@ class AdmissionServer:
                     batch.append(self._queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-            batch = [self._gate_snapshot_path(item) for item in batch]
+            now = loop.time()
+            for item in batch:
+                self._gate_snapshot_path(item)
+                if (
+                    item.kind == "req"
+                    and item.error is None
+                    and item.request is not None
+                    and item.request.deadline_s is not None
+                    and now - item.arrived > item.request.deadline_s
+                ):
+                    item.error = (
+                        f"deadline of {item.request.deadline_s}s passed "
+                        "while queued"
+                    )
+                    item.code = ERR_DEADLINE
+                    _telemetry.add("service.server.deadline_sheds")
+            self._resolve_idem(batch)
             requests = [
-                req
-                for (kind, _, req, _, err) in batch
-                if kind == "req" and err is None
+                item.request
+                for item in batch
+                if item.kind == "req"
+                and item.error is None
+                and item.cached is None
+                and item.dup_of is None
             ]
             batch_error: str | None = None
             payloads: list = []
@@ -217,31 +352,46 @@ class AdmissionServer:
                     batch_error = f"internal error: {exc}"
             self.batches_dispatched += 1
             self.requests_served += sum(
-                1 for (kind, *_rest) in batch if kind == "req"
+                1 for item in batch if item.kind == "req"
             )
             payload_iter = iter(payloads)
+            #: batch index -> emitted response doc (dup_of resolution).
+            docs: dict[int, dict[str, Any]] = {}
             writers = []
             closing = []
-            for kind, writer, request, request_id, error in batch:
-                if kind == "eof":
-                    closing.append(writer)
+            dropped: set[int] = set()  # id()s of writers killed this batch
+            for idx, item in enumerate(batch):
+                if item.kind == "eof":
+                    closing.append(item.writer)
                     continue
-                if error is None and batch_error is not None:
-                    error = batch_error
-                if error is not None:
-                    doc = response_to_dict(request_id, ok=False, error=error)
-                else:
-                    payload = dict(next(payload_iter))
-                    error = payload.pop("error", None)
-                    if request.op == "stats":
-                        payload["server_requests"] = self.requests_served
-                        payload["server_batches"] = self.batches_dispatched
-                    doc = response_to_dict(
-                        request_id, payload, ok=error is None, error=error
-                    )
+                doc = self._build_response(item, idx, docs, payload_iter,
+                                           batch_error)
+                docs[idx] = doc
+                if (
+                    item.request is not None
+                    and item.request.idem
+                    and item.cached is None
+                    and item.dup_of is None
+                ):
+                    self._idem_store(item.request.idem, doc)
+                response_no = self._responses_sent
+                self._responses_sent += 1
+                if id(item.writer) in dropped:
+                    # The connection died earlier in this batch; every
+                    # later response to it is lost too, like a real drop.
+                    continue
+                if response_no in self._drop_at:
+                    # Injected drop: the op executed, the reply is lost
+                    # — exactly the failure idempotent retries exist for.
+                    self._drop_at.discard(response_no)
+                    self.conns_dropped += 1
+                    _telemetry.add("service.server.dropped_conns")
+                    dropped.add(id(item.writer))
+                    closing.append(item.writer)
+                    continue
                 try:
-                    writer.write(encode_line(doc))
-                    writers.append(writer)
+                    item.writer.write(encode_line(doc))
+                    writers.append(item.writer)
                 except (ConnectionError, OSError):  # pragma: no cover
                     continue
             for writer in dict.fromkeys(writers):
@@ -249,12 +399,57 @@ class AdmissionServer:
                     await writer.drain()
                 except (ConnectionError, OSError):  # pragma: no cover
                     continue
-            for writer in closing:
+            for writer in dict.fromkeys(closing):
                 try:
                     writer.close()
                     await writer.wait_closed()
                 except (ConnectionError, OSError):  # pragma: no cover
                     continue
+
+    def _build_response(
+        self,
+        item: _Pending,
+        idx: int,
+        docs: dict[int, dict[str, Any]],
+        payload_iter,
+        batch_error: str | None,
+    ) -> dict[str, Any]:
+        if item.cached is not None:
+            doc = dict(item.cached)
+            doc["id"] = item.request_id
+            return doc
+        if item.dup_of is not None:
+            doc = dict(docs[item.dup_of])
+            doc["id"] = item.request_id
+            return doc
+        error, code, retry_after = item.error, item.code, item.retry_after
+        if error is None and batch_error is not None:
+            error, code = batch_error, ERR_INTERNAL
+        if error is not None:
+            return response_to_dict(
+                item.request_id, ok=False, error=error, code=code,
+                retry_after=retry_after,
+            )
+        payload = dict(next(payload_iter))
+        error = payload.pop("error", None)
+        code = payload.pop("code", None) if error is not None else None
+        if item.request is not None and item.request.op == "stats":
+            payload["server_requests"] = self.requests_served
+            payload["server_batches"] = self.batches_dispatched
+            payload["server_sheds"] = self.requests_shed
+            payload["server_idem_hits"] = self.idem_hits
+        elif item.request is not None and item.request.op == "health":
+            payload["server"] = {
+                "queue_depth": self._queue.qsize(),
+                "max_queue": self.max_queue,
+                "sheds": self.requests_shed,
+                "idem_hits": self.idem_hits,
+                "conns_dropped": self.conns_dropped,
+            }
+        return response_to_dict(
+            item.request_id, payload, ok=error is None, error=error,
+            code=code,
+        )
 
 
 def run_server(
@@ -265,11 +460,13 @@ def run_server(
     batch_max: int = 64,
     batch_window_s: float = 0.0,
     snapshot_dir: str | None = None,
+    max_queue: int = 0,
+    fault_plan: FaultPlan | None = None,
 ) -> None:
     """Blocking entry point (the ``repro.cli serve`` body).
 
     Prints one ``listening on HOST:PORT`` line once bound — scripts
-    (and the CI smoke job) key on it — and serves until interrupted.
+    (and the CI smoke jobs) key on it — and serves until interrupted.
     """
 
     async def _amain() -> None:
@@ -280,6 +477,8 @@ def run_server(
             batch_max=batch_max,
             batch_window_s=batch_window_s,
             snapshot_dir=snapshot_dir,
+            max_queue=max_queue,
+            fault_plan=fault_plan,
         )
         await server.start()
         print(f"listening on {server.host}:{server.port}", flush=True)

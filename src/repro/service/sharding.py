@@ -44,6 +44,24 @@ controller (shared demand caches, jitter warm starts), which is what
 amortises the per-request fixed-point cost.  Results are reassembled in
 submission order — batched decisions are identical to one-at-a-time
 decisions by construction.
+
+Fault tolerance: with ``supervise=True`` (the default) a worker-backed
+shard that dies is respawned and its **exact** pre-crash state rebuilt
+from a baseline snapshot (``export_state``) plus a bounded append-only
+**op journal** of committed mutations — accepted admits and successful
+releases, the only ops that change controller state (a rejected admit
+discards its tentative context, and queries are pure).  The in-flight
+batch the crash interrupted is then re-applied on the recovered worker,
+so its payloads are exactly the uninterrupted run's payloads: recovery
+is decision-parity-preserving, and the tier-1 fault tests assert
+byte-identical final state against a fault-free run.  The journal is
+compacted into a fresh baseline whenever it outgrows
+``journal_limit``, bounding both replay time and memory.  After
+``max_restarts`` failed recoveries the shard degrades permanently to
+``shard_unavailable`` error payloads, exactly like the unsupervised
+path.  Deterministic faults (:mod:`repro.service.faults`) are applied
+inside the worker, keyed to its op counter and incarnation, so crash
+scenarios replay identically on every run.
 """
 
 from __future__ import annotations
@@ -58,7 +76,12 @@ from repro.core.admission import AdmissionController
 from repro.core.context import AnalysisOptions
 from repro.model.flow import Flow
 from repro.model.network import Network
-from repro.service.protocol import Request
+from repro.service.faults import FaultPlan, FaultSpec, WorkerFaults
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_UNAVAILABLE,
+    Request,
+)
 from repro.util.mp import mp_context
 
 
@@ -182,9 +205,9 @@ def _apply_op(
                     name
                 ).worst_response
             return out
-        return {"error": f"unknown shard op {kind!r}"}
+        return {"error": f"unknown shard op {kind!r}", "code": ERR_BAD_REQUEST}
     except (KeyError, ValueError) as exc:
-        return {"error": str(exc)}
+        return {"error": str(exc), "code": ERR_BAD_REQUEST}
 
 
 class _InlineShard:
@@ -235,15 +258,32 @@ class _InlineShard:
         # here would double-count on merge).
         return None
 
+    def health(self) -> dict[str, Any]:
+        return {
+            "backend": "inline",
+            "alive": True,
+            "failed": False,
+            "supervised": False,
+            "restarts": 0,
+            "journal_len": 0,
+            "recovery_s_total": 0.0,
+        }
+
     def close(self) -> None:
         pass
 
 
 def _shard_worker(
     conn, network, options, fast_reject, warm_start, shard_id=0,
-    telemetry_on=False,
+    telemetry_on=False, faults: Sequence[FaultSpec] = (),
 ) -> None:
-    """Process body of one shard: a controller behind a message pipe."""
+    """Process body of one shard: a controller behind a message pipe.
+
+    ``faults`` are this incarnation's injected faults (already filtered
+    by shard and incarnation), applied against a monotone op counter
+    just before each op executes — so a ``kill`` interrupts a batch
+    mid-way exactly like a real crash (abrupt pipe EOF, no reply).
+    """
     if telemetry_on:
         # Fork inherits the parent's registry *contents* too; start
         # from a clean one so the parent's pre-fork counts are not
@@ -252,6 +292,8 @@ def _shard_worker(
     ctrl = AdmissionController(
         network, options, fast_reject=fast_reject, warm_start=warm_start
     )
+    injected = WorkerFaults(faults) if faults else None
+    n_ops = 0
     while True:
         try:
             msg = conn.recv()
@@ -259,7 +301,13 @@ def _shard_worker(
             return
         kind = msg[0]
         if kind == "batch":
-            conn.send([_apply_op(ctrl, op, shard_id) for op in msg[1]])
+            payloads = []
+            for op in msg[1]:
+                if injected is not None:
+                    injected.before_op(n_ops)
+                n_ops += 1
+                payloads.append(_apply_op(ctrl, op, shard_id))
+            conn.send(payloads)
         elif kind == "export":
             conn.send(ctrl.export_state())
         elif kind == "telemetry":
@@ -283,16 +331,27 @@ def _shard_worker(
 
 
 class _ProcessShard:
-    """Process-backed shard: real multi-core parallelism.
+    """Process-backed shard: real multi-core parallelism + supervision.
 
     ``send_batch``/``recv_batch`` are split so the service can dispatch
     one micro-batch to *every* shard before collecting any reply —
     that's where the shard-parallel speedup comes from.
 
-    A dying worker must never desync the request/reply pairing: every
-    pipe failure marks the shard dead, pending ops are answered with
-    error payloads, and the connection is never read again (so a stale
-    buffered reply can never be mispaired with a later exchange).
+    A dying worker must never desync the request/reply pairing.  With
+    ``supervise=False`` every pipe failure marks the shard dead, pending
+    ops are answered with error payloads, and the connection is never
+    read again (so a stale buffered reply can never be mispaired with a
+    later exchange).  With ``supervise=True`` (the default) a failure
+    instead triggers :meth:`_recover`: the dead worker is torn down, a
+    fresh incarnation is spawned, its state is rebuilt exactly from the
+    baseline snapshot plus the op journal, and the interrupted exchange
+    is re-run on it — the caller never sees the crash.  Only after
+    ``max_restarts`` consecutive failed recoveries does the shard
+    degrade permanently.
+
+    ``op_timeout`` (seconds, optional) bounds every reply wait via
+    ``Connection.poll``; a wedged-but-alive worker (e.g. an injected
+    ``hang`` fault) then times out and is recovered like a crash.
     """
 
     DEAD_ERROR = "shard worker is not running"
@@ -305,98 +364,319 @@ class _ProcessShard:
         fast_reject: bool,
         warm_start: bool,
         shard_id: int = 0,
+        supervise: bool = True,
+        max_restarts: int = 5,
+        journal_limit: int = 256,
+        fault_plan: FaultPlan | None = None,
+        op_timeout: float | None = None,
+        close_timeout: float = 5.0,
     ):
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if journal_limit < 1:
+            raise ValueError("journal_limit must be >= 1")
         self.shard_id = shard_id
+        self._worker_args = (network, options, fast_reject, warm_start)
+        self._supervise = bool(supervise)
+        self._max_restarts = max_restarts
+        self._journal_limit = journal_limit
+        self._fault_plan = fault_plan
+        self._op_timeout = op_timeout
+        self._close_timeout = close_timeout
+        self._incarnation = 0
+        self._restarts = 0
+        self._recovery_s_total = 0.0
+        #: Recovery recipe: state snapshot to restore first (None = a
+        #: fresh controller) ...
+        self._baseline: tuple[tuple[Flow, ...], dict] | None = None
+        #: ... then this journal of committed state-changing ops
+        #: (accepted admits, successful releases), replayed in order.
+        self._journal: list[ShardOp] = []
+        self._dead = False
+        self._pending_ops: list[ShardOp] | None = None
+        self._spawn()
+
+    # -- lifecycle ------------------------------------------------------
+    def _spawn(self) -> None:
         ctx = mp_context()
         self._conn, child = ctx.Pipe()
+        faults: tuple[FaultSpec, ...] = ()
+        if self._fault_plan is not None:
+            faults = self._fault_plan.worker_faults(
+                shard=self.shard_id, incarnation=self._incarnation
+            )
         self._proc = ctx.Process(
             target=_shard_worker,
             args=(
-                child, network, options, fast_reject, warm_start,
-                shard_id, _telemetry.enabled(),
+                child, *self._worker_args, self.shard_id,
+                _telemetry.enabled(), faults,
             ),
             daemon=True,
         )
         self._proc.start()
         child.close()
-        self._dead = False
-        self._pending = 0
 
-    def _mark_dead(self) -> None:
-        self._dead = True
+    def _teardown(self, timeout: float = 1.0) -> None:
+        """Force the current worker down: close pipe, terminate, kill."""
         try:
             self._conn.close()
         except OSError:  # pragma: no cover - defensive
             pass
-        if self._proc.is_alive():  # pragma: no cover - racy by nature
+        if self._proc.is_alive():
             self._proc.terminate()
+            self._proc.join(timeout=timeout)
+        if self._proc.is_alive():  # pragma: no cover - stubborn worker
+            self._proc.kill()
+            self._proc.join(timeout=timeout)
 
+    def _mark_dead(self) -> None:
+        self._dead = True
+        self._teardown()
+
+    def _recv(self):
+        """One pipe reply, bounded by ``op_timeout`` when configured."""
+        if self._op_timeout is not None and not self._conn.poll(
+            self._op_timeout
+        ):
+            raise TimeoutError(
+                f"shard {self.shard_id} worker reply exceeded "
+                f"{self._op_timeout}s"
+            )
+        return self._conn.recv()
+
+    # -- supervised recovery --------------------------------------------
+    def _recover(
+        self, in_flight: Sequence[ShardOp]
+    ) -> list[dict[str, Any]] | None:
+        """Respawn the worker, rebuild exact state, re-run ``in_flight``.
+
+        Returns the in-flight ops' payloads (``[]`` when none), or None
+        once the restart budget is exhausted — the shard is then dead.
+        The rebuilt state is byte-identical to the pre-crash state: the
+        baseline is an exact ``export_state`` snapshot and the journal
+        holds every committed mutation since, in order (rejected admits
+        and queries never change controller state, so omitting them is
+        exact, not lossy).  Re-running the interrupted batch on that
+        state yields exactly the payloads an uninterrupted run would
+        have produced.
+        """
+        while self._restarts < self._max_restarts:
+            self._restarts += 1
+            start = time.perf_counter()
+            self._teardown()
+            self._incarnation += 1
+            self._spawn()
+            try:
+                if self._baseline is not None:
+                    self._conn.send(
+                        ("restore", self._baseline[0], self._baseline[1])
+                    )
+                    self._recv()
+                if self._journal:
+                    self._conn.send(("batch", list(self._journal)))
+                    self._recv()
+                payloads: list[dict[str, Any]] = []
+                if in_flight:
+                    self._conn.send(("batch", list(in_flight)))
+                    payloads = self._recv()
+            except (BrokenPipeError, EOFError, OSError, TimeoutError):
+                # The replacement died during replay (e.g. a fault
+                # targeting this incarnation): burn another restart.
+                continue
+            elapsed = time.perf_counter() - start
+            self._recovery_s_total += elapsed
+            reg = _telemetry.REGISTRY
+            if reg is not None:
+                reg.add(f"service.shard.{self.shard_id}.restarts")
+                reg.observe(
+                    f"service.shard.{self.shard_id}.recovery_s", elapsed
+                )
+            return payloads
+        self._mark_dead()
+        return None
+
+    def _commit(
+        self, ops: Sequence[ShardOp], payloads: Sequence[Mapping[str, Any]]
+    ) -> None:
+        """Journal the batch's committed mutations; compact when due."""
+        if not self._supervise:
+            return
+        for op, payload in zip(ops, payloads):
+            if "error" in payload:
+                continue
+            if op[0] == "request" and payload.get("accepted"):
+                self._journal.append(op)
+            elif op[0] == "release":
+                self._journal.append(op)
+        if len(self._journal) > self._journal_limit:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Fold the journal into a fresh baseline snapshot.
+
+        The worker has already applied every journaled op, so exporting
+        *now* captures baseline+journal in one snapshot; only then is
+        the journal cleared.  If the export exchange fails, the old
+        recipe is still intact — recover and retry the compaction on
+        the next commit.
+        """
+        try:
+            self._conn.send(("export",))
+            snapshot = self._recv()
+        except (BrokenPipeError, EOFError, OSError, TimeoutError):
+            self._recover([])
+            return
+        self._baseline = snapshot
+        self._journal = []
+
+    # -- batch interface -------------------------------------------------
     def send_batch(self, ops: Sequence[ShardOp]) -> None:
-        self._pending = len(ops)
+        ops = list(ops)
+        self._pending_ops = ops
         if self._dead:
             return
         try:
-            self._conn.send(("batch", list(ops)))
+            self._conn.send(("batch", ops))
         except (BrokenPipeError, OSError):
-            self._mark_dead()
+            if self._supervise:
+                # recv_batch's failing read triggers the recovery (the
+                # in-flight ops are re-applied there either way).
+                pass
+            else:
+                self._mark_dead()
 
     def recv_batch(self) -> list[dict[str, Any]]:
-        n, self._pending = self._pending, 0
+        ops, self._pending_ops = self._pending_ops or [], None
         if not self._dead:
+            payloads: list[dict[str, Any]] | None
             try:
-                return self._conn.recv()
-            except (EOFError, OSError):
-                self._mark_dead()
-        return [{"error": self.DEAD_ERROR}] * n
+                payloads = self._recv()
+            except (EOFError, OSError, TimeoutError):
+                payloads = self._recover(ops) if self._supervise else None
+                if payloads is None:
+                    self._mark_dead()
+            if payloads is not None:
+                self._commit(ops, payloads)
+                return payloads
+        return [
+            {"error": self.DEAD_ERROR, "code": ERR_UNAVAILABLE}
+            for _ in ops
+        ]
 
+    # -- state exchange ---------------------------------------------------
     def begin_export(self) -> None:
         if self._dead:
             raise RuntimeError(self.DEAD_ERROR)
         try:
             self._conn.send(("export",))
         except (BrokenPipeError, OSError):
+            # The send usually still succeeds into the pipe buffer even
+            # when the worker just died; a failure here means the pipe
+            # itself is gone — recover and re-issue so finish_export has
+            # a reply to pair with.
+            if self._supervise and self._recover([]) is not None:
+                try:
+                    self._conn.send(("export",))
+                    return
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
             self._mark_dead()
             raise RuntimeError(self.DEAD_ERROR) from None
 
     def finish_export(self) -> tuple[tuple[Flow, ...], dict]:
         try:
-            return self._conn.recv()
-        except (EOFError, OSError):
+            return self._recv()
+        except (EOFError, OSError, TimeoutError):
+            if self._supervise and self._recover([]) is not None:
+                try:
+                    self._conn.send(("export",))
+                    return self._recv()
+                except (BrokenPipeError, EOFError, OSError, TimeoutError):
+                    pass
             self._mark_dead()
             raise RuntimeError(self.DEAD_ERROR) from None
 
     def restore(self, flows: Sequence[Flow], jitters: Mapping) -> None:
         if self._dead:
             raise RuntimeError(self.DEAD_ERROR)
+        flows = tuple(flows)
+        jitters = dict(jitters)
+        if self._supervise:
+            # An explicit restore *is* the new recovery recipe.
+            self._baseline = (flows, jitters)
+            self._journal = []
         try:
-            self._conn.send(("restore", tuple(flows), dict(jitters)))
-            self._conn.recv()
-        except (BrokenPipeError, EOFError, OSError):
+            self._conn.send(("restore", flows, jitters))
+            self._recv()
+        except (BrokenPipeError, EOFError, OSError, TimeoutError):
+            # _recover replays the just-installed baseline, so a
+            # successful recovery leaves exactly the requested state.
+            if self._supervise and self._recover([]) is not None:
+                return
             self._mark_dead()
             raise RuntimeError(self.DEAD_ERROR) from None
 
     def telemetry_snapshot(self) -> dict[str, Any] | None:
-        """The worker's registry snapshot (None when dead/disabled)."""
+        """The worker's registry snapshot (None when dead/disabled).
+
+        A restarted worker reports its current incarnation's counts
+        only; the parent-side restart/recovery series cover the rest.
+        """
         if self._dead:
             return None
         try:
             self._conn.send(("telemetry",))
-            return self._conn.recv()
-        except (BrokenPipeError, EOFError, OSError):
-            self._mark_dead()
+            return self._recv()
+        except (BrokenPipeError, EOFError, OSError, TimeoutError):
+            if self._supervise:
+                self._recover([])
+            else:
+                self._mark_dead()
             return None
 
+    # -- introspection / shutdown ----------------------------------------
+    def health(self) -> dict[str, Any]:
+        return {
+            "backend": "process",
+            # alive is the instantaneous process state (a supervised
+            # shard whose crash has not been observed yet reports
+            # False until the next op recovers it); failed is the
+            # permanent give-up flag.
+            "alive": bool(not self._dead and self._proc.is_alive()),
+            "failed": self._dead,
+            "supervised": self._supervise,
+            "restarts": self._restarts,
+            "journal_len": len(self._journal),
+            "recovery_s_total": self._recovery_s_total,
+        }
+
     def close(self) -> None:
+        """Shut the worker down, escalating if it does not cooperate.
+
+        Polite close message first; if the worker does not acknowledge
+        and exit within ``close_timeout`` (it may be wedged mid-op),
+        escalate terminate → kill.  A wedged worker can therefore never
+        hang ``close()`` longer than ~3 timeouts.
+        """
         if not self._dead:
             try:
                 self._conn.send(("close",))
-                self._conn.recv()
+                if self._conn.poll(self._close_timeout):
+                    self._conn.recv()
             except (BrokenPipeError, EOFError, OSError):
                 pass
-            self._conn.close()
-        self._proc.join(timeout=5.0)
-        if self._proc.is_alive():  # pragma: no cover - defensive
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self._dead = True
+        self._proc.join(timeout=self._close_timeout)
+        if self._proc.is_alive():
             self._proc.terminate()
+            self._proc.join(timeout=self._close_timeout)
+        if self._proc.is_alive():  # pragma: no cover - stubborn worker
+            self._proc.kill()
+            self._proc.join(timeout=self._close_timeout)
 
 
 # ----------------------------------------------------------------------
@@ -438,6 +718,20 @@ class ShardedAdmissionService:
         ``True`` backs every shard with its own worker process
         (multi-core serving); ``False`` (default) keeps shards inline —
         bit-identical decisions either way.
+    supervise:
+        With worker-backed shards, respawn a dead worker and restore
+        its exact state (baseline snapshot + op journal) instead of
+        permanently degrading the shard.  Inline shards cannot crash
+        independently, so the flag only matters with ``workers=True``.
+    max_restarts / journal_limit / op_timeout / close_timeout:
+        Supervision tuning — restart budget per shard, journal length
+        that triggers compaction into a fresh baseline, optional bound
+        on every worker reply wait, and the shutdown-escalation
+        timeout.
+    fault_plan:
+        Optional deterministic :class:`~repro.service.faults.FaultPlan`;
+        its worker faults are injected inside the shard workers (and
+        therefore require ``workers=True``).
     """
 
     def __init__(
@@ -450,22 +744,55 @@ class ShardedAdmissionService:
         workers: bool = False,
         fast_reject: bool = True,
         warm_start: bool = True,
+        supervise: bool = True,
+        max_restarts: int = 5,
+        journal_limit: int = 256,
+        fault_plan: FaultPlan | None = None,
+        op_timeout: float | None = None,
+        close_timeout: float = 5.0,
     ):
         self.network = network
         self.options = options or AnalysisOptions()
         self.workers = bool(workers)
-        self.router = ShardRouter(network, n_shards, shard_map=shard_map)
-        backend = _ProcessShard if self.workers else _InlineShard
-        self._shards = [
-            backend(
-                network,
-                self.options,
-                fast_reject=fast_reject,
-                warm_start=warm_start,
-                shard_id=sid,
+        self.supervise = bool(supervise)
+        self.fault_plan = fault_plan
+        if (
+            fault_plan is not None
+            and fault_plan.worker_faults()
+            and not self.workers
+        ):
+            raise ValueError(
+                "worker faults (kill/hang/slow_batch) require workers=True"
             )
-            for sid in range(n_shards)
-        ]
+        self.router = ShardRouter(network, n_shards, shard_map=shard_map)
+        if self.workers:
+            self._shards: list[Any] = [
+                _ProcessShard(
+                    network,
+                    self.options,
+                    fast_reject=fast_reject,
+                    warm_start=warm_start,
+                    shard_id=sid,
+                    supervise=supervise,
+                    max_restarts=max_restarts,
+                    journal_limit=journal_limit,
+                    fault_plan=fault_plan,
+                    op_timeout=op_timeout,
+                    close_timeout=close_timeout,
+                )
+                for sid in range(n_shards)
+            ]
+        else:
+            self._shards = [
+                _InlineShard(
+                    network,
+                    self.options,
+                    fast_reject=fast_reject,
+                    warm_start=warm_start,
+                    shard_id=sid,
+                )
+                for sid in range(n_shards)
+            ]
         #: flow name -> shard ids holding it (insertion = admission order).
         self._flow_shards: dict[str, tuple[int, ...]] = {}
         self._counters = {
@@ -538,22 +865,51 @@ class ShardedAdmissionService:
                 cross += 1
             for sid in shards:
                 shard_flows[sid] += 1
+        health = self.health()
         out = {
             # Response layout version: 2 added the optional merged
-            # "telemetry" snapshot.  Strictly additive, so version-1
-            # clients keep working unchanged.
-            "stats_version": 2,
+            # "telemetry" snapshot, 3 the supervisor totals
+            # ("restarts", "recovery_s_total").  Strictly additive, so
+            # older clients keep working unchanged.
+            "stats_version": 3,
             "n_shards": self.n_shards,
             "workers": self.workers,
             "admitted": len(self._flow_shards),
             "admitted_cross_shard": cross,
             "shard_flows": shard_flows,
             "switch_shards": self.router.assignment(),
+            "restarts": health["restarts"],
+            "recovery_s_total": health["recovery_s_total"],
             **self._counters,
         }
         if _telemetry.enabled():
             out["telemetry"] = self.metrics()["merged"]
         return out
+
+    def health(self) -> dict[str, Any]:
+        """Liveness/recovery summary (the protocol ``health`` payload).
+
+        ``status`` is ``"ok"`` while no shard backend has *permanently*
+        failed and ``"degraded"`` once any has (restart budget
+        exhausted, or unsupervised crash); a supervised shard between
+        crash and recovery still counts as ok.  Cheap: pure parent-side
+        bookkeeping, no worker round-trips.
+        """
+        shards = [
+            dict(shard.health(), shard=sid)
+            for sid, shard in enumerate(self._shards)
+        ]
+        dead = [s["shard"] for s in shards if s["failed"]]
+        return {
+            "status": "degraded" if dead else "ok",
+            "n_shards": self.n_shards,
+            "workers": self.workers,
+            "supervise": self.supervise,
+            "restarts": sum(s["restarts"] for s in shards),
+            "recovery_s_total": sum(s["recovery_s_total"] for s in shards),
+            "dead_shards": dead,
+            "shards": shards,
+        }
 
     def metrics(self) -> dict[str, Any]:
         """Telemetry snapshots of the service process and its shards.
@@ -664,7 +1020,8 @@ class ShardedAdmissionService:
                 shards = planned.pop(req.flow_name, None)
                 if shards is None:
                     results[pos] = {
-                        "error": f"flow {req.flow_name!r} is not admitted"
+                        "error": f"flow {req.flow_name!r} is not admitted",
+                        "code": ERR_BAD_REQUEST,
                     }
                     self._counters["errors"] += 1
                 elif len(shards) == 1:
@@ -688,6 +1045,9 @@ class ShardedAdmissionService:
             elif req.op == "metrics":
                 flush()  # barrier: include every earlier op's counts
                 results[pos] = self.metrics()
+            elif req.op == "health":
+                flush()  # barrier: reflect every earlier op's recoveries
+                results[pos] = self.health()
             else:  # pragma: no cover - Request.__post_init__ rejects
                 results[pos] = {"error": f"unknown op {req.op!r}"}
         flush()
@@ -698,11 +1058,14 @@ class ShardedAdmissionService:
         self, flow: Flow, planned: Mapping[str, tuple[int, ...]]
     ) -> tuple[int, ...] | dict[str, Any]:
         if flow.name in planned:
-            return {"error": f"flow name {flow.name!r} already admitted"}
+            return {
+                "error": f"flow name {flow.name!r} already admitted",
+                "code": ERR_BAD_REQUEST,
+            }
         try:
             shards = self.router.shards_for_flow(flow)
         except KeyError as exc:
-            return {"error": str(exc)}
+            return {"error": str(exc), "code": ERR_BAD_REQUEST}
         return shards
 
     def _account(
@@ -743,7 +1106,10 @@ class ShardedAdmissionService:
                 # Errored admits count only as errors, never as offered
                 # — same accounting as the shard-local path.
                 self._counters["errors"] += 1
-                return {"error": f"shard {sid}: {payload['error']}"}
+                out = {"error": f"shard {sid}: {payload['error']}"}
+                if "code" in payload:
+                    out["code"] = payload["code"]
+                return out
             if not payload["accepted"]:
                 self._rollback(flow.name, accepted)
                 self._counters["offered"] += 1
@@ -810,11 +1176,14 @@ class ShardedAdmissionService:
             if "error" in shard_payload:
                 # Never report a bound computed from a partial view —
                 # a missing shard could be the dominating one.
-                return {
+                out = {
                     "error": f"shard {sid}: {shard_payload['error']}",
                     "admitted": True,
                     "shards": list(shards),
                 }
+                if "code" in shard_payload:
+                    out["code"] = shard_payload["code"]
+                return out
         payload: dict[str, Any] = {"admitted": True}
         worst = None
         for _, shard_payload in collected:

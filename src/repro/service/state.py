@@ -104,13 +104,21 @@ def service_state_to_dict(service: ShardedAdmissionService) -> dict[str, Any]:
 
 
 def service_state_from_dict(
-    doc: Mapping[str, Any], *, workers: bool | None = None
+    doc: Mapping[str, Any],
+    *,
+    workers: bool | None = None,
+    **service_kwargs: Any,
 ) -> ShardedAdmissionService:
     """Rebuild a service from a state document.
 
     ``workers`` overrides the snapshotted backend choice (a snapshot
     taken from a worker-backed service restores inline by passing
     ``workers=False``, and vice versa — the state is backend-agnostic).
+    Extra keyword arguments — ``supervise``, ``max_restarts``,
+    ``journal_limit``, ``fault_plan``, ``op_timeout``, ... — pass
+    straight to the :class:`ShardedAdmissionService` constructor, so a
+    restored service can run with full fault tolerance (or a fault
+    plan) without those runtime knobs living in the state document.
     """
     version = doc.get("schema_version")
     if not isinstance(version, int) or version < 1:
@@ -146,6 +154,7 @@ def service_state_from_dict(
         options=options,
         shard_map=doc.get("shard_map"),
         workers=doc.get("workers", False) if workers is None else workers,
+        **service_kwargs,
     )
     try:
         states = []
@@ -171,9 +180,16 @@ def save_service_state(
 
 
 def load_service_state(
-    path: str | Path, *, workers: bool | None = None
+    path: str | Path,
+    *,
+    workers: bool | None = None,
+    **service_kwargs: Any,
 ) -> ShardedAdmissionService:
-    """Read a service-state file and rebuild the service."""
+    """Read a service-state file and rebuild the service.
+
+    Extra keyword arguments pass through to the service constructor
+    (see :func:`service_state_from_dict`).
+    """
     path = Path(path)
     try:
         doc = json.loads(path.read_text())
@@ -181,4 +197,4 @@ def load_service_state(
         raise ScenarioError(f"{path}: invalid JSON: {exc}") from exc
     if not isinstance(doc, dict):
         raise ScenarioError(f"{path}: expected a JSON object")
-    return service_state_from_dict(doc, workers=workers)
+    return service_state_from_dict(doc, workers=workers, **service_kwargs)

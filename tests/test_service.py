@@ -266,15 +266,18 @@ class TestParity:
             assert svc.admit(on_sw1).accepted
 
     def test_dead_worker_degrades_without_desync(self):
-        # Killing one shard's worker mid-service must error that
-        # shard's ops, keep the other shard (and its reply pairing)
-        # intact, and keep bookkeeping consistent with shard state.
+        # Without supervision, killing one shard's worker mid-service
+        # must error that shard's ops, keep the other shard (and its
+        # reply pairing) intact, and keep bookkeeping consistent with
+        # shard state.  (Supervised recovery is covered in
+        # tests/test_service_faults.py.)
         sc = two_star_scenario()
         svc = ShardedAdmissionService(
             sc.network,
             n_shards=2,
             shard_map={"sw0": 0, "sw1": 1},
             workers=True,
+            supervise=False,
         )
         try:
             svc._shards[1]._proc.terminate()

@@ -91,6 +91,14 @@ def run_benchmarks(extra_pytest_args: list[str]) -> dict[str, dict]:
             "stddev_s": stats["stddev"],
             "rounds": stats["rounds"],
         }
+        extra = bench.get("extra_info") or {}
+        if "scale" in extra:
+            # Scale label (single-pod / datacenter-1e5 / ...) so
+            # comparisons across the scaling axis group cleanly.
+            results[name]["scale"] = extra["scale"]
+        for key in ("admitted_flows", "preload_s"):
+            if key in extra:
+                results[name][key] = extra[key]
     return results
 
 
@@ -178,10 +186,19 @@ def print_comparison(entries: list[dict], label: str, baseline: str) -> None:
         return
     print(f"\nSpeedup vs {baseline!r} (mean seconds per round):")
     width = max(len(n) for n in shared)
+    # Group by scale label so the datacenter axis reads separately from
+    # the historical single-pod cases (unlabelled entries sort first).
+    by_scale: dict[str, list[str]] = {}
     for name in shared:
-        b, c = base[name]["mean_s"], cur[name]["mean_s"]
-        ratio = b / c if c > 0 else float("inf")
-        print(f"  {name:<{width}}  {b:.6f} -> {c:.6f}  ({ratio:.2f}x)")
+        scale = cur[name].get("scale") or base[name].get("scale") or ""
+        by_scale.setdefault(scale, []).append(name)
+    for scale in sorted(by_scale):
+        if scale:
+            print(f"  [{scale}]")
+        for name in by_scale[scale]:
+            b, c = base[name]["mean_s"], cur[name]["mean_s"]
+            ratio = b / c if c > 0 else float("inf")
+            print(f"  {name:<{width}}  {b:.6f} -> {c:.6f}  ({ratio:.2f}x)")
 
 
 def print_telemetry_compare(entries: list[dict], label: str, compare: str) -> None:
@@ -200,8 +217,8 @@ def print_telemetry_compare(entries: list[dict], label: str, compare: str) -> No
         )
     base = by_label[compare].get("telemetry") or {}
     cur = by_label[label].get("telemetry") or {}
-    shared_tests = sorted(set(base) & set(cur))
-    if not shared_tests:
+    all_tests = sorted(set(base) | set(cur))
+    if not all_tests:
         print(
             f"\nNo shared telemetry between {label!r} and {compare!r} "
             "(older entries predate telemetry recording)"
@@ -209,10 +226,24 @@ def print_telemetry_compare(entries: list[dict], label: str, compare: str) -> No
         return
     print(f"\nTelemetry deltas vs {compare!r} (changed KPIs only):")
     regressions = 0
-    for test in shared_tests:
+    for test in all_tests:
+        base_kpis = base.get(test) or {}
+        cur_kpis = cur.get(test) or {}
         rows = []
-        for name in sorted(set(base[test]) & set(cur[test])):
-            b, c = base[test][name], cur[test][name]
+        # The union, not the intersection: a KPI (or a whole test)
+        # appearing only on one side is exactly the kind of change a
+        # reviewer needs to see (new pod-level counters, dropped
+        # benchmarks), not something to silently skip.
+        for name in sorted(set(base_kpis) | set(cur_kpis)):
+            if name not in base_kpis:
+                rows.append(f"    {name}: (absent) -> {cur_kpis[name]:g} [new]")
+                continue
+            if name not in cur_kpis:
+                rows.append(
+                    f"    {name}: {base_kpis[name]:g} -> (absent) [removed]"
+                )
+                continue
+            b, c = base_kpis[name], cur_kpis[name]
             if b == c:
                 continue
             rel = (c - b) / abs(b) if b else float("inf")

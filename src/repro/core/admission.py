@@ -311,3 +311,34 @@ class AdmissionController:
                         f"{frame.deadline:.6g}s"
                     )
         return None
+
+
+def make_admission_controller(
+    network: Network,
+    options: AnalysisOptions | None = None,
+    initial_flows: Sequence[Flow] = (),
+    *,
+    hierarchical: bool = False,
+    **kwargs,
+):
+    """Build an admission controller for ``network``.
+
+    With ``hierarchical=True`` the returned controller is the
+    datacenter-scale :class:`~repro.core.hierarchy.\
+HierarchicalAdmissionController` (per-pod shards, demand envelopes,
+    O(changed-set) incremental re-analysis); otherwise the reference
+    :class:`AdmissionController`.  Both answer requests bit-identically
+    — the hierarchical one just answers them in time proportional to
+    the interference closure of the candidate instead of the admitted
+    set.  Extra keyword arguments pass through to the chosen class
+    (``fast_reject``, ``warm_start``, ``retained_flows``, and for the
+    hierarchical controller also ``pod_map``).
+    """
+    if hierarchical:
+        # Local import: hierarchy.py imports from this module.
+        from repro.core.hierarchy import HierarchicalAdmissionController
+
+        return HierarchicalAdmissionController(
+            network, options, initial_flows, **kwargs
+        )
+    return AdmissionController(network, options, initial_flows, **kwargs)

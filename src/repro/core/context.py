@@ -97,6 +97,15 @@ class AnalysisOptions:
         actually moved; untouched stages replay their cached
         :class:`~repro.core.results.StageResult` objects bit for bit.
         Purely a perf knob — disable to re-run every stage analysis.
+    flat_demand_arrays:
+        Serve stage interference sets from per-link
+        :class:`~repro.core.demand.LinkDemandMatrix` stores (stacked,
+        spec-class-deduplicated window matrices gathered by row index)
+        instead of packing per-flow ``LinkDemand`` objects per stage.
+        Queries are bit-identical — same shared window arrays, same
+        reduction order — so this is purely a memory/speed knob; it is
+        what keeps 10^5-flow links from thrashing the per-set packing
+        cache.  Disable to force the object-per-flow construction.
     """
 
     strict_paper: bool = False
@@ -108,6 +117,7 @@ class AnalysisOptions:
     anderson_fixed_points: bool = False
     incremental_holistic: bool = True
     memoize_stages: bool = True
+    flat_demand_arrays: bool = True
 
     @property
     def packetization(self) -> PacketizationConfig:
@@ -134,14 +144,29 @@ class JitterTable:
     engine's dirtiness signal.
     """
 
+    _MISSING = object()  # undo-log marker: key absent before the write
+
     def __init__(self, flows: Sequence[Flow]):
         self._specs = {f.name: f.spec for f in flows}
         self._first_resource = {
             f.name: link_resource(f.route[0], f.route[1]) for f in flows
         }
         self._table: dict[tuple[str, ResourceKey], tuple[float, ...]] = {}
+        # Flow name -> explicit resource keys; lets flow removal and
+        # cold resets run in O(own entries) instead of a table scan.
+        self._keys_by_flow: dict[str, set[ResourceKey]] = {}
         self._round_delta = 0.0
         self._changed: set[tuple[str, ResourceKey]] = set()
+        # Flow name -> {resource -> max per-frame jitter}: memoises
+        # :meth:`extra`, the single hottest query of the stage memo
+        # (every memoised stage rebuilds its input tuple from it).
+        # Keyed flow-first so removal/reset/rollback drop a flow's
+        # cached extras in one pop; defaults are cached too (they are
+        # constant per flow), explicit writes refresh their entry.
+        self._extra_cache: dict[str, dict[ResourceKey, float]] = {}
+        # When a dict, `set` records each key's pre-write value on first
+        # touch; see begin_undo / rollback_undo (incremental admission).
+        self._undo: dict[tuple[str, ResourceKey], object] | None = None
 
     def get(self, flow_name: str, resource: ResourceKey) -> tuple[float, ...]:
         """Per-frame jitters of a flow at a resource."""
@@ -165,6 +190,8 @@ class JitterTable:
             )
         key = (flow_name, resource)
         old = self._table.get(key)
+        if self._undo is not None and key not in self._undo:
+            self._undo[key] = old if old is not None else self._MISSING
         if old is None:
             # First explicit write: the snapshot-based delta counts a
             # newly-appearing entry as its own magnitude, but dirtiness
@@ -182,7 +209,72 @@ class JitterTable:
                 self._changed.add(key)
         if delta > self._round_delta:
             self._round_delta = delta
+        if old is None:
+            self._keys_by_flow.setdefault(flow_name, set()).add(resource)
         self._table[key] = jit
+        per_flow = self._extra_cache.get(flow_name)
+        if per_flow is None:
+            per_flow = self._extra_cache[flow_name] = {}
+        per_flow[resource] = max(jit)
+
+    # ------------------------------------------------------------------
+    # Incremental flow-set mutation (core/hierarchy.py)
+    # ------------------------------------------------------------------
+    def add_flow(self, flow: Flow) -> None:
+        """Register a new flow; its entries start at the defaults."""
+        if flow.name in self._specs:
+            raise ValueError(f"flow {flow.name!r} already in table")
+        self._specs[flow.name] = flow.spec
+        self._first_resource[flow.name] = link_resource(
+            flow.route[0], flow.route[1]
+        )
+
+    def remove_flow(self, flow_name: str) -> None:
+        """Drop a flow and all its explicit entries."""
+        self._specs.pop(flow_name)
+        self._first_resource.pop(flow_name)
+        self._extra_cache.pop(flow_name, None)
+        for resource in self._keys_by_flow.pop(flow_name, ()):
+            self._table.pop((flow_name, resource), None)
+
+    def reset_flow(self, flow_name: str) -> None:
+        """Drop a flow's explicit entries (back to defaults).
+
+        Cold restart for incremental release: removing interference
+        lowers the least fixed point, so re-iterating an affected flow
+        from its old (now over-approximating) entries could stick at a
+        non-least fixed point; from the defaults the monotone iteration
+        reaches the same least fixed point a from-scratch analysis does.
+        """
+        self._extra_cache.pop(flow_name, None)
+        for resource in self._keys_by_flow.pop(flow_name, ()):
+            self._table.pop((flow_name, resource), None)
+
+    # ------------------------------------------------------------------
+    # Undo log (tentative incremental admission)
+    # ------------------------------------------------------------------
+    def begin_undo(self) -> None:
+        """Start recording pre-write values for :meth:`rollback_undo`."""
+        self._undo = {}
+
+    def commit_undo(self) -> None:
+        """Accept all writes since :meth:`begin_undo`."""
+        self._undo = None
+
+    def rollback_undo(self) -> None:
+        """Restore every entry written since :meth:`begin_undo`."""
+        undo, self._undo = self._undo, None
+        for (name, resource), old in undo.items():
+            # Dropping the whole per-flow extras dict (not just the
+            # touched resource) is safe: defaults recompute lazily.
+            self._extra_cache.pop(name, None)
+            if old is self._MISSING:
+                self._table.pop((name, resource), None)
+                keys = self._keys_by_flow.get(name)
+                if keys is not None:
+                    keys.discard(resource)
+            else:
+                self._table[(name, resource)] = old
 
     def begin_round(self) -> None:
         """Reset per-round write accounting (holistic engine)."""
@@ -218,7 +310,10 @@ class JitterTable:
                     f"flow {name!r}: {len(jit)} jitters for "
                     f"{self._specs[name].n_frames} frames"
                 )
-            self._table[(name, tuple(resource))] = jit
+            resource = tuple(resource)
+            self._table[(name, resource)] = jit
+            self._keys_by_flow.setdefault(name, set()).add(resource)
+            self._extra_cache.pop(name, None)
 
     def warm_start_from(self, other: "JitterTable") -> None:
         """Seed entries from a converged table of a *subset* flow set.
@@ -232,10 +327,18 @@ class JitterTable:
         for (name, resource), jit in other._table.items():
             if name in self._specs:
                 self._table[(name, resource)] = jit
+                self._keys_by_flow.setdefault(name, set()).add(resource)
+                self._extra_cache.pop(name, None)
 
     def extra(self, flow_name: str, resource: ResourceKey) -> float:
         """``extra_j(N, i)``: the largest per-frame jitter at the resource."""
-        return max(self.get(flow_name, resource))
+        per_flow = self._extra_cache.get(flow_name)
+        if per_flow is None:
+            per_flow = self._extra_cache[flow_name] = {}
+        value = per_flow.get(resource)
+        if value is None:
+            value = per_flow[resource] = max(self.get(flow_name, resource))
+        return value
 
     def snapshot(self) -> dict[tuple[str, ResourceKey], tuple[float, ...]]:
         """Copy of the explicit entries (for fixed-point comparison)."""
@@ -304,11 +407,17 @@ class AnalysisContext:
         ] = _shared_demand_cache if _shared_demand_cache is not None else {}
         self._link_flows_cache: dict[tuple[str, str], tuple[Flow, ...]] = {}
         self._hep_cache: dict[tuple[str, str, str], tuple[Flow, ...]] = {}
-        # (flow name, resource) -> (jitter inputs, stage results); see
+        # resource -> {flow name -> (jitter inputs, stage results)}; see
         # AnalysisOptions.memoize_stages.  Never shared across contexts:
         # the cached results embed the flow *set* (interferer demand
-        # tables), which with_flows changes.
-        self._stage_cache: dict[tuple[str, ResourceKey], tuple] = {}
+        # tables), which with_flows changes.  Keyed resource-first so a
+        # mutable context (core/hierarchy.py) can invalidate everything
+        # a flow-set change at one link touches in O(1).
+        self._stage_cache: dict[ResourceKey, dict[str, tuple]] = {}
+        # (n1, n2) -> (version, LinkDemandMatrix); versions only move in
+        # mutable subclasses (the flow set of a base context is fixed).
+        self._matrix_cache: dict[tuple[str, str], tuple[int, object]] = {}
+        self._link_versions: dict[tuple[str, str], int] = {}
 
     # ------------------------------------------------------------------
     # Flow / topology queries
@@ -394,6 +503,95 @@ class AnalysisContext:
         :meth:`pop_demands`."""
         self._demand_cache[flow_name] = entries
 
+    # ------------------------------------------------------------------
+    # Flat demand arrays / interference sets
+    # ------------------------------------------------------------------
+    def link_matrix(self, n1: str, n2: str):
+        """The :class:`~repro.core.demand.LinkDemandMatrix` of a link.
+
+        Built lazily from the link's flows in context order and cached
+        against the link's flow-set version (bumped by the mutable
+        context on admit/release of a flow using the link).
+        """
+        from repro.core.demand import LinkDemandMatrix
+
+        key = (n1, n2)
+        version = self._link_versions.get(key, 0)
+        hit = self._matrix_cache.get(key)
+        if hit is not None and hit[0] == version:
+            return hit[1]
+        flows = self.flows_on_link(n1, n2)
+        matrix = LinkDemandMatrix(
+            [self.demand(f, n1, n2) for f in flows],
+            self.network.linkspeed(n1, n2),
+            [max(f.spec.jitters) for f in flows],
+            [f.priority_on(n1, n2) for f in flows],
+        )
+        self._matrix_cache[key] = (version, matrix)
+        reg = _telemetry.REGISTRY
+        if reg is not None:
+            reg.add("engine.flat_arrays.rebuilds")
+        return matrix
+
+    def invalidate_link(self, n1: str, n2: str) -> None:
+        """Note a flow-set change on a link (mutable contexts).
+
+        Bumps the link's matrix version and drops the stage memos whose
+        participant set the change touched: every stage analysed at the
+        link's output-queue resource (first hop and egress share it)
+        and at the downstream ingress resource.
+        """
+        key = (n1, n2)
+        self._link_versions[key] = self._link_versions.get(key, 0) + 1
+        self._stage_cache.pop(link_resource(n1, n2), None)
+        self._stage_cache.pop(ingress_resource(n2), None)
+
+    def interference(
+        self,
+        flows_seq: Sequence[Flow],
+        n1: str,
+        n2: str,
+        shifts: Sequence[float],
+        *,
+        strict: bool = False,
+    ):
+        """Stage :class:`~repro.core.demand.InterferenceSet` on a link.
+
+        With ``options.flat_demand_arrays`` the set is gathered from the
+        link's flat matrix (one fancy index); otherwise it is packed
+        from the per-flow profiles.  Both constructions answer every
+        query bit-identically.
+        """
+        from repro.core.demand import InterferenceSet
+
+        if not self.options.flat_demand_arrays:
+            return InterferenceSet(
+                [self.demand(j, n1, n2) for j in flows_seq],
+                shifts,
+                strict=strict,
+            )
+        return self.link_matrix(n1, n2).subset(
+            [j.name for j in flows_seq], shifts, strict=strict
+        )
+
+    # ------------------------------------------------------------------
+    # Stage memo (AnalysisOptions.memoize_stages; core/pipeline.py)
+    # ------------------------------------------------------------------
+    def stage_memo_get(self, flow_name: str, resource: ResourceKey):
+        """Cached ``(inputs, stage results)`` of a flow at a resource."""
+        per_resource = self._stage_cache.get(resource)
+        if per_resource is None:
+            return None
+        return per_resource.get(flow_name)
+
+    def stage_memo_put(
+        self, flow_name: str, resource: ResourceKey, inputs, results
+    ) -> None:
+        self._stage_cache.setdefault(resource, {})[flow_name] = (
+            inputs,
+            results,
+        )
+
     def circ(self, node: str) -> float:
         """``CIRC(N)`` of a switch node (round-robin configuration)."""
         return self.network.circ(node)
@@ -415,6 +613,20 @@ class AnalysisContext:
         if not self.options.use_jitter:
             return 0.0
         return self.jitters.extra(flow.name, resource)
+
+    def extras(
+        self, flows_seq: Sequence[Flow], resource: ResourceKey
+    ) -> tuple[float, ...]:
+        """``extra_j`` of every flow in ``flows_seq`` at the resource.
+
+        Bulk form of :meth:`extra` for the stage-memo input tuple — the
+        hottest query of the incremental engines (one call per
+        participant per stage per flow walk).
+        """
+        if not self.options.use_jitter:
+            return (0.0,) * len(flows_seq)
+        extra = self.jitters.extra
+        return tuple(extra(f.name, resource) for f in flows_seq)
 
     def frame_jitters(self, flow: Flow, resource: ResourceKey) -> tuple[float, ...]:
         if not self.options.use_jitter:

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import cached_property, lru_cache
 from typing import TYPE_CHECKING, Sequence
 
@@ -316,25 +316,27 @@ def build_link_demand(
     ``k2 in 1..n`` — windows longer than ``n`` frames always span at
     least ``TSUM`` and are handled by the cycle-peeling of Eqs. 11/13.
 
-    Profiles are memoized on exactly the inputs they are derived from
-    (every field of the returned frozen profile is a pure function of
-    the key), so fresh analysis contexts over recurring flows — the
-    admission controller's steady state — skip the ``O(n^2)`` window
-    precomputation entirely.
+    Profiles are memoized on exactly the inputs they are derived from —
+    the flow's *spec class* (transport, payloads, separations) and the
+    link speed, **not** the flow name — so fresh analysis contexts over
+    recurring flows skip the ``O(n^2)`` window precomputation entirely,
+    and the 10^5 identically-shaped flows of a datacenter scenario share
+    one set of window arrays instead of thrashing the cache with 10^5
+    name-distinct copies.  The returned per-flow profile is a cheap
+    named view over the shared arrays.
     """
-    return _cached_link_demand(
-        flow.name,
+    profile = _cached_link_demand(
         flow.transport,
         flow.spec.payload_bits,
         flow.spec.min_separations,
         float(linkspeed_bps),
         config,
     )
+    return replace(profile, flow_name=flow.name)
 
 
 @lru_cache(maxsize=65536)
 def _cached_link_demand(
-    flow_name: str,
     transport,
     payload_bits: tuple,
     min_separations: tuple,
@@ -368,7 +370,7 @@ def _cached_link_demand(
     nmax_prefix = np.maximum.accumulate(win_n[order])
 
     return LinkDemand(
-        flow_name=flow_name,
+        flow_name="",
         c=c,
         n_eth=n_eth,
         t=t,
@@ -474,6 +476,47 @@ class InterferenceSet:
             self._nmax,
             self._rows,
         ) = _packed_windows(self.demands)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        demands: tuple[LinkDemand, ...],
+        shifts: tuple[float, ...],
+        *,
+        strict: bool,
+        tsums: np.ndarray,
+        csums: np.ndarray,
+        nsums: np.ndarray,
+        win_t: np.ndarray,
+        cmax: np.ndarray,
+        nmax: np.ndarray,
+    ) -> "InterferenceSet":
+        """Construct from pre-gathered window matrices (flat-array path).
+
+        :class:`LinkDemandMatrix.subset` slices a link-wide matrix by
+        flow position instead of re-packing per-flow tables; the
+        matrices may carry extra ``+inf``/0 padding columns (link-level
+        width vs per-set width), which is inert: the rank count
+        ``win_t <= boundary`` never admits an ``inf`` column and the
+        gathers never index past the last admitted window.  All values
+        come from the same shared per-class arrays the scalar path
+        bisects, so queries stay bit-identical.
+        """
+        self = cls.__new__(cls)
+        self.demands = demands
+        self.shifts = shifts
+        self.strict = strict
+        self._vectorized = len(demands) >= _VECTORIZE_THRESHOLD
+        if self._vectorized:
+            self._shift_arr = np.array(shifts)
+            self._tsums = tsums
+            self._csums = csums
+            self._nsums = nsums
+            self._win_t = win_t
+            self._cmax = cmax
+            self._nmax = nmax
+            self._rows = np.arange(len(demands))
+        return self
 
     def __len__(self) -> int:
         return len(self.demands)
@@ -594,3 +637,176 @@ class InterferenceSet:
             mx = cycles * self._csums + cbest
         nx = (cycles * self._nsums + nbest).astype(np.int64)
         return sum((mx + nx * circ).tolist())
+
+
+#: Structured per-flow row metadata of a :class:`LinkDemandMatrix`:
+#: cycle period (``TSUM``, s), max source jitter (s), wire bits per
+#: cycle, Ethernet fragments per cycle (``NSUM``) and the flow's
+#: priority on the link.  This is the memory-flat face of the demand
+#: layer — one contiguous record per flow instead of a Python object —
+#: used by the hierarchy layer's pod-boundary envelopes.
+LINK_META_DTYPE = np.dtype(
+    [
+        ("period", np.float64),
+        ("jitter", np.float64),
+        ("wire_bits", np.float64),
+        ("n_frag", np.int64),
+        ("prio", np.int64),
+    ]
+)
+
+
+class LinkDemandMatrix:
+    """Memory-flat demand representation of every flow on one link.
+
+    Holds, in flow (admission) order: a structured metadata row per
+    flow (:data:`LINK_META_DTYPE`), the full-cycle sums, and the sorted
+    window tables stacked into one padded matrix per quantity.  Rows of
+    flows with the same spec class reference the *same* shared window
+    arrays (the name-free :func:`build_link_demand` cache), so a
+    datacenter-scale link with 10^5 identically-shaped flows stores one
+    window table, not 10^5.
+
+    :meth:`subset` assembles a stage's :class:`InterferenceSet` with a
+    single row-gather per matrix — replacing the per-flow Python
+    packing loop (and its lru cache, which thrashes once interferer
+    tuples outnumber its capacity) with one C-level fancy index.
+    Below the vectorisation threshold it returns a plain scalar-path
+    set over the shared per-flow profiles; both paths are bit-identical
+    to the object-per-flow construction.
+    """
+
+    __slots__ = (
+        "demands",
+        "meta",
+        "n_classes",
+        "_index",
+        "_tsums",
+        "_csums",
+        "_nsums",
+        "_win_t",
+        "_cmax",
+        "_nmax",
+    )
+
+    def __init__(
+        self,
+        demands: Sequence[LinkDemand],
+        linkspeed_bps: float,
+        jitters: Sequence[float],
+        priorities: Sequence[int],
+    ):
+        self.demands = tuple(demands)
+        n = len(self.demands)
+        self._index = {d.flow_name: i for i, d in enumerate(self.demands)}
+        if len(self._index) != n:
+            raise ValueError("duplicate flow names on one link")
+        self.meta = np.zeros(n, dtype=LINK_META_DTYPE)
+        self._tsums = np.array([d.tsum for d in self.demands])
+        self._csums = np.array([d.csum for d in self.demands])
+        self._nsums = np.array(
+            [d.nsum for d in self.demands], dtype=np.int64
+        )
+        self.meta["period"] = self._tsums
+        self.meta["jitter"] = np.asarray([float(j) for j in jitters])
+        self.meta["wire_bits"] = self._csums * float(linkspeed_bps)
+        self.meta["n_frag"] = self._nsums
+        self.meta["prio"] = np.asarray(list(priorities), dtype=np.int64)
+        width = max((len(d._win_t) for d in self.demands), default=0)
+        self._win_t = np.full((n, width), np.inf)
+        self._cmax = np.zeros((n, width))
+        self._nmax = np.zeros((n, width), dtype=np.int64)
+        # Fill per spec *class*, not per flow: rows sharing window
+        # arrays (identity implies value here — the name-free profile
+        # cache interns them) are written with one broadcast each.
+        by_class: dict[int, list[int]] = {}
+        for i, d in enumerate(self.demands):
+            by_class.setdefault(id(d._win_t), []).append(i)
+        for rows in by_class.values():
+            d = self.demands[rows[0]]
+            w = len(d._win_t)
+            self._win_t[rows, :w] = d._win_t
+            self._cmax[rows, :w] = d._cmax_prefix
+            self._nmax[rows, :w] = d._nmax_prefix
+        self.n_classes = len(by_class)
+
+    def __len__(self) -> int:
+        return len(self.demands)
+
+    def subset(
+        self,
+        names: Sequence[str],
+        shifts: Sequence[float],
+        *,
+        strict: bool = False,
+    ) -> InterferenceSet:
+        """The :class:`InterferenceSet` of the named flows, in order."""
+        positions = [self._index[name] for name in names]
+        demands = tuple(self.demands[p] for p in positions)
+        shift_t = tuple(float(s) for s in shifts)
+        if len(positions) < _VECTORIZE_THRESHOLD:
+            return InterferenceSet(demands, shift_t, strict=strict)
+        rows = np.asarray(positions)
+        return InterferenceSet.from_arrays(
+            demands,
+            shift_t,
+            strict=strict,
+            tsums=self._tsums[rows],
+            csums=self._csums[rows],
+            nsums=self._nsums[rows],
+            win_t=self._win_t[rows],
+            cmax=self._cmax[rows],
+            nmax=self._nmax[rows],
+        )
+
+
+# ----------------------------------------------------------------------
+# Module-cache scoping (campaign-row boundaries) and telemetry
+# ----------------------------------------------------------------------
+def demand_cache_stats() -> dict[str, dict[str, int]]:
+    """Sizes and hit counters of the module-level demand caches."""
+    out: dict[str, dict[str, int]] = {}
+    for label, cache in (
+        ("window_cache", _cached_link_demand),
+        ("packed_cache", _packed_windows),
+    ):
+        info = cache.cache_info()
+        out[label] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "size": info.currsize,
+            "maxsize": info.maxsize,
+        }
+    return out
+
+
+def clear_demand_caches() -> None:
+    """Drop the module-level window-packing caches.
+
+    The caches are shared across every context in the process; a
+    campaign sweeping many scenarios (different link speeds / spec
+    grids) would otherwise accumulate entries across rows with no
+    eviction pressure relief between unrelated grid points.  The
+    campaign runner calls this at row boundaries; correctness never
+    depends on the caches (they are pure memoization).
+    """
+    _cached_link_demand.cache_clear()
+    _packed_windows.cache_clear()
+
+
+def record_demand_cache_telemetry() -> None:
+    """Publish the module-cache stats as telemetry gauges.
+
+    Recorded at scope boundaries (campaign rows, admission-controller
+    snapshots) rather than per lookup, keeping the hot path free of
+    telemetry branches; hit *rates* are derived downstream by
+    :func:`repro.telemetry.report.derived_metrics`.
+    """
+    from repro import telemetry as _telemetry
+
+    reg = _telemetry.REGISTRY
+    if reg is None:
+        return
+    for label, stats in demand_cache_stats().items():
+        for key in ("hits", "misses", "size"):
+            reg.set_gauge(f"engine.{label}.{key}", stats[key])

@@ -35,7 +35,6 @@ from __future__ import annotations
 import math
 
 from repro.core.context import AnalysisContext, link_resource
-from repro.core.demand import InterferenceSet
 from repro.core.results import StageKind, StageResult, diverged_stage
 from repro.model.flow import Flow
 from repro.util.fixed_point import LinearLowerBound, solve_cached
@@ -80,14 +79,18 @@ def first_hop_stage(ctx: AnalysisContext, flow: Flow) -> list[StageResult]:
     # Corrected mode uses the uncapped arrival-work bound; strict mode
     # keeps the printed Eq. 10/11 cap (see LinkDemand.mx_work).
     strict = ctx.options.strict_paper
-    all_set = InterferenceSet(
-        [ctx.demand(j, src, dst) for j in interferers],
+    all_set = ctx.interference(
+        interferers,
+        src,
+        dst,
         [extras[j.name] for j in interferers],
         strict=strict,
     )
     others = [j for j in interferers if j.name != flow.name]
-    others_set = InterferenceSet(
-        [ctx.demand(j, src, dst) for j in others],
+    others_set = ctx.interference(
+        others,
+        src,
+        dst,
         [extras[j.name] for j in others],
         strict=strict,
     )

@@ -126,7 +126,7 @@ def _worklist_analysis(ctx: AnalysisContext) -> HolisticResult:
     readers: dict[tuple, set[str]] = {}
     if ctx.options.use_jitter:
         for f in ctx.flows:
-            for key in _read_set(ctx, f):
+            for key in flow_read_set(ctx, f):
                 readers.setdefault(key, set()).add(f.name)
 
     # The sweep analyses flows in order, so within a round a flow sees
@@ -172,7 +172,7 @@ def _worklist_analysis(ctx: AnalysisContext) -> HolisticResult:
     )
 
 
-def _read_set(ctx: AnalysisContext, flow: Flow) -> set[tuple]:
+def flow_read_set(ctx: AnalysisContext, flow: Flow) -> set[tuple]:
     """The jitter-table entries ``flow``'s Fig. 6 walk reads.
 
     Mirrors the stage analyses: the first hop reads every flow sharing
@@ -186,6 +186,8 @@ def _read_set(ctx: AnalysisContext, flow: Flow) -> set[tuple]:
     route = flow.route
     src = route[0]
     first = link_resource(src, route[1])
+    # (core/hierarchy.py derives the same edges from the subject's side
+    # when a flow is admitted; keep both in sync.)
     for j in ctx.flows_on_link(src, route[1]):
         if j.name != flow.name:
             keys.add((j.name, first))

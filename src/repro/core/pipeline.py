@@ -72,12 +72,8 @@ def analyze_flow(ctx: AnalysisContext, flow: Flow) -> FlowResult:
         """
         ctx.jitters.set(flow.name, resource, jsum)
         if memoize:
-            inputs = (
-                tuple(jsum),
-                tuple(ctx.extra(j, resource) for j in participants),
-            )
-            key = (flow.name, resource)
-            hit = ctx._stage_cache.get(key)
+            inputs = (tuple(jsum), ctx.extras(participants, resource))
+            hit = ctx.stage_memo_get(flow.name, resource)
             reg = _telemetry.REGISTRY
             if hit is not None and hit[0] == inputs:
                 if reg is not None:
@@ -87,7 +83,7 @@ def analyze_flow(ctx: AnalysisContext, flow: Flow) -> FlowResult:
                 if reg is not None:
                     reg.add("engine.stage_memo.misses")
                 results = stage()
-                ctx._stage_cache[key] = (inputs, results)
+                ctx.stage_memo_put(flow.name, resource, inputs, results)
         else:
             results = stage()
         for k in range(n):

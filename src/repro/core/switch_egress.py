@@ -34,7 +34,6 @@ from __future__ import annotations
 import math
 
 from repro.core.context import AnalysisContext, link_resource
-from repro.core.demand import InterferenceSet
 from repro.core.results import StageKind, StageResult, diverged_stage
 from repro.model.flow import Flow
 from repro.util.fixed_point import (
@@ -84,13 +83,17 @@ def egress_stage(
     if any(math.isinf(e) for e in extras.values()):
         return [diverged_stage(StageKind.EGRESS, resource)] * n
 
-    all_set = InterferenceSet(
-        [ctx.demand(j, node, nxt) for j in participants],
+    all_set = ctx.interference(
+        participants,
+        node,
+        nxt,
         [extras[j.name] for j in participants],
         strict=strict,
     )
-    hep_set = InterferenceSet(
-        [ctx.demand(j, node, nxt) for j in hep],
+    hep_set = ctx.interference(
+        hep,
+        node,
+        nxt,
         [extras[j.name] for j in hep],
         strict=strict,
     )

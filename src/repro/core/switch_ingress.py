@@ -32,7 +32,6 @@ from __future__ import annotations
 import math
 
 from repro.core.context import AnalysisContext, ingress_resource
-from repro.core.demand import InterferenceSet
 from repro.core.results import StageKind, StageResult, diverged_stage
 from repro.model.flow import Flow
 from repro.util.fixed_point import LinearLowerBound, solve_cached
@@ -81,14 +80,18 @@ def ingress_stage(
     if any(math.isinf(e) for e in extras.values()):
         return [diverged_stage(StageKind.INGRESS, resource)] * n
 
-    all_set = InterferenceSet(
-        [ctx.demand(j, prev, node) for j in interferers],
+    all_set = ctx.interference(
+        interferers,
+        prev,
+        node,
         [extras[j.name] for j in interferers],
         strict=strict,
     )
     others = [j for j in interferers if j.name != flow.name]
-    others_set = InterferenceSet(
-        [ctx.demand(j, prev, node) for j in others],
+    others_set = ctx.interference(
+        others,
+        prev,
+        node,
         [extras[j.name] for j in others],
         strict=strict,
     )

@@ -15,7 +15,10 @@ run through one or more *actions*:
 * ``validate`` — analysis vs both simulator modes, per (flow, frame),
   with the simulations drawn through the same batched cache;
 * ``admit``    — sequential admission of the flows, then the churn
-  sequence, through :class:`~repro.core.admission.AdmissionController`.
+  sequence, through :class:`~repro.core.admission.AdmissionController`;
+* ``admit-hierarchical`` — the same storyline (same decisions, same
+  payload) through the datacenter-scale
+  :class:`~repro.core.hierarchy.HierarchicalAdmissionController`.
 
 :class:`CampaignRunner` executes the cross product deterministically:
 results come back as ordered :class:`CampaignResult` rows whose
@@ -43,6 +46,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro import telemetry as _telemetry
 from repro.core.admission import AdmissionController
+from repro.core.demand import clear_demand_caches, record_demand_cache_telemetry
 from repro.core.holistic import holistic_analysis
 from repro.scenario.model import Scenario, ScenarioSpec
 from repro.sim.simulator import (
@@ -214,6 +218,27 @@ def action_validate(
 def action_admit(scenario: Scenario) -> dict[str, Any]:
     """Sequential admission of the base flows, then the churn events."""
     ctrl = AdmissionController(scenario.network, scenario.options)
+    return _admit_storyline(ctrl, scenario)
+
+
+def action_admit_hierarchical(scenario: Scenario) -> dict[str, Any]:
+    """The ``admit`` storyline through the hierarchical controller.
+
+    Same decisions and payload as ``admit`` (the hierarchical path is
+    bit-identical by construction — ``tests/test_hierarchy.py``), but
+    each decision costs only the candidate's interference closure; this
+    is the action datacenter-scale churn campaigns use, and what the CI
+    telemetry gate watches the ``hierarchy.*`` counters through.
+    """
+    from repro.core.hierarchy import HierarchicalAdmissionController
+
+    ctrl = HierarchicalAdmissionController(
+        scenario.network, scenario.options
+    )
+    return _admit_storyline(ctrl, scenario)
+
+
+def _admit_storyline(ctrl, scenario: Scenario) -> dict[str, Any]:
     admitted: set[str] = set()
     steps: list[dict[str, Any]] = []
 
@@ -261,6 +286,7 @@ ACTIONS: dict[str, Callable[[Scenario], dict[str, Any]]] = {
     "simulate-batched": action_simulate_batched,
     "validate": action_validate,
     "admit": action_admit,
+    "admit-hierarchical": action_admit_hierarchical,
 }
 
 
@@ -334,6 +360,12 @@ def _run_item(
 ) -> list[CampaignResult]:
     """Worker body: build the scenario if needed, run every action."""
     index, unit, actions = item
+    # Row boundary: the module-level window-packing caches in
+    # core/demand.py are process-shared and would otherwise accumulate
+    # entries across every scenario a long-lived worker sees; each row
+    # starts from a clean slate (profiles are pure functions of their
+    # inputs, so this only costs rebuild time, never changes results).
+    clear_demand_caches()
     scenario = unit.build() if isinstance(unit, ScenarioSpec) else unit
     family = scenario.generator.family if scenario.generator else None
     rows: list[CampaignResult] = []
@@ -353,6 +385,9 @@ def _run_item(
                     start = time.perf_counter()
                     payload = fn(scenario)
                     elapsed = time.perf_counter() - start
+                # Publish the module-cache levels this action left
+                # behind (gauges: merged by max across rows/workers).
+                record_demand_cache_telemetry()
             snapshot = reg.snapshot()
         rows.append(
             CampaignResult(

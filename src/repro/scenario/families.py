@@ -22,6 +22,11 @@ drive every random draw), registered on the global
                           FIFOs and truncated 802.1p levels.
 ``voip-churn``            An admission-control storyline: calls arrive
                           and hang up (churn sequence for ``admit``).
+``datacenter``            Multi-pod fat tree with tenant mice, cross-pod
+                          elephants and incast fan-in (the hierarchical
+                          admission workload of ``core/hierarchy.py``).
+``datacenter-churn``      The datacenter mix as an arrival/release
+                          storyline (multi-pod ``admit`` sequences).
 ========================  ==============================================
 """
 
@@ -41,6 +46,8 @@ from repro.workloads.mpeg import paper_fig3_flow
 from repro.workloads.topologies import (
     fat_tree_network,
     line_network,
+    multi_pod_fat_tree_network,
+    multi_pod_route,
     paper_fig1_network,
     star_network,
 )
@@ -414,6 +421,292 @@ def failure_injection(
             nic_fifo_capacity=nic_fifo_capacity,
             priority_levels=priority_levels,
         ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Datacenter families (multi-pod fabrics; core/hierarchy.py workloads)
+# ----------------------------------------------------------------------
+# Shared spec archetypes: the analysis' demand profiles are pure
+# functions of (spec, link speed), so flows built from the same spec
+# object share one window table per link class — the dedup that keeps
+# the flat demand matrices (core/demand.py) memory-flat at 10^5 flows.
+_MICE_SPEC = GmfSpec(
+    min_separations=(ms(20),),
+    deadlines=(ms(80),),
+    jitters=(0.0,),
+    payload_bits=(1_280,),
+)
+_ELEPHANT_SPEC = GmfSpec(
+    min_separations=(ms(10),),
+    deadlines=(ms(200),),
+    jitters=(0.0,),
+    payload_bits=(60_000,),
+)
+_INCAST_SPEC = GmfSpec(
+    min_separations=(ms(10),),
+    deadlines=(ms(100),),
+    jitters=(0.0,),
+    payload_bits=(12_000,),
+)
+
+
+def datacenter_flows(
+    *,
+    pods: int = 4,
+    aggs_per_pod: int = 2,
+    leaves_per_pod: int = 4,
+    hosts_per_leaf: int = 4,
+    cores: int = 2,
+    n_mice: int = 48,
+    n_elephants: int = 8,
+    incast_groups: int = 2,
+    incast_fanin: int = 8,
+    tenants: int = 4,
+    cross_pod_fraction: float = 0.15,
+    locality: float = 0.7,
+    seed: int = 0,
+    speed_bps: float = mbps(1000),
+) -> tuple[Network, list[Flow]]:
+    """Deterministic datacenter traffic over a multi-pod fabric.
+
+    Three archetypes (shared specs, see above):
+
+    * **mice** (priority 6): small periodic flows between hosts of the
+      same tenant; with probability ``locality`` a mouse stays
+      rack-local (its destination shares the source's leaf — the
+      rack-affine placement real schedulers aim for, and what keeps the
+      interference closure of one admission small); otherwise tenants
+      own a strided host subset spanning all pods, and
+      ``cross_pod_fraction`` of the remaining mice cross pods;
+    * **elephants** (priority 2): bulk flows, always cross-pod — they
+      are what loads the pod-boundary demand envelopes;
+    * **incast** (priority 4): ``incast_groups`` fan-in events,
+      ``incast_fanin`` sources converging on one victim host each.
+
+    Routes come from :func:`~repro.workloads.topologies.multi_pod_route`
+    (pure name arithmetic), so generating 10^5 flows stays cheap; all
+    draws are seeded, so equal parameters reproduce the flow set bit
+    for bit.
+    """
+    net = multi_pod_fat_tree_network(
+        pods=pods,
+        aggs_per_pod=aggs_per_pod,
+        leaves_per_pod=leaves_per_pod,
+        hosts_per_leaf=hosts_per_leaf,
+        cores=cores,
+        speed_bps=speed_bps,
+    )
+    rng = np.random.default_rng(seed)
+    hosts = [
+        (p, f"p{p}_h{l}_{k}")
+        for p in range(pods)
+        for l in range(leaves_per_pod)
+        for k in range(hosts_per_leaf)
+    ]
+    # Tenant t owns every tenants-th host — a subset spanning all pods.
+    by_tenant_pod: list[dict[int, list[str]]] = [
+        {} for _ in range(max(1, tenants))
+    ]
+    for i, (p, name) in enumerate(hosts):
+        by_tenant_pod[i % max(1, tenants)].setdefault(p, []).append(name)
+    # Host name -> its leaf's host list (rack-local destination pool).
+    by_leaf: dict[str, list[str]] = {}
+    for p, name in hosts:
+        leaf = name.rsplit("_", 1)[0]
+        by_leaf.setdefault(leaf, []).append(name)
+    leaf_of = {name: name.rsplit("_", 1)[0] for _, name in hosts}
+
+    def pick(pool: list[str], *, avoid: str | None = None) -> str:
+        name = pool[int(rng.integers(len(pool)))]
+        while name == avoid:
+            name = pool[int(rng.integers(len(pool)))]
+        return name
+
+    flows: list[Flow] = []
+    for i in range(n_mice):
+        tenant = by_tenant_pod[i % max(1, tenants)]
+        tenant_pods = sorted(tenant)
+        src_pod = tenant_pods[int(rng.integers(len(tenant_pods)))]
+        src = pick(tenant[src_pod])
+        rack = by_leaf[leaf_of[src]]
+        cross = (
+            len(tenant_pods) > 1 and rng.random() < cross_pod_fraction
+        )
+        if len(rack) > 1 and rng.random() < locality:
+            dst = pick(rack, avoid=src)
+        elif cross:
+            others = [p for p in tenant_pods if p != src_pod]
+            dst = pick(tenant[others[int(rng.integers(len(others)))]])
+        elif len(tenant[src_pod]) > 1:
+            dst = pick(tenant[src_pod], avoid=src)
+        else:
+            dst = pick([h for _, h in hosts], avoid=src)
+        flows.append(
+            Flow(
+                name=f"mice{i}",
+                spec=_MICE_SPEC,
+                route=multi_pod_route(
+                    src,
+                    dst,
+                    # Decorrelated spreading: with agg and core both keyed
+                    # on i, equal pod widths would pin every flow to the
+                    # agg == core diagonal and quarter the usable entry
+                    # combinations into the destination pod.
+                    agg=i % aggs_per_pod,
+                    core=(i // aggs_per_pod) % cores,
+                ),
+                priority=6,
+            )
+        )
+    all_hosts_by_pod: dict[int, list[str]] = {}
+    for p, name in hosts:
+        all_hosts_by_pod.setdefault(p, []).append(name)
+    for i in range(n_elephants):
+        src_pod = int(rng.integers(pods))
+        dst_pod = (
+            (src_pod + 1 + int(rng.integers(pods - 1))) % pods
+            if pods > 1
+            else src_pod
+        )
+        src = pick(all_hosts_by_pod[src_pod])
+        dst = pick(all_hosts_by_pod[dst_pod], avoid=src)
+        flows.append(
+            Flow(
+                name=f"eleph{i}",
+                spec=_ELEPHANT_SPEC,
+                route=multi_pod_route(
+                    src,
+                    dst,
+                    agg=i % aggs_per_pod,
+                    core=(i // aggs_per_pod) % cores,
+                ),
+                priority=2,
+            )
+        )
+    flat_hosts = [h for _, h in hosts]
+    for g in range(incast_groups):
+        victim = pick(flat_hosts)
+        for s in range(incast_fanin):
+            src = pick(flat_hosts, avoid=victim)
+            flows.append(
+                Flow(
+                    name=f"ic{g}_{s}",
+                    spec=_INCAST_SPEC,
+                    route=multi_pod_route(
+                        src,
+                        victim,
+                        agg=s % aggs_per_pod,
+                        core=(s // aggs_per_pod) % cores,
+                    ),
+                    priority=4,
+                )
+            )
+    return net, flows
+
+
+@register_scenario("datacenter")
+def datacenter(
+    *,
+    pods: int = 4,
+    aggs_per_pod: int = 2,
+    leaves_per_pod: int = 4,
+    hosts_per_leaf: int = 4,
+    cores: int = 2,
+    n_mice: int = 48,
+    n_elephants: int = 8,
+    incast_groups: int = 2,
+    incast_fanin: int = 8,
+    tenants: int = 4,
+    cross_pod_fraction: float = 0.15,
+    locality: float = 0.7,
+    seed: int = 0,
+    speed_bps: float = mbps(1000),
+    duration: float = 1.0,
+) -> Scenario:
+    """Multi-pod datacenter traffic: tenant mice + cross-pod elephants
+    + incast fan-in (the ``core/hierarchy.py`` admission workload)."""
+    net, flows = datacenter_flows(
+        pods=pods,
+        aggs_per_pod=aggs_per_pod,
+        leaves_per_pod=leaves_per_pod,
+        hosts_per_leaf=hosts_per_leaf,
+        cores=cores,
+        n_mice=n_mice,
+        n_elephants=n_elephants,
+        incast_groups=incast_groups,
+        incast_fanin=incast_fanin,
+        tenants=tenants,
+        cross_pod_fraction=cross_pod_fraction,
+        locality=locality,
+        seed=seed,
+        speed_bps=speed_bps,
+    )
+    total = len(flows)
+    return Scenario(
+        name=f"datacenter[{pods}p,n={total},seed={seed}]",
+        network=net,
+        flows=tuple(flows),
+        sim=SimConfig(duration=duration),
+    )
+
+
+@register_scenario("datacenter-churn")
+def datacenter_churn(
+    *,
+    pods: int = 4,
+    aggs_per_pod: int = 2,
+    leaves_per_pod: int = 4,
+    hosts_per_leaf: int = 4,
+    cores: int = 2,
+    n_mice: int = 24,
+    n_elephants: int = 4,
+    incast_groups: int = 1,
+    incast_fanin: int = 4,
+    tenants: int = 4,
+    cross_pod_fraction: float = 0.15,
+    locality: float = 0.7,
+    release_every: int = 4,
+    seed: int = 0,
+    speed_bps: float = mbps(1000),
+    duration: float = 1.0,
+) -> Scenario:
+    """The datacenter flow mix as an admission storyline: flows arrive
+    one by one; every ``release_every``-th arrival is followed by the
+    oldest live flow leaving (campaign ``admit`` action, multi-pod)."""
+    if release_every < 1:
+        raise ValueError("release_every must be >= 1")
+    net, flows = datacenter_flows(
+        pods=pods,
+        aggs_per_pod=aggs_per_pod,
+        leaves_per_pod=leaves_per_pod,
+        hosts_per_leaf=hosts_per_leaf,
+        cores=cores,
+        n_mice=n_mice,
+        n_elephants=n_elephants,
+        incast_groups=incast_groups,
+        incast_fanin=incast_fanin,
+        tenants=tenants,
+        cross_pod_fraction=cross_pod_fraction,
+        locality=locality,
+        seed=seed,
+        speed_bps=speed_bps,
+    )
+    events: list[ChurnEvent] = []
+    live: list[str] = []
+    for i, flow in enumerate(flows):
+        events.append(ChurnEvent(action="admit", flow=flow))
+        live.append(flow.name)
+        if (i + 1) % release_every == 0 and live:
+            events.append(
+                ChurnEvent(action="release", flow_name=live.pop(0))
+            )
+    return Scenario(
+        name=f"datacenter-churn[{pods}p,n={len(flows)},seed={seed}]",
+        network=net,
+        flows=(),
+        sim=SimConfig(duration=duration),
+        churn=tuple(events),
     )
 
 

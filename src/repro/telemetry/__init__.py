@@ -188,6 +188,7 @@ class Registry:
     def __init__(self) -> None:
         self.counters: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
+        self.gauges: dict[str, float] = {}
         self._span_stack: list[str] = []
 
     # ------------------------------------------------------------------
@@ -196,6 +197,16 @@ class Registry:
     def add(self, name: str, n: float = 1.0) -> None:
         """Increment counter ``name`` by ``n``."""
         self.counters[name] = self.counters.get(name, 0.0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the current value of gauge ``name`` (last write wins).
+
+        Gauges report *levels* (cache sizes, hit counts at a scope
+        boundary) rather than monotone totals; merging across processes
+        keeps the maximum, the conservative answer to "how big did this
+        get anywhere".
+        """
+        self.gauges[name] = float(value)
 
     def observe(self, name: str, value: float) -> None:
         """Record ``value`` into histogram ``name``."""
@@ -217,7 +228,7 @@ class Registry:
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
         """Plain JSON-able dict with deterministic key order."""
-        return {
+        doc: dict[str, Any] = {
             "v": SNAPSHOT_VERSION,
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
             "histograms": {
@@ -225,6 +236,9 @@ class Registry:
                 for k in sorted(self.histograms)
             },
         }
+        if self.gauges:  # additive, so absent when unused (v1 layout)
+            doc["gauges"] = {k: self.gauges[k] for k in sorted(self.gauges)}
+        return doc
 
     def merge(self, snapshot: Mapping[str, Any]) -> None:
         """Fold a :meth:`snapshot` document into this registry."""
@@ -241,10 +255,15 @@ class Registry:
             if hist is None:
                 hist = self.histograms[name] = Histogram()
             hist.merge_dict(doc)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            value = float(value)
+            if name not in self.gauges or value > self.gauges[name]:
+                self.gauges[name] = value
 
     def clear(self) -> None:
         self.counters.clear()
         self.histograms.clear()
+        self.gauges.clear()
         self._span_stack.clear()
 
 
@@ -340,6 +359,12 @@ def observe(name: str, value: float) -> None:
     reg = REGISTRY
     if reg is not None:
         reg.observe(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    reg = REGISTRY
+    if reg is not None:
+        reg.set_gauge(name, value)
 
 
 def span(name: str):

@@ -89,6 +89,7 @@ def derived_metrics(snapshot: Mapping[str, Any] | None) -> dict[str, float]:
         return {}
     counters: Mapping[str, float] = snapshot.get("counters") or {}
     hist_docs: Mapping[str, Any] = snapshot.get("histograms") or {}
+    gauges: Mapping[str, float] = snapshot.get("gauges") or {}
     hists = {name: Histogram.from_dict(doc) for name, doc in hist_docs.items()}
 
     out: dict[str, float] = {}
@@ -96,6 +97,15 @@ def derived_metrics(snapshot: Mapping[str, Any] | None) -> dict[str, float]:
         if name.startswith("span."):
             continue  # span call counts duplicate the histogram counts
         out[name] = counters[name]
+
+    for name in sorted(gauges):
+        out[name] = gauges[name]
+    # Hit-rate rollups of the gauge-reported module caches (demand.py).
+    for label in ("window_cache", "packed_cache"):
+        hits = gauges.get(f"engine.{label}.hits")
+        misses = gauges.get(f"engine.{label}.misses")
+        if hits is not None and misses is not None and hits + misses:
+            out[f"engine.{label}.hit_rate"] = hits / (hits + misses)
 
     for name in sorted(hists):
         hist = hists[name]

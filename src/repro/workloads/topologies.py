@@ -140,6 +140,106 @@ def fat_tree_network(
     return net
 
 
+def multi_pod_fat_tree_network(
+    *,
+    pods: int = 4,
+    aggs_per_pod: int = 2,
+    leaves_per_pod: int = 4,
+    hosts_per_leaf: int = 4,
+    cores: int = 2,
+    speed_bps: float = mbps(1000),
+    agg_speed_bps: float | None = None,
+    core_speed_bps: float | None = None,
+    prop_delay: float = 0.0,
+    switch_config: SwitchConfig | None = None,
+) -> Network:
+    """A three-tier datacenter fabric: pods of leaf/agg switches under a
+    shared core tier.
+
+    Node naming is load-bearing: the hierarchical admission layer
+    (``core/hierarchy.py``) classifies nodes into pods by the ``p{i}_``
+    prefix, and routes can be built from names alone (no graph search —
+    essential when generating 10^5 flows; see :func:`multi_pod_route`):
+
+    * ``core{c}`` — core switches, shared by all pods;
+    * ``p{i}_agg{a}`` — pod ``i``'s aggregation switches, each linked
+      to every core switch;
+    * ``p{i}_leaf{l}`` — pod ``i``'s leaf switches, each linked to
+      every aggregation switch of the pod;
+    * ``p{i}_h{l}_{k}`` — host ``k`` of leaf ``l`` in pod ``i``.
+
+    ``agg_speed_bps`` / ``core_speed_bps`` default to the host link
+    speed (uniform fabric).
+    """
+    if pods < 1 or aggs_per_pod < 1 or leaves_per_pod < 1 or cores < 1:
+        raise ValueError("pods, aggs, leaves and cores must all be >= 1")
+    if hosts_per_leaf < 1:
+        raise ValueError("each leaf needs at least one host")
+    agg_speed = speed_bps if agg_speed_bps is None else agg_speed_bps
+    core_speed = agg_speed if core_speed_bps is None else core_speed_bps
+    net = Network()
+    for c in range(cores):
+        net.add_switch(f"core{c}", switch_config)
+    for p in range(pods):
+        for a in range(aggs_per_pod):
+            agg = f"p{p}_agg{a}"
+            net.add_switch(agg, switch_config)
+            for c in range(cores):
+                net.add_duplex_link(
+                    agg, f"core{c}", speed_bps=core_speed, prop_delay=prop_delay
+                )
+        for l in range(leaves_per_pod):
+            leaf = f"p{p}_leaf{l}"
+            net.add_switch(leaf, switch_config)
+            for a in range(aggs_per_pod):
+                net.add_duplex_link(
+                    leaf,
+                    f"p{p}_agg{a}",
+                    speed_bps=agg_speed,
+                    prop_delay=prop_delay,
+                )
+            for k in range(hosts_per_leaf):
+                host = f"p{p}_h{l}_{k}"
+                net.add_endhost(host)
+                net.add_duplex_link(
+                    host, leaf, speed_bps=speed_bps, prop_delay=prop_delay
+                )
+    return net
+
+
+def multi_pod_route(
+    src: str, dst: str, *, agg: int = 0, core: int = 0
+) -> tuple[str, ...]:
+    """The canonical route between two hosts of a multi-pod fabric.
+
+    Built purely from the :func:`multi_pod_fat_tree_network` naming
+    scheme — O(1), no graph search, which is what makes generating
+    10^5-flow scenarios cheap.  ``agg``/``core`` select which
+    aggregation/core switch carries the route (path diversity).
+
+    * same leaf: ``src -> leaf -> dst``;
+    * same pod: ``src -> leafA -> agg -> leafB -> dst``;
+    * cross-pod: ``src -> leafA -> aggA -> core -> aggB -> leafB -> dst``.
+    """
+    ps, ls, _ = src.split("_")
+    pd, ld, _ = dst.split("_")
+    src_leaf = f"{ps}_leaf{ls[1:]}"
+    dst_leaf = f"{pd}_leaf{ld[1:]}"
+    if ps == pd:
+        if src_leaf == dst_leaf:
+            return (src, src_leaf, dst)
+        return (src, src_leaf, f"{ps}_agg{agg}", dst_leaf, dst)
+    return (
+        src,
+        src_leaf,
+        f"{ps}_agg{agg}",
+        f"core{core}",
+        f"{pd}_agg{agg}",
+        dst_leaf,
+        dst,
+    )
+
+
 def tree_network(
     depth: int,
     *,

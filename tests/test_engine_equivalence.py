@@ -32,14 +32,21 @@ from repro.core.context import AnalysisOptions
 from repro.core.holistic import holistic_analysis
 from repro.util.units import mbps
 from repro.workloads.generator import random_flow_set
-from repro.workloads.topologies import line_network, star_network, tree_network
+from repro.workloads.topologies import (
+    line_network,
+    multi_pod_fat_tree_network,
+    star_network,
+    tree_network,
+)
 
 #: The seed implementation: plain Picard busy periods, full-sweep
-#: holistic, every stage analysis recomputed every round.
+#: holistic, every stage analysis recomputed every round, per-flow
+#: demand objects (no flat arrays).
 SEED_ENGINE = AnalysisOptions(
     accelerate_fixed_points=False,
     incremental_holistic=False,
     memoize_stages=False,
+    flat_demand_arrays=False,
 )
 
 #: Each fast path alone on top of the seed, and the production default
@@ -48,6 +55,7 @@ FAST_ENGINES = {
     "accelerated": replace(SEED_ENGINE, accelerate_fixed_points=True),
     "worklist": replace(SEED_ENGINE, incremental_holistic=True),
     "memoized": replace(SEED_ENGINE, memoize_stages=True),
+    "flat": replace(SEED_ENGINE, flat_demand_arrays=True),
     "all": AnalysisOptions(),
 }
 
@@ -60,6 +68,15 @@ def _topology(name):
     if name == "tree2":
         return tree_network(
             2, fanout=2, hosts_per_leaf=2, speed_bps=mbps(1000)
+        )
+    if name == "multipod":
+        return multi_pod_fat_tree_network(
+            pods=2,
+            aggs_per_pod=1,
+            leaves_per_pod=2,
+            hosts_per_leaf=2,
+            cores=1,
+            speed_bps=mbps(100),
         )
     raise ValueError(name)
 
@@ -89,7 +106,7 @@ def assert_bit_identical(a, b):
 
 
 @pytest.mark.parametrize("engine", sorted(FAST_ENGINES))
-@pytest.mark.parametrize("topology", ["line3", "star6", "tree2"])
+@pytest.mark.parametrize("topology", ["line3", "star6", "tree2", "multipod"])
 @pytest.mark.parametrize("seed", [0, 1, 2, 3])
 @pytest.mark.parametrize("utilization", [0.3, 0.85])
 def test_fast_engine_matches_seed_engine(engine, topology, seed, utilization):

@@ -285,6 +285,7 @@ class TestCampaignRunner:
             "simulate-batched",
             "validate",
             "admit",
+            "admit-hierarchical",
         }
 
     def test_jobs_validation(self):

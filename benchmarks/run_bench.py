@@ -12,8 +12,9 @@ entry::
 
     PYTHONPATH=src python benchmarks/run_bench.py --label pr3-my-change
 
-Re-running with an existing label replaces that entry (labels are
-unique).  When an entry labelled ``seed`` (or anything passed via
+Labels are unique: re-running with an existing label is refused so a
+stray re-run cannot silently rewrite history — pass ``--force`` to
+deliberately replace the entry.  When an entry labelled ``seed`` (or anything passed via
 ``--baseline``) exists, the runner prints the speedup of every shared
 benchmark against it, so "did this PR actually help" is one command.
 
@@ -274,6 +275,12 @@ def main(argv: list[str] | None = None) -> None:
         "required unless --dry-run",
     )
     parser.add_argument(
+        "--force",
+        action="store_true",
+        help="replace an existing entry with the same label instead of "
+        "refusing (labels are unique in the trajectory)",
+    )
+    parser.add_argument(
         "--dry-run",
         action="store_true",
         help="validate the bench harness (one fast round per benchmark) "
@@ -325,8 +332,15 @@ def main(argv: list[str] | None = None) -> None:
         return
     if not args.label:
         parser.error("--label is required unless --dry-run is given")
-    results = run_benchmarks(args.pytest_args)
     trajectory = load_trajectory(args.output)
+    if not args.force and any(
+        e["label"] == args.label for e in trajectory["entries"]
+    ):
+        raise SystemExit(
+            f"label {args.label!r} is already recorded in {args.output}; "
+            "pick a fresh label or pass --force to replace the entry"
+        )
+    results = run_benchmarks(args.pytest_args)
     entry = {
         "label": args.label,
         "git": git_revision(),

@@ -64,6 +64,27 @@ two labels KPI by KPI and exits non-zero when a gating metric (cache
 hit rates, admission rate, iteration counts — not wall-clock numbers)
 moved the wrong way by more than ``--threshold``.  ``-v`` / ``-q``
 raise or silence status logging for every subcommand.
+
+Tracing and live monitoring (:mod:`repro.telemetry.tracing`)::
+
+    python -m repro.cli serve scenario.json --trace \\
+        --flight-dir flights/                       # traced server
+    python -m repro.cli replay --family voip-star \\
+        --requests 200 --connect 127.0.0.1:7420 \\
+        --traced                                    # traced requests
+    python -m repro.cli trace-export \\
+        --connect 127.0.0.1:7420 -o trace.json      # Chrome trace JSON
+    python -m repro.cli watch --connect 127.0.0.1:7420 \\
+        --label prod --every 30                     # live stats polling
+    python -m repro.cli watch --campaign voip-star \\
+        --grid n_calls=4 --label nightly --every 3600
+                                                    # standing scheduler
+
+``trace-export`` renders the fleet's recent spans as Chrome
+trace-event JSON (load in Perfetto); ``watch`` appends labelled run
+records to the telemetry store — from a live server's ``stats`` /
+``metrics`` verbs, or by re-running a registered scenario family on an
+interval so ``report --diff`` gates drift over time.
 """
 
 from __future__ import annotations
@@ -638,6 +659,7 @@ def cmd_serve(args) -> int:
         load_service_state,
         run_server,
     )
+    from repro.telemetry import tracing as _tracing
 
     try:
         fault_plan = FaultPlan.parse(
@@ -653,11 +675,17 @@ def cmd_serve(args) -> int:
         raise SystemExit(
             "worker faults (kill/hang/slow_batch) need --workers"
         )
-    if args.telemetry and _telemetry.REGISTRY is None:
+    if (args.telemetry or args.trace) and _telemetry.REGISTRY is None:
         # Enable before the service spawns shard workers so they fork
         # with collection on and answer the ``metrics`` verb.
         _telemetry.enable()
         log.debug("telemetry collection enabled")
+    if args.trace and _tracing.TRACER is None:
+        # Likewise before worker spawn: shard workers check the parent's
+        # tracer at fork time to install their own per-process rings.
+        _tracing.enable_tracing(proc="server")
+        log.debug("request tracing enabled")
+    flight_dir = args.flight_dir or os.environ.get("REPRO_FLIGHT_DIR")
     if args.scenario and args.restore:
         raise SystemExit(
             "serve takes a scenario file OR --restore, not both"
@@ -684,6 +712,7 @@ def cmd_serve(args) -> int:
         max_restarts=args.max_restarts,
         journal_limit=args.journal_limit,
         fault_plan=fault_plan,
+        flight_dir=flight_dir,
     )
     if args.restore:
         # Tri-state: --workers forces processes, --no-workers forces
@@ -757,6 +786,14 @@ def cmd_replay(args) -> int:
         # its shard workers, or there is nothing to dump.
         _telemetry.enable()
         log.debug("telemetry collection enabled for --metrics-out")
+    if args.traced and not args.connect:
+        # Local replay: the replay driver mints trace ids only when a
+        # tracer is installed, and workers check it at fork time.
+        from repro.telemetry import tracing as _tracing
+
+        if _tracing.TRACER is None:
+            _tracing.enable_tracing(proc="replay")
+        log.debug("request tracing enabled for local replay")
 
     scenario = None
     if args.scenario and args.family:
@@ -803,9 +840,7 @@ def cmd_replay(args) -> int:
                 "no effect with --connect (the live server's configuration "
                 "applies)"
             )
-        host, _, port = args.connect.rpartition(":")
-        if not host or not port.isdigit():
-            raise SystemExit(f"--connect expects HOST:PORT, got {args.connect!r}")
+        host, port = _parse_connect(args.connect)
         retry = None
         if args.retries > 0:
             from repro.service import RetryPolicy
@@ -817,16 +852,17 @@ def cmd_replay(args) -> int:
             )
         summary = replay_tcp(
             host,
-            int(port),
+            port,
             trace,
             window=args.batch,
             retry=retry,
             request_timeout=args.timeout,
+            trace_requests=args.traced,
         )
         if args.metrics_out:
             from repro.service.replay import fetch_metrics_tcp
 
-            metrics_doc = fetch_metrics_tcp(host, int(port))
+            metrics_doc = fetch_metrics_tcp(host, port)
         target = f"server {args.connect}"
     else:
         if args.retries or args.timeout:
@@ -895,6 +931,189 @@ def cmd_replay(args) -> int:
                 f"{len(serial.admit_decisions)} decisions differ)"
             )
             return 1
+    return 0
+
+
+def _parse_connect(text: str) -> tuple[str, int]:
+    """Split a ``HOST:PORT`` target (SystemExit on malformed input)."""
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--connect expects HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def cmd_trace_export(args) -> int:
+    import json as _json
+
+    from repro.telemetry import tracing as _tracing
+
+    if bool(args.connect) == bool(args.from_file):
+        raise SystemExit(
+            "trace-export needs --connect HOST:PORT or --from FILE "
+            "(exactly one)"
+        )
+    if args.connect:
+        from repro.service import fetch_metrics_tcp
+
+        host, port = _parse_connect(args.connect)
+        doc = fetch_metrics_tcp(host, port)
+        source = f"server {args.connect}"
+    else:
+        with open(args.from_file, encoding="utf-8") as fh:
+            doc = _json.load(fh)
+        source = args.from_file
+    spans = doc.get("trace_spans")
+    if not isinstance(spans, list) or not spans:
+        raise SystemExit(
+            f"no trace spans in {source} — was the server started with "
+            "--trace (and traced requests sent, e.g. 'replay --traced')?"
+        )
+    chrome = _tracing.to_chrome_trace(spans)
+    _tracing.validate_chrome_trace(chrome)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        _json.dump(chrome, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    tracks = {
+        (ev.get("pid"), ev.get("tid"))
+        for ev in chrome["traceEvents"]
+        if ev.get("ph") == "X"
+    }
+    print(
+        f"wrote {len(spans)} span(s) on {len(tracks)} track(s) from "
+        f"{source} to {args.output} (open in Perfetto or chrome://tracing)"
+    )
+    return 0
+
+
+def _watch_record(
+    label: str,
+    *,
+    stats: dict | None,
+    metrics: dict | None,
+    tick: int,
+    scenario: str | None = None,
+):
+    """Build one ``watch`` RunRecord from polled stats/metrics.
+
+    Pure: a single immutable record from one poll's documents, so the
+    subsequent :func:`append_run` is the only write — a watch tick can
+    never leave a torn record behind a crash mid-poll.  Only scalar
+    stats become metrics (``service.*``); the server's merged telemetry
+    snapshot rides along verbatim for ``report --label`` rollups.
+    """
+    from datetime import datetime, timezone
+
+    from repro.telemetry.store import RunRecord, git_revision
+
+    doc = {
+        f"service.{key}": float(value)
+        for key, value in (stats or {}).items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    doc["watch.tick"] = float(tick)
+    telemetry = (metrics or {}).get("merged")
+    return RunRecord(
+        label=label,
+        kind="watch",
+        scenario=scenario,
+        git=git_revision(),
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        metrics=doc,
+        telemetry=telemetry,
+        meta={"tick": tick},
+    )
+
+
+def _watch_tick_connect(args, tick: int):
+    from repro.service import fetch_metrics_tcp, fetch_stats_tcp
+
+    host, port = _parse_connect(args.connect)
+    stats = fetch_stats_tcp(host, port)
+    metrics = fetch_metrics_tcp(host, port)
+    return _watch_record(
+        args.label,
+        stats=stats,
+        metrics=metrics,
+        tick=tick,
+        scenario=args.connect,
+    )
+
+
+def _watch_tick_campaign(args, tick: int):
+    """Re-run a registered family grid, telemetry captured per tick."""
+    from datetime import datetime, timezone
+
+    from repro import telemetry as _telemetry
+    from repro.scenario import CampaignRunner, campaign_digest, scenario_grid
+    from repro.telemetry.store import RunRecord, git_revision
+
+    actions = tuple(a.strip() for a in args.actions.split(",") if a.strip())
+    axes = dict(_parse_axis(g) for g in args.grid or [])
+    units = scenario_grid(args.campaign, **axes)
+    with _telemetry.capture() as reg:
+        runner = CampaignRunner(jobs=args.jobs, actions=actions)
+        results = runner.run(units)
+    ok_rows = sum(1 for row in results if _campaign_ok(row.action, row.payload))
+    metrics = {
+        "campaign.scenarios": float(len(units)),
+        "campaign.rows": float(len(results)),
+        "campaign.ok_rows": float(ok_rows),
+        "campaign.elapsed_s": sum(row.elapsed_s for row in results),
+        "watch.tick": float(tick),
+    }
+    return RunRecord(
+        label=args.label,
+        kind="watch",
+        scenario=args.campaign,
+        git=git_revision(),
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        metrics=metrics,
+        telemetry=reg.snapshot(),
+        meta={
+            "actions": list(actions),
+            "digest": campaign_digest(results),
+            "tick": tick,
+        },
+    )
+
+
+def cmd_watch(args) -> int:
+    import time as _time
+
+    from repro.telemetry.store import append_run
+
+    if bool(args.connect) == bool(args.campaign):
+        raise SystemExit(
+            "watch needs --connect HOST:PORT or --campaign FAMILY "
+            "(exactly one)"
+        )
+    if args.every <= 0:
+        raise SystemExit("--every must be a positive interval in seconds")
+    if args.count < 0:
+        raise SystemExit("--count must be >= 0 (0 = poll until interrupted)")
+
+    ticks = 0
+    try:
+        while True:
+            if args.connect:
+                record = _watch_tick_connect(args, ticks)
+            else:
+                record = _watch_tick_campaign(args, ticks)
+            append_run(args.store, record)
+            ticks += 1
+            log.info(
+                "watch tick %d recorded to %s under %r",
+                ticks, args.store, args.label,
+            )
+            if args.count and ticks >= args.count:
+                break
+            _time.sleep(args.every)
+    except KeyboardInterrupt:
+        log.info("watch interrupted after %d tick(s)", ticks)
+    print(
+        f"watch: {ticks} tick(s) under label {args.label!r} in {args.store} "
+        f"(roll up with 'report --label {args.label}')"
+    )
     return 0
 
 
@@ -1125,6 +1344,20 @@ def build_parser() -> argparse.ArgumentParser:
         "and versioned 'stats' responses",
     )
     p.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-request spans (server + shard workers) into "
+        "bounded ring buffers; export with 'trace-export'; implies "
+        "--telemetry",
+    )
+    p.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        help="write flight-recorder post-mortems (recent spans + registry "
+        "+ journal position) here on worker death or degradation "
+        "(falls back to the REPRO_FLIGHT_DIR environment variable)",
+    )
+    p.add_argument(
         "--faults",
         metavar="PLAN",
         help="deterministic fault plan, e.g. "
@@ -1241,7 +1474,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --connect: per-response read timeout in seconds "
         "(a stall counts as a retryable connection loss)",
     )
+    p.add_argument(
+        "--traced",
+        action="store_true",
+        help="attach a trace id to every request so server/worker spans "
+        "correlate per request (local replays install a tracer; "
+        "--connect needs the server started with --trace)",
+    )
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "trace-export",
+        help="export recent spans as Chrome trace-event JSON (Perfetto)",
+    )
+    p.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="drain spans from a live server's 'metrics' verb",
+    )
+    p.add_argument(
+        "--from",
+        dest="from_file",
+        metavar="FILE",
+        help="read a saved metrics JSON dump (replay --metrics-out) "
+        "instead of a live server",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        default="trace.json",
+        help="Chrome trace JSON destination (default trace.json)",
+    )
+    p.set_defaults(func=cmd_trace_export)
+
+    p = sub.add_parser(
+        "watch",
+        help="poll a live server (or re-run a scenario family) on an "
+        "interval, appending labelled run records to the store",
+    )
+    p.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="poll this server's 'stats' + 'metrics' verbs each tick",
+    )
+    p.add_argument(
+        "--campaign",
+        metavar="FAMILY",
+        help="scheduler mode: re-run this registered scenario family "
+        "each tick (telemetry captured per tick)",
+    )
+    p.add_argument(
+        "--grid",
+        action="append",
+        metavar="KEY=V1,V2|LO..HI",
+        help="with --campaign: family parameter axis (repeatable)",
+    )
+    p.add_argument(
+        "--actions",
+        default="analyze",
+        help="with --campaign: comma-separated actions (default analyze)",
+    )
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="with --campaign: worker processes per tick",
+    )
+    p.add_argument(
+        "--every",
+        type=float,
+        default=10.0,
+        help="seconds between ticks (default 10)",
+    )
+    p.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="stop after this many ticks (default 0 = until interrupted)",
+    )
+    p.add_argument(
+        "--label",
+        required=True,
+        help="store records under this label ('report --diff' gates "
+        "drift between two labels)",
+    )
+    p.add_argument(
+        "--store",
+        default="TELEMETRY_runs.jsonl",
+        help="telemetry run store to append to",
+    )
+    p.set_defaults(func=cmd_watch)
     return parser
 
 

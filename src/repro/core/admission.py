@@ -48,6 +48,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro import telemetry as _telemetry
 from repro.core.context import AnalysisContext, AnalysisOptions
+from repro.telemetry import tracing as _tracing
 from repro.core.holistic import holistic_analysis
 from repro.core.results import HolisticResult
 from repro.model.flow import Flow
@@ -153,19 +154,29 @@ class AdmissionController:
     def request(self, flow: Flow) -> AdmissionDecision:
         """Try to admit ``flow``; accepted flows become part of the state."""
         reg = _telemetry.REGISTRY
-        if reg is None:
+        tr = _tracing.TRACER
+        if reg is None and tr is None:
             return self._request(flow)
-        reg.add("admission.requests")
-        start = time.perf_counter()
-        decision = self._request(flow)
-        reg.observe("admission.request_s", time.perf_counter() - start)
-        if decision.accepted:
-            reg.add("admission.accepted")
-        else:
-            reg.add("admission.rejected")
-            if decision.analysis is None:
-                reg.add("admission.fast_rejects")
-        return decision
+        span = (
+            tr.span("admission.request")
+            if tr is not None
+            else _tracing.NULL_SPAN
+        )
+        with span:
+            if reg is None:
+                return self._request(flow)
+            reg.add("admission.requests")
+            start = time.perf_counter()
+            decision = self._request(flow)
+            reg.observe("admission.request_s", time.perf_counter() - start)
+            if decision.accepted:
+                reg.add("admission.accepted")
+            else:
+                reg.add("admission.rejected")
+                if decision.analysis is None:
+                    reg.add("admission.fast_rejects")
+            span.annotate("accepted", 1.0 if decision.accepted else 0.0)
+            return decision
 
     def _request(self, flow: Flow) -> AdmissionDecision:
         validate_route(self.network, flow.route)

@@ -57,6 +57,8 @@ from repro.service.replay import (
     ARRIVALS,
     ReplaySummary,
     ReplayTrace,
+    fetch_metrics_tcp,
+    fetch_stats_tcp,
     load_trace,
     replay_over_tcp,
     replay_serial,
@@ -108,6 +110,8 @@ __all__ = [
     "connect_with_backoff",
     "decode_line",
     "encode_line",
+    "fetch_metrics_tcp",
+    "fetch_stats_tcp",
     "is_retryable",
     "load_service_state",
     "load_trace",

@@ -36,6 +36,14 @@ surface:
   ``deadline_exceeded`` instead of being processed — stale work is
   shed, not served.
 
+Additive to v2 (no version bump — absent fields mean "untraced"):
+requests may carry ``"trace"``, a distributed-tracing context object
+``{"id": <trace id>, "span": <client span id>}`` (see
+:mod:`repro.telemetry.tracing`).  A tracing server adopts the client's
+trace id (minting one when absent), records its own spans under it,
+propagates the context into shard workers, and echoes the server-side
+``trace`` context in the response so clients can correlate.
+
 ``metrics`` returns the service's telemetry snapshots (merged across
 shard workers; see :mod:`repro.telemetry`) — empty when telemetry is
 disabled.  ``stats`` responses are versioned via ``stats_version``:
@@ -127,6 +135,9 @@ class Request:
     #: Per-request deadline in seconds from server arrival; queued
     #: requests past it are shed with ``deadline_exceeded``.
     deadline_s: float | None = None
+    #: Distributed-tracing context (``{"id": ..., "span": ...}``);
+    #: additive to v2 — ``None`` means the request is untraced.
+    trace: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.op not in OPS:
@@ -166,7 +177,28 @@ def request_to_dict(req: Request) -> dict[str, Any]:
         doc["idem"] = req.idem
     if req.deadline_s is not None:
         doc["deadline_s"] = req.deadline_s
+    if req.trace is not None:
+        doc["trace"] = dict(req.trace)
     return doc
+
+
+def _trace_from_doc(doc: Mapping[str, Any]) -> dict[str, Any] | None:
+    """Validate the optional ``trace`` field of a request document."""
+    raw = doc.get("trace")
+    if raw is None:
+        return None
+    if not isinstance(raw, Mapping):
+        raise ProtocolError(f"request: 'trace' must be an object, got {raw!r}")
+    trace_id = raw.get("id")
+    if not isinstance(trace_id, str) or not trace_id:
+        raise ProtocolError(
+            "request: 'trace' must carry a non-empty string 'id'"
+        )
+    ctx: dict[str, Any] = {"id": trace_id}
+    span = raw.get("span")
+    if span is not None:
+        ctx["span"] = str(span)
+    return ctx
 
 
 def request_from_dict(doc: Mapping[str, Any]) -> Request:
@@ -215,6 +247,7 @@ def request_from_dict(doc: Mapping[str, Any]) -> Request:
         path=str(path) if path is not None else None,
         idem=str(idem) if idem is not None else None,
         deadline_s=deadline_s,
+        trace=_trace_from_doc(doc),
     )
 
 

@@ -57,6 +57,7 @@ from repro.service.protocol import (
     request_to_dict,
 )
 from repro.service.retry import RetryPolicy, connect_with_backoff
+from repro.telemetry import tracing as _tracing
 
 ARRIVALS = ("poisson", "burst", "recorded")
 
@@ -281,10 +282,22 @@ def _batches(requests: Sequence[Request], batch: int):
 
 
 def replay_service(service, trace: ReplayTrace, *, batch: int = 16) -> ReplaySummary:
-    """Drive a :class:`ShardedAdmissionService` in micro-batches."""
+    """Drive a :class:`ShardedAdmissionService` in micro-batches.
+
+    When tracing is enabled in this process, every request is stamped
+    with a fresh trace id (``<trace name>#<index>``) so per-request
+    spans recorded by the service and its shard workers are
+    correlatable — the in-process analogue of a traced TCP replay.
+    """
+    requests: Sequence[Request] = trace.requests
+    if _tracing.TRACER is not None:
+        requests = [
+            dataclasses.replace(req, trace={"id": f"{trace.name}#{i}"})
+            for i, req in enumerate(trace.requests)
+        ]
     payloads: list[Mapping[str, Any]] = []
     start = time.perf_counter()
-    for chunk in _batches(trace.requests, batch):
+    for chunk in _batches(requests, batch):
         payloads.extend(service.process_batch(chunk))
     return _summarize(trace, payloads, time.perf_counter() - start)
 
@@ -335,8 +348,16 @@ async def replay_over_tcp(
     connect_timeout: float = 5.0,
     retry: RetryPolicy | None = None,
     request_timeout: float | None = None,
+    trace_requests: bool = False,
 ) -> ReplaySummary:
     """Drive a live server; pipelines ``window`` requests at a time.
+
+    With ``trace_requests`` every request carries a client-minted trace
+    context (``{"id": "<trace name>#<index>"}``); a tracing server
+    adopts those ids for its server/shard spans, so one request's wire
+    trip is followable end to end in the exported Chrome trace — and a
+    retried request's re-execution (possibly on a respawned worker
+    incarnation) shares the original trace id.
 
     With ``retry`` set, the driver is resilient: connection losses
     reconnect with backoff and re-send the unanswered suffix of the
@@ -361,6 +382,8 @@ async def replay_over_tcp(
         changes: dict[str, Any] = {"id": i}
         if policy is not None and req.op in ("admit", "release"):
             changes["idem"] = f"{trace.name}#{i}"
+        if trace_requests:
+            changes["trace"] = {"id": f"{trace.name}#{i}"}
         indexed.append((i, dataclasses.replace(req, **changes)))
 
     reader, writer = await connect_with_backoff(
@@ -465,10 +488,19 @@ def replay_tcp(host: str, port: int, trace: ReplayTrace, **kwargs) -> ReplaySumm
     return asyncio.run(replay_over_tcp(host, port, trace, **kwargs))
 
 
-async def _metrics_over_tcp(host: str, port: int) -> dict[str, Any]:
-    reader, writer = await asyncio.open_connection(host, port)
+async def _request_over_tcp(host: str, port: int, op: str) -> dict[str, Any]:
+    """One no-argument request (``metrics``/``stats``/``health``) to a
+    live server; returns the payload without the protocol envelope.
+
+    The read limit is raised well past asyncio's 64 KiB default: a
+    tracing server's ``metrics`` response carries the fleet's span ring
+    (``trace_spans``) on a single line.
+    """
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=16 * 1024 * 1024
+    )
     try:
-        writer.write(encode_line(request_to_dict(Request(op="metrics", id=0))))
+        writer.write(encode_line(request_to_dict(Request(op=op, id=0))))
         await writer.drain()
         line = await reader.readline()
         if not line:
@@ -476,9 +508,11 @@ async def _metrics_over_tcp(host: str, port: int) -> dict[str, Any]:
         doc = decode_line(line)
         if not doc.get("ok"):
             raise RuntimeError(
-                f"metrics request failed: {doc.get('error', 'unknown error')}"
+                f"{op} request failed: {doc.get('error', 'unknown error')}"
             )
-        return {k: v for k, v in doc.items() if k not in ("v", "id", "ok")}
+        return {
+            k: v for k, v in doc.items() if k not in ("v", "id", "ok", "trace")
+        }
     finally:
         writer.close()
         try:
@@ -487,6 +521,15 @@ async def _metrics_over_tcp(host: str, port: int) -> dict[str, Any]:
             pass
 
 
+async def _metrics_over_tcp(host: str, port: int) -> dict[str, Any]:
+    return await _request_over_tcp(host, port, "metrics")
+
+
 def fetch_metrics_tcp(host: str, port: int) -> dict[str, Any]:
     """Ask a live server for its telemetry via the ``metrics`` verb."""
     return asyncio.run(_metrics_over_tcp(host, port))
+
+
+def fetch_stats_tcp(host: str, port: int) -> dict[str, Any]:
+    """Ask a live server for its counters via the ``stats`` verb."""
+    return asyncio.run(_request_over_tcp(host, port, "stats"))

@@ -40,11 +40,14 @@ Overload and failure behaviour (protocol v2):
 from __future__ import annotations
 
 import asyncio
+import dataclasses
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro import telemetry as _telemetry
+from repro.telemetry import tracing as _tracing
 from repro.service.faults import FaultPlan
 from repro.service.protocol import (
     ERR_BAD_REQUEST,
@@ -78,6 +81,11 @@ class _Pending:
     cached: dict[str, Any] | None = field(default=None, repr=False)
     #: Batch index of an earlier in-batch item with the same idem key.
     dup_of: int | None = None
+    #: Server-side tracing context (``{"id", "span", "parent"?}``);
+    #: None when tracing is off.
+    trace: dict[str, Any] | None = None
+    #: Wall-clock arrival time (span start) when traced.
+    t0: float = 0.0
 
 
 class AdmissionServer:
@@ -198,6 +206,23 @@ class AdmissionServer:
                 except Exception as exc:  # defensive: never drop the line
                     item.error = f"malformed request: {exc}"
                     item.code = ERR_BAD_REQUEST
+                tr = _tracing.TRACER
+                if tr is not None and item.error is None:
+                    # Adopt the client's trace id (mint one when absent)
+                    # and rewrite the request so the sharded service sees
+                    # this server span as the parent of its shard spans.
+                    base = item.request.trace if item.request else None
+                    tid = (base or {}).get("id") or tr.mint_trace()
+                    item.trace = {
+                        "id": tid,
+                        "span": tr.mint_span(),
+                        "parent": (base or {}).get("span"),
+                    }
+                    item.t0 = time.time()
+                    item.request = dataclasses.replace(
+                        item.request,
+                        trace={"id": tid, "span": item.trace["span"]},
+                    )
                 if (
                     item.error is None
                     and self.max_queue > 0
@@ -407,6 +432,35 @@ class AdmissionServer:
                     continue
 
     def _build_response(
+        self,
+        item: _Pending,
+        idx: int,
+        docs: dict[int, dict[str, Any]],
+        payload_iter,
+        batch_error: str | None,
+    ) -> dict[str, Any]:
+        doc = self._response_doc(item, idx, docs, payload_iter, batch_error)
+        tr = _tracing.TRACER
+        if tr is not None and item.trace is not None:
+            op = item.request.op if item.request is not None else "error"
+            tags: dict[str, float] | None = None
+            if not doc.get("ok", False):
+                tags = {"error": 1.0}
+            tr.record(
+                name=f"server.{op}",
+                trace=item.trace["id"],
+                span=item.trace["span"],
+                parent=item.trace.get("parent"),
+                ts=item.t0,
+                dur=time.time() - item.t0,
+                tags=tags,
+            )
+            # Echo the server-side context (overwriting a stale one on
+            # idem-cached docs) so clients correlate responses to traces.
+            doc["trace"] = {"id": item.trace["id"], "span": item.trace["span"]}
+        return doc
+
+    def _response_doc(
         self,
         item: _Pending,
         idx: int,

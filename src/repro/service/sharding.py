@@ -73,6 +73,7 @@ from typing import Any, Mapping, Sequence
 
 from repro import telemetry as _telemetry
 from repro.core.admission import AdmissionController
+from repro.telemetry import tracing as _tracing
 from repro.core.context import AnalysisOptions
 from repro.model.flow import Flow
 from repro.model.network import Network
@@ -210,6 +211,21 @@ def _apply_op(
         return {"error": str(exc), "code": ERR_BAD_REQUEST}
 
 
+def _apply_traced(
+    ctrl: AdmissionController,
+    op: ShardOp,
+    shard_id: int,
+    ctx: Mapping[str, Any] | None,
+) -> dict[str, Any]:
+    """Like :func:`_apply_op`, under a ``shard.<kind>`` tracing span
+    when a trace context travelled with the op."""
+    tr = _tracing.TRACER
+    if tr is None or ctx is None:
+        return _apply_op(ctrl, op, shard_id)
+    with tr.span(f"shard.{op[0]}", trace=ctx):
+        return _apply_op(ctrl, op, shard_id)
+
+
 class _InlineShard:
     """In-process shard: the reference (serial) backend."""
 
@@ -227,10 +243,20 @@ class _InlineShard:
             network, options, fast_reject=fast_reject, warm_start=warm_start
         )
 
-    def send_batch(self, ops: Sequence[ShardOp]) -> None:
-        self._pending = [
-            _apply_op(self._ctrl, op, self.shard_id) for op in ops
-        ]
+    def send_batch(
+        self,
+        ops: Sequence[ShardOp],
+        traces: Sequence[Mapping[str, Any] | None] | None = None,
+    ) -> None:
+        if traces is None:
+            self._pending = [
+                _apply_op(self._ctrl, op, self.shard_id) for op in ops
+            ]
+        else:
+            self._pending = [
+                _apply_traced(self._ctrl, op, self.shard_id, ctx)
+                for op, ctx in zip(ops, traces)
+            ]
 
     def recv_batch(self) -> list[dict[str, Any]]:
         out, self._pending = self._pending, None
@@ -258,6 +284,11 @@ class _InlineShard:
         # here would double-count on merge).
         return None
 
+    def trace_snapshot(self) -> list[dict[str, Any]] | None:
+        # Same story for spans: inline shards record into the service
+        # process's own tracer ring.
+        return None
+
     def health(self) -> dict[str, Any]:
         return {
             "backend": "inline",
@@ -276,6 +307,7 @@ class _InlineShard:
 def _shard_worker(
     conn, network, options, fast_reject, warm_start, shard_id=0,
     telemetry_on=False, faults: Sequence[FaultSpec] = (),
+    tracing_on=False, incarnation=0,
 ) -> None:
     """Process body of one shard: a controller behind a message pipe.
 
@@ -283,12 +315,24 @@ def _shard_worker(
     by shard and incarnation), applied against a monotone op counter
     just before each op executes — so a ``kill`` interrupts a batch
     mid-way exactly like a real crash (abrupt pipe EOF, no reply).
+
+    With ``tracing_on``, ops whose batch carried a trace context are
+    executed under ``shard.<kind>`` spans recorded into this worker's
+    own ring buffer (labelled with its shard id and incarnation — the
+    Chrome-export track identity); the parent drains it with a
+    ``("trace",)`` message.
     """
     if telemetry_on:
         # Fork inherits the parent's registry *contents* too; start
         # from a clean one so the parent's pre-fork counts are not
         # re-merged when this worker's snapshot is collected.
         _telemetry.enable(_telemetry.Registry())
+    if tracing_on:
+        # Same reasoning for the span ring: a fresh, worker-labelled
+        # tracer so parent spans are never drained twice.
+        _tracing.enable_tracing(
+            _tracing.Tracer(proc=f"shard{shard_id}", incarnation=incarnation)
+        )
     ctrl = AdmissionController(
         network, options, fast_reject=fast_reject, warm_start=warm_start
     )
@@ -301,18 +345,32 @@ def _shard_worker(
             return
         kind = msg[0]
         if kind == "batch":
+            traces = msg[2] if len(msg) > 2 else None
             payloads = []
-            for op in msg[1]:
+            for i, op in enumerate(msg[1]):
                 if injected is not None:
                     injected.before_op(n_ops)
                 n_ops += 1
-                payloads.append(_apply_op(ctrl, op, shard_id))
-            conn.send(payloads)
+                ctx = traces[i] if traces is not None else None
+                payloads.append(_apply_traced(ctrl, op, shard_id, ctx))
+            if traces is not None:
+                # Traced replies piggyback the ring drain so the parent
+                # accumulates this incarnation's spans continuously —
+                # a later kill can only lose the current batch's spans,
+                # and every incarnation that served a batch gets a track
+                # in the export.
+                tr = _tracing.TRACER
+                conn.send((payloads, tr.drain() if tr is not None else []))
+            else:
+                conn.send(payloads)
         elif kind == "export":
             conn.send(ctrl.export_state())
         elif kind == "telemetry":
             reg = _telemetry.REGISTRY
             conn.send(reg.snapshot() if reg is not None else None)
+        elif kind == "trace":
+            tr = _tracing.TRACER
+            conn.send(tr.drain() if tr is not None else None)
         elif kind == "restore":
             ctrl = AdmissionController.restore(
                 network,
@@ -370,6 +428,7 @@ class _ProcessShard:
         fault_plan: FaultPlan | None = None,
         op_timeout: float | None = None,
         close_timeout: float = 5.0,
+        flight_dir: str | None = None,
     ):
         if max_restarts < 0:
             raise ValueError("max_restarts must be >= 0")
@@ -383,6 +442,8 @@ class _ProcessShard:
         self._fault_plan = fault_plan
         self._op_timeout = op_timeout
         self._close_timeout = close_timeout
+        #: Directory for post-mortem flight records (None disables).
+        self._flight_dir = flight_dir
         self._incarnation = 0
         self._restarts = 0
         self._recovery_s_total = 0.0
@@ -394,6 +455,12 @@ class _ProcessShard:
         self._journal: list[ShardOp] = []
         self._dead = False
         self._pending_ops: list[ShardOp] | None = None
+        self._pending_traces: list | None = None
+        #: Last successfully polled worker registry snapshot — folded
+        #: into ``_retired`` when that incarnation dies, so merged
+        #: telemetry never regresses below what a client already saw.
+        self._last_snapshot: dict[str, Any] | None = None
+        self._retired: _telemetry.Registry | None = None
         self._spawn()
 
     # -- lifecycle ------------------------------------------------------
@@ -410,6 +477,7 @@ class _ProcessShard:
             args=(
                 child, *self._worker_args, self.shard_id,
                 _telemetry.enabled(), faults,
+                _tracing.tracing_enabled(), self._incarnation,
             ),
             daemon=True,
         )
@@ -430,8 +498,50 @@ class _ProcessShard:
             self._proc.join(timeout=timeout)
 
     def _mark_dead(self) -> None:
+        self._flight("degraded")
+        self._retire_telemetry()
         self._dead = True
         self._teardown()
+
+    def _retire_telemetry(self) -> None:
+        """Fold the dead incarnation's last-polled snapshot into the
+        retired registry, preserving merged-snapshot monotonicity."""
+        if self._last_snapshot is None:
+            return
+        if self._retired is None:
+            self._retired = _telemetry.Registry()
+        self._retired.merge(self._last_snapshot)
+        self._last_snapshot = None
+
+    def _flight(self, reason: str) -> None:
+        """Write a post-mortem flight record (best effort, never raises)."""
+        if self._flight_dir is None:
+            return
+        reg = _telemetry.REGISTRY
+        tr = _tracing.TRACER
+        baseline_flows = (
+            len(self._baseline[0]) if self._baseline is not None else 0
+        )
+        try:
+            _tracing.write_flight_record(
+                self._flight_dir,
+                reason=reason,
+                shard=self.shard_id,
+                incarnation=self._incarnation,
+                restarts=self._restarts,
+                journal={
+                    "len": len(self._journal),
+                    "limit": self._journal_limit,
+                    "baseline_flows": baseline_flows,
+                },
+                spans=tr.snapshot() if tr is not None else None,
+                registry=reg.snapshot() if reg is not None else None,
+                shard_telemetry=self._last_snapshot,
+            )
+        except OSError:  # pragma: no cover - disk trouble must not kill ops
+            return
+        if reg is not None:
+            reg.add("service.flight_records")
 
     def _recv(self):
         """One pipe reply, bounded by ``op_timeout`` when configured."""
@@ -446,7 +556,9 @@ class _ProcessShard:
 
     # -- supervised recovery --------------------------------------------
     def _recover(
-        self, in_flight: Sequence[ShardOp]
+        self,
+        in_flight: Sequence[ShardOp],
+        traces: Sequence[Mapping[str, Any] | None] | None = None,
     ) -> list[dict[str, Any]] | None:
         """Respawn the worker, rebuild exact state, re-run ``in_flight``.
 
@@ -459,7 +571,15 @@ class _ProcessShard:
         exact, not lossy).  Re-running the interrupted batch on that
         state yields exactly the payloads an uninterrupted run would
         have produced.
+
+        ``traces`` are the in-flight ops' trace contexts: journal replay
+        runs *untraced* (it is state reconstruction, not request work),
+        but the interrupted batch re-runs with its original contexts, so
+        the respawned incarnation's spans join the retried requests'
+        traces — the track split in the Chrome export.
         """
+        self._flight("worker_death")
+        self._retire_telemetry()
         while self._restarts < self._max_restarts:
             self._restarts += 1
             start = time.perf_counter()
@@ -477,8 +597,20 @@ class _ProcessShard:
                     self._recv()
                 payloads: list[dict[str, Any]] = []
                 if in_flight:
-                    self._conn.send(("batch", list(in_flight)))
-                    payloads = self._recv()
+                    if traces is not None:
+                        self._conn.send(
+                            ("batch", list(in_flight), list(traces))
+                        )
+                        payloads, spans = self._recv()
+                        tr = _tracing.TRACER
+                        if tr is not None and spans:
+                            # The replacement's re-run spans: the retried
+                            # requests' trace ids on the new
+                            # incarnation's track.
+                            tr.extend(spans)
+                    else:
+                        self._conn.send(("batch", list(in_flight)))
+                        payloads = self._recv()
             except (BrokenPipeError, EOFError, OSError, TimeoutError):
                 # The replacement died during replay (e.g. a fault
                 # targeting this incarnation): burn another restart.
@@ -490,6 +622,20 @@ class _ProcessShard:
                 reg.add(f"service.shard.{self.shard_id}.restarts")
                 reg.observe(
                     f"service.shard.{self.shard_id}.recovery_s", elapsed
+                )
+            tr = _tracing.TRACER
+            if tr is not None:
+                # Parent-side recovery span, labelled with the *new*
+                # incarnation's track so the respawn is visible even
+                # before the worker records its first op span.
+                tr.record(
+                    name="shard.recovery",
+                    trace=tr.mint_trace(),
+                    ts=time.time() - elapsed,
+                    dur=elapsed,
+                    proc=f"shard{self.shard_id}",
+                    inc=self._incarnation,
+                    tags={"restarts": float(self._restarts)},
                 )
             return payloads
         self._mark_dead()
@@ -530,13 +676,21 @@ class _ProcessShard:
         self._journal = []
 
     # -- batch interface -------------------------------------------------
-    def send_batch(self, ops: Sequence[ShardOp]) -> None:
+    def send_batch(
+        self,
+        ops: Sequence[ShardOp],
+        traces: Sequence[Mapping[str, Any] | None] | None = None,
+    ) -> None:
         ops = list(ops)
         self._pending_ops = ops
+        self._pending_traces = list(traces) if traces is not None else None
         if self._dead:
             return
         try:
-            self._conn.send(("batch", ops))
+            if traces is not None:
+                self._conn.send(("batch", ops, self._pending_traces))
+            else:
+                self._conn.send(("batch", ops))
         except (BrokenPipeError, OSError):
             if self._supervise:
                 # recv_batch's failing read triggers the recovery (the
@@ -547,12 +701,23 @@ class _ProcessShard:
 
     def recv_batch(self) -> list[dict[str, Any]]:
         ops, self._pending_ops = self._pending_ops or [], None
+        traces, self._pending_traces = self._pending_traces, None
         if not self._dead:
             payloads: list[dict[str, Any]] | None
             try:
-                payloads = self._recv()
+                reply = self._recv()
+                # Traced batches reply ``(payloads, drained spans)``.
+                if traces is not None:
+                    payloads, spans = reply
+                    tr = _tracing.TRACER
+                    if tr is not None and spans:
+                        tr.extend(spans)
+                else:
+                    payloads = reply
             except (EOFError, OSError, TimeoutError):
-                payloads = self._recover(ops) if self._supervise else None
+                payloads = (
+                    self._recover(ops, traces) if self._supervise else None
+                )
                 if payloads is None:
                     self._mark_dead()
             if payloads is not None:
@@ -617,15 +782,47 @@ class _ProcessShard:
             raise RuntimeError(self.DEAD_ERROR) from None
 
     def telemetry_snapshot(self) -> dict[str, Any] | None:
-        """The worker's registry snapshot (None when dead/disabled).
+        """Merged retired + current-incarnation registry snapshot.
 
-        A restarted worker reports its current incarnation's counts
-        only; the parent-side restart/recovery series cover the rest.
+        Snapshots of incarnations that died are folded (at their last
+        polled value) into a retired registry, and every result merges
+        retired + current — so across worker kills and respawns the
+        counters a poller sees are **monotone**: they never regress
+        below a previously returned value, even though each respawned
+        worker starts its own registry from zero.  ``None`` only when
+        telemetry is disabled or nothing was ever collected.
         """
-        if self._dead:
+        current: dict[str, Any] | None = None
+        if not self._dead:
+            try:
+                self._conn.send(("telemetry",))
+                current = self._recv()
+            except (BrokenPipeError, EOFError, OSError, TimeoutError):
+                if self._supervise:
+                    self._recover([])
+                else:
+                    self._mark_dead()
+        if current is not None:
+            self._last_snapshot = current
+        if self._retired is None:
+            return current
+        merged = _telemetry.Registry()
+        merged.merge(self._retired.snapshot())
+        if current is not None:
+            merged.merge(current)
+        return merged.snapshot()
+
+    def trace_snapshot(self) -> list[dict[str, Any]] | None:
+        """Drain the worker's span ring (None when dead or untraced).
+
+        Spans buffered in an incarnation that crashes before a drain
+        die with it — the flight recorder is the capture path for
+        those.
+        """
+        if self._dead or _tracing.TRACER is None:
             return None
         try:
-            self._conn.send(("telemetry",))
+            self._conn.send(("trace",))
             return self._recv()
         except (BrokenPipeError, EOFError, OSError, TimeoutError):
             if self._supervise:
@@ -732,6 +929,12 @@ class ShardedAdmissionService:
         Optional deterministic :class:`~repro.service.faults.FaultPlan`;
         its worker faults are injected inside the shard workers (and
         therefore require ``workers=True``).
+    flight_dir:
+        Directory for post-mortem flight records: on every dead-worker
+        detection and on permanent shard degradation the supervisor
+        snapshots recent spans + registry state + op-journal position
+        into a JSON document there (None disables; see
+        :func:`repro.telemetry.tracing.write_flight_record`).
     """
 
     def __init__(
@@ -750,6 +953,7 @@ class ShardedAdmissionService:
         fault_plan: FaultPlan | None = None,
         op_timeout: float | None = None,
         close_timeout: float = 5.0,
+        flight_dir: str | None = None,
     ):
         self.network = network
         self.options = options or AnalysisOptions()
@@ -779,6 +983,7 @@ class ShardedAdmissionService:
                     fault_plan=fault_plan,
                     op_timeout=op_timeout,
                     close_timeout=close_timeout,
+                    flight_dir=flight_dir,
                 )
                 for sid in range(n_shards)
             ]
@@ -929,12 +1134,23 @@ class ShardedAdmissionService:
             for snap in [process, *shard_snaps]
             if snap is not None
         )
-        return {
+        out = {
             "enabled": reg is not None,
             "process": process,
             "shards": shard_snaps,
             "merged": merged,
         }
+        tr = _tracing.TRACER
+        out["tracing"] = tr is not None
+        if tr is not None:
+            # Drain worker span rings into the parent ring, then expose
+            # the fleet's recent spans — the trace-export data source.
+            for shard in self._shards:
+                spans = shard.trace_snapshot()
+                if spans:
+                    tr.extend(spans)
+            out["trace_spans"] = tr.snapshot()
+        return out
 
     # ------------------------------------------------------------------
     # Batch execution with per-shard coalescing
@@ -963,12 +1179,21 @@ class ShardedAdmissionService:
         # admitted earlier in the same run.
         planned = dict(self._flow_shards)
 
+        traced = _tracing.TRACER is not None
+
         def flush() -> None:
             if not run:
                 return
             order = sorted(run)
             for sid in order:
-                self._shards[sid].send_batch([op for _, op in run[sid]])
+                ops = [op for _, op in run[sid]]
+                if traced:
+                    self._shards[sid].send_batch(
+                        ops,
+                        traces=[requests[pos].trace for pos, _ in run[sid]],
+                    )
+                else:
+                    self._shards[sid].send_batch(ops)
             collected = []
             for sid in order:
                 payloads = self._shards[sid].recv_batch()
@@ -1014,7 +1239,9 @@ class ShardedAdmissionService:
                     planned[req.flow.name] = shards
                 else:
                     flush()
-                    results[pos] = self._admit_cross_shard(req.flow, shards)
+                    results[pos] = self._admit_cross_shard(
+                        req.flow, shards, trace=req.trace if traced else None
+                    )
                     planned = dict(self._flow_shards)
             elif req.op == "release":
                 shards = planned.pop(req.flow_name, None)
@@ -1031,7 +1258,9 @@ class ShardedAdmissionService:
                 else:
                     flush()
                     results[pos] = self._release_cross_shard(
-                        req.flow_name, shards
+                        req.flow_name,
+                        shards,
+                        trace=req.trace if traced else None,
                     )
             elif req.op == "query":
                 flush()
@@ -1093,13 +1322,17 @@ class ShardedAdmissionService:
             self._flow_shards.pop(op[1], None)
 
     def _admit_cross_shard(
-        self, flow: Flow, shards: tuple[int, ...]
+        self,
+        flow: Flow,
+        shards: tuple[int, ...],
+        trace: Mapping[str, Any] | None = None,
     ) -> dict[str, Any]:
         """Two-phase accept: tentative per-shard admits, then commit or
         roll back."""
+        traces = [trace] if trace is not None else None
         accepted: list[int] = []
         for sid in shards:
-            self._shards[sid].send_batch([("request", flow)])
+            self._shards[sid].send_batch([("request", flow)], traces=traces)
             payload = self._shards[sid].recv_batch()[0]
             if "error" in payload:
                 self._rollback(flow.name, accepted)
@@ -1142,10 +1375,14 @@ class ShardedAdmissionService:
             self._shards[sid].recv_batch()
 
     def _release_cross_shard(
-        self, flow_name: str, shards: tuple[int, ...]
+        self,
+        flow_name: str,
+        shards: tuple[int, ...],
+        trace: Mapping[str, Any] | None = None,
     ) -> dict[str, Any]:
+        traces = [trace] if trace is not None else None
         for sid in shards:
-            self._shards[sid].send_batch([("release", flow_name)])
+            self._shards[sid].send_batch([("release", flow_name)], traces=traces)
         failures = []
         for sid in shards:
             payload = self._shards[sid].recv_batch()[0]

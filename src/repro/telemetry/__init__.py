@@ -158,13 +158,21 @@ class _Span:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, exc_type, exc, tb) -> None:
         elapsed = time.perf_counter() - self._start
         stack = self._registry._span_stack
-        path = "/".join(stack)
-        stack.pop()
+        # The span must record its duration even when the body raised,
+        # and must not raise itself if the body unbalanced the stack
+        # (e.g. via Registry.clear()) — fall back to the bare name.
+        if stack and stack[-1] == self._name:
+            path = "/".join(stack)
+            stack.pop()
+        else:
+            path = self._name
         self._registry.observe(f"span.{path}", elapsed)
         self._registry.add(f"span.{path}.calls")
+        if exc_type is not None:
+            self._registry.add(f"span.{path}.errors")
 
 
 class _NullSpan:

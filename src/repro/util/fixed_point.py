@@ -65,6 +65,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro import telemetry as _telemetry
+from repro.telemetry import tracing as _tracing
 
 
 class FixedPointDiverged(RuntimeError):
@@ -367,6 +368,14 @@ def iterate_fixed_point(
                     reg.add(
                         "engine.fixed_point.anderson_jumps", anderson_jumps
                     )
+            tr = _tracing.TRACER
+            if tr is not None:
+                # Solver attribution: fold per-solve work onto whatever
+                # request span is open (admission.request in the shard
+                # worker), so a traced slow admit shows *why* — spiky
+                # iteration counts, not just elapsed time.
+                tr.annotate("fp.solves")
+                tr.annotate("fp.iterations", float(advanced))
             return FixedPointResult(value=nxt, iterations=advanced)
         at_jump = False
         new_x = nxt

@@ -1,0 +1,76 @@
+"""The bench runner's trajectory labels are append-once.
+
+``BENCH_scaling.json`` is the repo's perf history; a stray re-run with
+an old label must not silently rewrite it.  The runner refuses the
+duplicate and ``--force`` is the explicit override.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def run_bench():
+    spec = importlib.util.spec_from_file_location(
+        "run_bench", REPO_ROOT / "benchmarks" / "run_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def trajectory(tmp_path):
+    path = tmp_path / "BENCH_scaling.json"
+    path.write_text(json.dumps({
+        "v": 1,
+        "entries": [
+            {"label": "seed", "git": None, "benchmarks": {}},
+        ],
+    }))
+    return path
+
+
+def test_duplicate_label_refused_before_benchmarks_run(
+    run_bench, trajectory, monkeypatch
+):
+    def boom(*a, **k):  # the refusal must come before any slow run
+        raise AssertionError("benchmarks must not run for a dup label")
+
+    monkeypatch.setattr(run_bench, "run_benchmarks", boom)
+    with pytest.raises(SystemExit, match="already recorded.*--force"):
+        run_bench.main(["--label", "seed", "--output", str(trajectory)])
+    entries = json.loads(trajectory.read_text())["entries"]
+    assert [e["label"] for e in entries] == ["seed"]  # untouched
+
+
+def test_force_replaces_existing_entry(run_bench, trajectory, monkeypatch):
+    monkeypatch.setattr(run_bench, "run_benchmarks", lambda *a, **k: {
+        "bench_admission.py::test_admission_sequential[64]": {"mean": 1.0},
+    })
+    monkeypatch.setattr(
+        run_bench, "collect_telemetry", lambda *a, **k: {}
+    )
+    run_bench.main([
+        "--label", "seed", "--output", str(trajectory), "--force",
+        "--no-telemetry",
+    ])
+    entries = json.loads(trajectory.read_text())["entries"]
+    assert [e["label"] for e in entries] == ["seed"]  # replaced, not doubled
+    assert entries[0]["benchmarks"]
+
+
+def test_fresh_label_appends(run_bench, trajectory, monkeypatch):
+    monkeypatch.setattr(
+        run_bench, "run_benchmarks", lambda *a, **k: {}
+    )
+    run_bench.main([
+        "--label", "pr9", "--output", str(trajectory), "--no-telemetry",
+    ])
+    entries = json.loads(trajectory.read_text())["entries"]
+    assert [e["label"] for e in entries] == ["seed", "pr9"]

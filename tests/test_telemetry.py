@@ -239,6 +239,55 @@ class TestActivation:
         assert inner.counters["inner.only"] == 1.0
         telemetry.disable()
 
+    def test_capture_restores_previous_on_raise(self):
+        """A raising capture body must not leak the inner registry."""
+        telemetry.REGISTRY = None
+        outer = telemetry.enable()
+        with pytest.raises(RuntimeError, match="boom"):
+            with capture() as inner:
+                telemetry.add("inner.only")
+                raise RuntimeError("boom")
+        assert telemetry.REGISTRY is outer
+        assert inner.counters["inner.only"] == 1.0
+        telemetry.disable()
+
+    def test_capture_restores_none_on_raise(self):
+        """...including when the previous state was 'disabled'."""
+        telemetry.REGISTRY = None
+        with pytest.raises(ValueError):
+            with capture():
+                raise ValueError
+        assert telemetry.REGISTRY is None
+
+    def test_span_records_on_raise(self):
+        """A raising span body still records duration, calls, errors."""
+        reg = Registry()
+        with pytest.raises(RuntimeError, match="boom"):
+            with reg.span("work"):
+                raise RuntimeError("boom")
+        assert reg.counters["span.work.calls"] == 1.0
+        assert reg.counters["span.work.errors"] == 1.0
+        assert reg.histograms["span.work"].count == 1
+        # The stack unwound: a later span is a fresh root, not nested.
+        with reg.span("after"):
+            pass
+        assert reg.counters["span.after.calls"] == 1.0
+
+    def test_span_exit_survives_unbalanced_stack(self):
+        """__exit__ must not raise (or mis-pop) if the body disturbed
+        the span stack — e.g. a nested span leaked by a harness, or the
+        registry swept mid-span.  It falls back to the bare name."""
+        reg = Registry()
+        with reg.span("outer"):
+            # Simulate a corrupted stack: the top is no longer "outer".
+            reg._span_stack.append("stray")
+        assert reg.counters["span.outer.calls"] == 1.0
+        assert reg.histograms["span.outer"].count == 1
+        reg2 = Registry()
+        with reg2.span("work"):
+            reg2._span_stack.clear()  # e.g. a concurrent reset
+        assert reg2.counters["span.work.calls"] == 1.0
+
 
 # ----------------------------------------------------------------------
 # Cross-process merging through the shared mp policy
@@ -373,6 +422,29 @@ class TestReport:
         text = render_rollup(rollup)
         assert "telemetry rollup" in text
         assert "admission.accept_rate" in text
+
+    def test_rollup_surfaces_p99_beside_mean(self):
+        """Every ``*_s`` histogram rolls up with tail latency visible:
+        mean alone hides a bimodal hot path."""
+        rollup = aggregate(
+            "a", [RunRecord(label="a", telemetry=self._snapshot(8.0))]
+        )
+        assert "admission.request_s.mean" in rollup.metrics
+        assert "admission.request_s.p99" in rollup.metrics
+        text = render_rollup(rollup)
+        assert "admission.request_s.mean" in text
+        assert "admission.request_s.p99" in text
+
+    def test_diff_surfaces_p99_beside_mean(self):
+        base = aggregate(
+            "a", [RunRecord(label="a", telemetry=self._snapshot(8.0))]
+        )
+        cand = aggregate(
+            "b", [RunRecord(label="b", telemetry=self._snapshot(8.0))]
+        )
+        text = render_diff(diff(base, cand))
+        assert "admission.request_s.mean" in text
+        assert "admission.request_s.p99" in text
 
     def test_aggregate_empty_label_raises(self):
         with pytest.raises(ValueError, match="no runs"):

@@ -138,3 +138,42 @@ def test_service_recovery(benchmark):
     benchmark.extra_info["requests_per_s"] = round(summary.requests_per_s, 1)
     benchmark.extra_info["restarts"] = health["restarts"]
     benchmark.extra_info["recovery_s"] = round(health["recovery_s_total"], 4)
+
+
+def test_service_recovery_replicated(benchmark):
+    """The same double-kill run with a warm standby per shard.
+
+    Each dead primary is *promoted over* instead of cold-restarted: the
+    standby already holds the committed state, so failover replays only
+    the ship lag, never the whole journal.  ``failover_s`` vs the cold
+    case's ``recovery_s`` is the headline replication number in
+    ``BENCH_scaling.json``.
+    """
+    from repro.service import FaultPlan
+
+    plan = FaultPlan.parse("kill:shard=0,at=6;kill:shard=2,at=6")
+
+    def run():
+        service = ShardedAdmissionService(
+            SCENARIO.network,
+            n_shards=N_STARS,
+            options=SCENARIO.options,
+            shard_map=SHARD_MAP,
+            workers=True,
+            replicas=1,
+            fault_plan=plan,
+            journal_limit=32,
+        )
+        try:
+            summary = replay_service(service, TRACE, batch=16)
+            return summary, service.health()
+        finally:
+            service.close()
+
+    summary, health = benchmark(run)
+    assert summary.admit_decisions == SERIAL.admit_decisions
+    assert health["failovers"] == 2
+    assert health["cold_restores"] == 0
+    benchmark.extra_info["requests_per_s"] = round(summary.requests_per_s, 1)
+    benchmark.extra_info["failovers"] = health["failovers"]
+    benchmark.extra_info["failover_s"] = round(health["failover_s_total"], 4)

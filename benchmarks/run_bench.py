@@ -97,7 +97,9 @@ def run_benchmarks(extra_pytest_args: list[str]) -> dict[str, dict]:
             # Scale label (single-pod / datacenter-1e5 / ...) so
             # comparisons across the scaling axis group cleanly.
             results[name]["scale"] = extra["scale"]
-        for key in ("admitted_flows", "preload_s"):
+        # recovery_s / failover_s are the fault-tolerance headline pair:
+        # cold restore cost vs warm standby promotion cost.
+        for key in ("admitted_flows", "preload_s", "recovery_s", "failover_s"):
             if key in extra:
                 results[name][key] = extra[key]
     return results

@@ -675,6 +675,20 @@ def cmd_serve(args) -> int:
         raise SystemExit(
             "worker faults (kill/hang/slow_batch) need --workers"
         )
+    if args.replicas and not args.workers:
+        raise SystemExit("--replicas needs --workers (standbys are worker "
+                         "processes)")
+    if args.replicas and args.no_supervise:
+        raise SystemExit("--replicas needs supervision (drop --no-supervise)")
+    if (
+        fault_plan is not None
+        and fault_plan.replication_faults()
+        and not args.replicas
+    ):
+        raise SystemExit(
+            "replication faults (kill_standby/drop_journal/"
+            "kill:during=promotion) need --replicas 1"
+        )
     if (args.telemetry or args.trace) and _telemetry.REGISTRY is None:
         # Enable before the service spawns shard workers so they fork
         # with collection on and answer the ``metrics`` verb.
@@ -714,6 +728,10 @@ def cmd_serve(args) -> int:
         fault_plan=fault_plan,
         flight_dir=flight_dir,
     )
+    if args.replicas:
+        # Only pass when explicitly requested: a restore otherwise keeps
+        # the snapshot's own replication knob.
+        resilience["replicas"] = args.replicas
     if args.restore:
         # Tri-state: --workers forces processes, --no-workers forces
         # inline, neither keeps the snapshot's backend choice.
@@ -746,8 +764,10 @@ def cmd_serve(args) -> int:
             ok = sum(1 for p in payloads if p.get("accepted"))
             log.info("pre-admitted %d/%d base flow(s)", ok, len(payloads))
     log.info(
-        "admission service: %d shard(s), workers=%s, supervise=%s",
+        "admission service: %d shard(s), workers=%s, supervise=%s, "
+        "replicas=%d",
         service.n_shards, service.workers, service.supervise,
+        service.replicas,
     )
     if fault_plan is not None:
         log.info(
@@ -940,6 +960,58 @@ def _parse_connect(text: str) -> tuple[str, int]:
     if not host or not port.isdigit():
         raise SystemExit(f"--connect expects HOST:PORT, got {text!r}")
     return host, int(port)
+
+
+def _parse_shard_map(text: str) -> dict[str, int]:
+    """Parse a ``sw0=0,sw1=1`` switch → shard assignment string."""
+    out: dict[str, int] = {}
+    for pair in text.split(","):
+        pair = pair.strip()
+        if not pair:
+            continue
+        name, eq, sid = pair.partition("=")
+        name, sid = name.strip(), sid.strip()
+        if not eq or not name or not sid.lstrip("-").isdigit():
+            raise SystemExit(
+                f"--map expects SWITCH=SHARD[,SWITCH=SHARD...], got {pair!r}"
+            )
+        out[name] = int(sid)
+    if not out:
+        raise SystemExit("--map is empty")
+    return out
+
+
+def cmd_rebalance(args) -> int:
+    from repro.service.replay import fetch_health_tcp, rebalance_tcp
+
+    if not args.map and args.shards is None:
+        raise SystemExit("rebalance needs --map and/or --shards")
+    host, port = _parse_connect(args.connect)
+    shard_map = _parse_shard_map(args.map) if args.map else None
+    try:
+        out = rebalance_tcp(
+            host,
+            port,
+            shard_map,
+            n_shards=args.shards,
+            connect_timeout=args.timeout,
+        )
+    except (OSError, RuntimeError, ConnectionError) as exc:
+        raise SystemExit(f"rebalance: {exc}")
+    print(
+        f"rebalanced to {out['n_shards']} shard(s): "
+        f"{out['moved_flows']} flow(s) moved, "
+        f"{out['admitted']} admitted"
+    )
+    if args.verbose:
+        for switch, sid in sorted(out.get("switch_shards", {}).items()):
+            print(f"  {switch} -> shard {sid}")
+        health = fetch_health_tcp(host, port)
+        print(
+            f"health: {health['status']}, failovers={health['failovers']}, "
+            f"cold_restores={health['cold_restores']}"
+        )
+    return 0
 
 
 def cmd_trace_export(args) -> int:
@@ -1365,6 +1437,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(falls back to the REPRO_FAULTS environment variable)",
     )
     p.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        choices=(0, 1),
+        help="warm standby workers per shard (needs --workers): a dying "
+        "primary is promoted over from the journal-fed standby instead "
+        "of cold-restarted (default 0)",
+    )
+    p.add_argument(
         "--no-supervise",
         action="store_true",
         help="disable worker supervision: a dead shard worker degrades "
@@ -1391,6 +1472,36 @@ def build_parser() -> argparse.ArgumentParser:
         "dispatch queue reaches this depth (0 = unbounded)",
     )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "rebalance",
+        help="move a live server to a new shard layout without dropping "
+        "admitted flows",
+    )
+    p.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the live server to rebalance",
+    )
+    p.add_argument(
+        "--map",
+        metavar="SWITCH=SHARD,...",
+        help="explicit switch -> shard assignment, e.g. 'sw0=0,sw1=1'",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="target shard count (unpinned switches hash-assign)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="overall connect deadline in seconds (default 5)",
+    )
+    p.set_defaults(func=cmd_rebalance)
 
     p = sub.add_parser(
         "replay",

@@ -23,10 +23,16 @@ layer on top of :mod:`repro.core.admission`:
 * :mod:`repro.service.retry` — shared :class:`RetryPolicy` (timeouts,
   exponential backoff, deterministic jitter);
 * :mod:`repro.service.faults` — seeded deterministic
-  :class:`FaultPlan` (kill/hang/slow workers, drop connections) so
-  chaos runs replay identically everywhere;
+  :class:`FaultPlan` (kill/hang/slow workers, drop connections, kill
+  standbys / sever journal links / kill during promotion) so chaos
+  runs replay identically everywhere;
+* :mod:`repro.service.replication` — warm standby workers fed by the
+  primary's op journal (ship-on-commit): zero-loss promotion on
+  primary death, and the state-transfer recipe behind
+  ``ShardedAdmissionService.rebalance`` (live shard-layout changes);
 * :mod:`repro.service.state` — versioned snapshot/restore of a running
-  service (byte-identical decisions on a replayed request log).
+  service (byte-identical decisions on a replayed request log), with a
+  restore-time shard-layout override equivalent to live rebalancing.
 """
 
 from repro.service.faults import (
@@ -57,9 +63,11 @@ from repro.service.replay import (
     ARRIVALS,
     ReplaySummary,
     ReplayTrace,
+    fetch_health_tcp,
     fetch_metrics_tcp,
     fetch_stats_tcp,
     load_trace,
+    rebalance_tcp,
     replay_over_tcp,
     replay_serial,
     replay_service,
@@ -68,7 +76,8 @@ from repro.service.replay import (
     trace_from_family,
     trace_from_scenario,
 )
-from repro.service.retry import RetryPolicy, connect_with_backoff
+from repro.service.replication import StandbyReplica, reassign_shard_states
+from repro.service.retry import ConnectError, RetryPolicy, connect_with_backoff
 from repro.service.server import AdmissionServer, run_server
 from repro.service.sharding import (
     ServiceDecision,
@@ -96,6 +105,7 @@ __all__ = [
     "RETRYABLE_CODES",
     "STATE_VERSION",
     "AdmissionServer",
+    "ConnectError",
     "FaultError",
     "FaultPlan",
     "FaultSpec",
@@ -107,14 +117,18 @@ __all__ = [
     "ServiceDecision",
     "ShardRouter",
     "ShardedAdmissionService",
+    "StandbyReplica",
     "connect_with_backoff",
     "decode_line",
     "encode_line",
+    "fetch_health_tcp",
     "fetch_metrics_tcp",
     "fetch_stats_tcp",
     "is_retryable",
     "load_service_state",
     "load_trace",
+    "reassign_shard_states",
+    "rebalance_tcp",
     "replay_over_tcp",
     "replay_serial",
     "replay_service",

@@ -27,6 +27,23 @@ Server-side (applied by :class:`repro.service.server.AdmissionServer`):
   writing response number ``at`` (exercises client retry + server-side
   idempotency dedup: the dropped request *was* executed).
 
+Replication-side (require ``workers=True`` and ``replicas >= 1``;
+applied against the warm-standby machinery of
+:mod:`repro.service.replication`):
+
+* ``kill_standby`` — the standby worker of shard ``shard`` dies just
+  before applying its op ``at`` (the primary notices on the next ship
+  or at promotion time and spawns a replacement; ``incarnation``
+  selects the standby *generation*: 0 = the initial standby, 1 = the
+  first replacement, ...);
+* ``drop_journal`` — the journal-shipping link of shard ``shard`` is
+  silently severed before shipping committed op number ``at``, so the
+  standby's high-water mark falls behind and a promotion must replay
+  the gap from the primary's journal;
+* ``kill`` with ``during=promotion`` — the standby dies at the start
+  of promotion attempt number ``at`` (0 = the first), forcing the
+  supervisor down the cold baseline+journal recovery path.
+
 Worker faults carry an ``incarnation`` (default 0): a fault only fires
 in that incarnation of the shard worker, so a supervisor-respawned
 worker does not re-trip the same kill while replaying its journal.
@@ -52,7 +69,13 @@ WORKER_KINDS = ("kill", "hang", "slow_batch")
 #: Fault kinds applied by the TCP server.
 SERVER_KINDS = ("drop_conn",)
 
-KINDS = WORKER_KINDS + SERVER_KINDS
+#: Fault kinds applied against the replication path (warm standbys).
+REPLICA_KINDS = ("kill_standby", "drop_journal")
+
+KINDS = WORKER_KINDS + SERVER_KINDS + REPLICA_KINDS
+
+#: The only ``during=`` phase understood today.
+DURING_PROMOTION = "promotion"
 
 
 class FaultError(ValueError):
@@ -78,7 +101,13 @@ class FaultSpec:
         Sleep length for ``slow_batch``.
     incarnation:
         Worker incarnation the fault fires in (0 = the initial worker;
-        a supervisor respawn increments it).
+        a supervisor respawn increments it).  For ``kill_standby`` it
+        selects the standby *generation* instead (0 = the initial
+        standby, 1 = the first replacement, ...).
+    during:
+        Optional phase qualifier.  ``kill`` with ``during=promotion``
+        fires at the start of promotion attempt ``at`` instead of at a
+        worker op index.
     """
 
     kind: str
@@ -86,6 +115,7 @@ class FaultSpec:
     shard: int | None = None
     delay_s: float = 0.0
     incarnation: int = 0
+    during: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -94,10 +124,22 @@ class FaultSpec:
             )
         if self.at < 0:
             raise FaultError(f"fault 'at' must be >= 0, got {self.at}")
-        if self.kind in WORKER_KINDS and self.shard is None:
+        if (
+            self.kind in WORKER_KINDS or self.kind in REPLICA_KINDS
+        ) and self.shard is None:
             raise FaultError(f"{self.kind} fault needs shard=<id>")
         if self.kind == "slow_batch" and self.delay_s <= 0:
             raise FaultError("slow_batch fault needs delay=<seconds> > 0")
+        if self.during is not None:
+            if self.kind != "kill":
+                raise FaultError(
+                    f"'during' only qualifies kill faults, not {self.kind!r}"
+                )
+            if self.during != DURING_PROMOTION:
+                raise FaultError(
+                    f"unknown 'during' phase {self.during!r}; expected "
+                    f"{DURING_PROMOTION!r}"
+                )
 
     def to_dict(self) -> dict[str, Any]:
         doc: dict[str, Any] = {"kind": self.kind, "at": self.at}
@@ -107,6 +149,8 @@ class FaultSpec:
             doc["delay_s"] = self.delay_s
         if self.incarnation:
             doc["incarnation"] = self.incarnation
+        if self.during is not None:
+            doc["during"] = self.during
         return doc
 
 
@@ -124,17 +168,62 @@ class FaultPlan:
     def worker_faults(
         self, shard: int | None = None, incarnation: int | None = None
     ) -> tuple[FaultSpec, ...]:
-        """Worker-side faults, optionally filtered to one shard/incarnation."""
+        """Worker-side faults, optionally filtered to one shard/incarnation.
+
+        ``kill:during=promotion`` faults are *not* worker faults — they
+        are applied by the supervisor at promotion time, never inside a
+        worker's op loop.
+        """
         return tuple(
             f
             for f in self.faults
             if f.kind in WORKER_KINDS
+            and f.during is None
             and (shard is None or f.shard == shard)
             and (incarnation is None or f.incarnation == incarnation)
         )
 
     def server_faults(self) -> tuple[FaultSpec, ...]:
         return tuple(f for f in self.faults if f.kind in SERVER_KINDS)
+
+    def standby_faults(
+        self, shard: int | None = None, generation: int | None = None
+    ) -> tuple[FaultSpec, ...]:
+        """``kill_standby`` faults for one shard's standby generation."""
+        return tuple(
+            f
+            for f in self.faults
+            if f.kind == "kill_standby"
+            and (shard is None or f.shard == shard)
+            and (generation is None or f.incarnation == generation)
+        )
+
+    def drop_journal_at(self, shard: int) -> int | None:
+        """Earliest committed-op seq at which shard's ship link drops."""
+        ats = [
+            f.at
+            for f in self.faults
+            if f.kind == "drop_journal" and f.shard == shard
+        ]
+        return min(ats) if ats else None
+
+    def promotion_faults(self, shard: int) -> tuple[FaultSpec, ...]:
+        """``kill:during=promotion`` faults targeting ``shard``."""
+        return tuple(
+            f
+            for f in self.faults
+            if f.kind == "kill"
+            and f.during == DURING_PROMOTION
+            and f.shard == shard
+        )
+
+    def replication_faults(self) -> tuple[FaultSpec, ...]:
+        """Every fault that targets the replication path."""
+        return tuple(
+            f
+            for f in self.faults
+            if f.kind in REPLICA_KINDS or f.during == DURING_PROMOTION
+        )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
@@ -152,6 +241,7 @@ class FaultPlan:
                 shard=None if f.get("shard") is None else int(f["shard"]),
                 delay_s=float(f.get("delay_s", 0.0)),
                 incarnation=int(f.get("incarnation", 0)),
+                during=None if f.get("during") is None else str(f["during"]),
             )
             for f in doc.get("faults", [])
         )
@@ -163,8 +253,8 @@ class FaultPlan:
         """Parse a compact spec string; ``None``/blank parses to None.
 
         Grammar: ``;``-separated entries, each ``kind:key=value,...``
-        (keys: ``shard``, ``at``, ``delay``, ``incarnation``) or the
-        plan-level ``seed=N``.
+        (keys: ``shard``, ``at``, ``delay``, ``incarnation``,
+        ``during``) or the plan-level ``seed=N``.
         """
         if not text or not text.strip():
             return None
@@ -202,6 +292,8 @@ class FaultPlan:
                             ) from None
                     elif key == "incarnation":
                         kwargs["incarnation"] = _parse_int(value, "incarnation")
+                    elif key == "during":
+                        kwargs["during"] = value
                     else:
                         raise FaultError(
                             f"fault entry {entry!r}: unknown key {key!r}"

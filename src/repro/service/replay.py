@@ -533,3 +533,64 @@ def fetch_metrics_tcp(host: str, port: int) -> dict[str, Any]:
 def fetch_stats_tcp(host: str, port: int) -> dict[str, Any]:
     """Ask a live server for its counters via the ``stats`` verb."""
     return asyncio.run(_request_over_tcp(host, port, "stats"))
+
+
+def fetch_health_tcp(host: str, port: int) -> dict[str, Any]:
+    """Ask a live server for its liveness via the ``health`` verb."""
+    return asyncio.run(_request_over_tcp(host, port, "health"))
+
+
+async def _rebalance_over_tcp(
+    host: str,
+    port: int,
+    shard_map: Mapping[str, int] | None,
+    n_shards: int | None,
+    connect_timeout: float,
+) -> dict[str, Any]:
+    reader, writer = await connect_with_backoff(
+        host, port, timeout=connect_timeout
+    )
+    try:
+        req = Request(
+            op="rebalance", id=0, shard_map=shard_map, n_shards=n_shards
+        )
+        writer.write(encode_line(request_to_dict(req)))
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        doc = decode_line(line)
+        if not doc.get("ok"):
+            raise RuntimeError(
+                f"rebalance failed: {doc.get('error', 'unknown error')}"
+            )
+        return {
+            k: v for k, v in doc.items() if k not in ("v", "id", "ok", "trace")
+        }
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown
+            pass
+
+
+def rebalance_tcp(
+    host: str,
+    port: int,
+    shard_map: Mapping[str, int] | None = None,
+    *,
+    n_shards: int | None = None,
+    connect_timeout: float = 5.0,
+) -> dict[str, Any]:
+    """Ask a live server to move to a new shard layout (the ``rebalance``
+    verb, protocol v3) and return its move summary.
+
+    Connects with the shared backoff policy (``connect_timeout`` is the
+    overall deadline); the server performs the cutover atomically
+    between batches, so concurrent replaying clients only ever observe
+    the old layout or the new one.
+    """
+    return asyncio.run(
+        _rebalance_over_tcp(host, port, shard_map, n_shards, connect_timeout)
+    )

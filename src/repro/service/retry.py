@@ -19,7 +19,30 @@ import hashlib
 import time
 from dataclasses import dataclass
 
-__all__ = ["RetryPolicy", "connect_with_backoff"]
+__all__ = ["ConnectError", "RetryPolicy", "connect_with_backoff"]
+
+
+class ConnectError(OSError):
+    """A connect loop gave up — carries how hard it tried.
+
+    ``attempts`` is the number of connection attempts made,
+    ``elapsed_s`` the total wall-clock time spent, ``last_error`` the
+    final underlying failure.  Subclasses :class:`OSError`, so callers
+    catching the historical bare ``OSError`` keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        attempts: int = 0,
+        elapsed_s: float = 0.0,
+        last_error: BaseException | None = None,
+    ):
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
+        self.last_error = last_error
 
 
 @dataclass(frozen=True)
@@ -72,6 +95,7 @@ async def connect_with_backoff(
     *,
     timeout: float = 5.0,
     policy: RetryPolicy | None = None,
+    max_attempts: int | None = None,
 ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
     """Open a TCP connection, retrying with backoff until ``timeout``.
 
@@ -80,19 +104,41 @@ async def connect_with_backoff(
     later attempts back off (a server that is restarting), and the
     deterministic jitter keeps many replaying clients from stampeding
     a recovering server in lockstep.
+
+    ``timeout`` is an **overall deadline**: each attempt's own connect
+    wait is clipped to the time remaining (a blackholed SYN cannot
+    stretch the loop past it), and ``max_attempts`` optionally bounds
+    the attempt count too.  Giving up raises :class:`ConnectError`
+    carrying ``attempts`` / ``elapsed_s`` / ``last_error``, so callers
+    (and their logs) see exactly how hard the loop tried.
     """
     policy = policy or RetryPolicy()
-    deadline = time.monotonic() + timeout
-    attempt = 0
+    start = time.monotonic()
+    deadline = start + timeout
+    attempts = 0
     while True:
+        remaining = deadline - time.monotonic()
+        attempts += 1
         try:
-            return await asyncio.open_connection(host, port)
-        except OSError:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise
-            delay = min(
-                policy.delay(attempt, key=f"connect:{host}:{port}"), remaining
+            return await asyncio.wait_for(
+                asyncio.open_connection(host, port), max(remaining, 1e-3)
             )
-            await asyncio.sleep(delay)
-            attempt += 1
+        except (OSError, asyncio.TimeoutError) as exc:
+            last_error = exc
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or (
+            max_attempts is not None and attempts >= max_attempts
+        ):
+            elapsed = time.monotonic() - start
+            raise ConnectError(
+                f"connect to {host}:{port} failed after {attempts} "
+                f"attempt(s) in {elapsed:.3f}s: {last_error}",
+                attempts=attempts,
+                elapsed_s=elapsed,
+                last_error=last_error,
+            ) from last_error
+        delay = min(
+            policy.delay(attempts - 1, key=f"connect:{host}:{port}"),
+            remaining,
+        )
+        await asyncio.sleep(delay)

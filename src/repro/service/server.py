@@ -66,10 +66,11 @@ from repro.service.sharding import ShardedAdmissionService
 
 @dataclass
 class _Pending:
-    """One queued unit: a request, a parse error, or a connection EOF."""
+    """One queued unit: a request, a parse error, a connection EOF, or
+    a shutdown drain marker."""
 
-    kind: str  # "req" | "eof"
-    writer: asyncio.StreamWriter
+    kind: str  # "req" | "eof" | "drain"
+    writer: asyncio.StreamWriter | None
     request: Request | None = None
     request_id: Any = None
     error: str | None = None
@@ -86,6 +87,9 @@ class _Pending:
     trace: dict[str, Any] | None = None
     #: Wall-clock arrival time (span start) when traced.
     t0: float = 0.0
+    #: Set by the dispatcher once every item queued before this drain
+    #: marker has been answered (graceful-shutdown barrier).
+    done: "asyncio.Event | None" = None
 
 
 class AdmissionServer:
@@ -139,6 +143,9 @@ class AdmissionServer:
         self._queue: asyncio.Queue = asyncio.Queue()
         self._server: asyncio.AbstractServer | None = None
         self._dispatcher: asyncio.Task | None = None
+        #: Writers of currently-connected clients (shutdown hangs up on
+        #: whoever is left once the queue has drained).
+        self._writers: set[asyncio.StreamWriter] = set()
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -167,11 +174,36 @@ class AdmissionServer:
             self._server.close()
             await self._server.wait_closed()
 
+    async def shutdown(self) -> None:
+        """Graceful stop: refuse new connections, answer every request
+        already queued (the in-flight batches drain through the service
+        normally), then stop the dispatcher.  The FIFO queue makes the
+        barrier exact: a drain marker enqueued after close trails every
+        request the server ever accepted.  Clients that stay connected
+        are hung up on *after* the drain — ``wait_closed`` would block
+        on their live transports forever, so shutdown closes them
+        itself once they have been answered."""
+        if self._server is not None:
+            # close() alone: stop accepting, but do not wait for the
+            # still-connected clients wait_closed() would wait for.
+            self._server.close()
+        if self._dispatcher is not None and not self._dispatcher.done():
+            drained = asyncio.Event()
+            await self._queue.put(_Pending("drain", None, done=drained))
+            await drained.wait()
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        await self.stop()
+
     # ------------------------------------------------------------------
     async def _on_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         loop = asyncio.get_running_loop()
+        self._writers.add(writer)
         try:
             while True:
                 try:
@@ -245,6 +277,7 @@ class AdmissionServer:
             # get every response it is owed.  The queue is FIFO and this
             # marker trails all of the connection's requests, so the
             # dispatcher closes the writer only after answering them.
+            self._writers.discard(writer)
             await self._queue.put(_Pending("eof", writer))
 
     def _gate_snapshot_path(self, item: _Pending) -> None:
@@ -384,8 +417,13 @@ class AdmissionServer:
             docs: dict[int, dict[str, Any]] = {}
             writers = []
             closing = []
+            drains: list[asyncio.Event] = []
             dropped: set[int] = set()  # id()s of writers killed this batch
             for idx, item in enumerate(batch):
+                if item.kind == "drain":
+                    if item.done is not None:
+                        drains.append(item.done)
+                    continue
                 if item.kind == "eof":
                     closing.append(item.writer)
                     continue
@@ -430,6 +468,10 @@ class AdmissionServer:
                     await writer.wait_closed()
                 except (ConnectionError, OSError):  # pragma: no cover
                     continue
+            # Only now — every response in (and before) this batch is
+            # written — release graceful-shutdown waiters.
+            for event in drains:
+                event.set()
 
     def _build_response(
         self,
@@ -521,9 +563,16 @@ def run_server(
 
     Prints one ``listening on HOST:PORT`` line once bound — scripts
     (and the CI smoke jobs) key on it — and serves until interrupted.
+    SIGTERM / SIGINT (Ctrl-C) trigger a **graceful** shutdown: the
+    listener closes, every already-queued request is answered, the
+    shards drain their journal-ship links and write clean-shutdown
+    flight records for every live incarnation, and only then do the
+    worker processes come down.
     """
 
     async def _amain() -> None:
+        import signal
+
         server = AdmissionServer(
             service,
             host=host,
@@ -536,16 +585,37 @@ def run_server(
         )
         await server.start()
         print(f"listening on {server.host}:{server.port}", flush=True)
+        loop = asyncio.get_running_loop()
+        interrupted = asyncio.Event()
+        hooked: list[int] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, interrupted.set)
+                hooked.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # platform without loop signal support: KI path below
+        serving = asyncio.ensure_future(server.serve_forever())
+        stopper = asyncio.ensure_future(interrupted.wait())
         try:
-            await server.serve_forever()
-        except asyncio.CancelledError:  # pragma: no cover - shutdown
-            pass
+            await asyncio.wait(
+                {serving, stopper}, return_when=asyncio.FIRST_COMPLETED
+            )
         finally:
-            await server.stop()
+            for task in (serving, stopper):
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            await server.shutdown()
+            for sig in hooked:
+                loop.remove_signal_handler(sig)
 
     try:
         asyncio.run(_amain())
-    except KeyboardInterrupt:  # pragma: no cover - operator Ctrl-C
+    except KeyboardInterrupt:  # pragma: no cover - no signal handler
         pass
     finally:
-        service.close()
+        # Graceful service teardown: shards finish queued ops, standbys
+        # drain, every live incarnation leaves a final flight record.
+        service.shutdown()

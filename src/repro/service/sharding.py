@@ -62,11 +62,27 @@ compacted into a fresh baseline whenever it outgrows
 path.  Deterministic faults (:mod:`repro.service.faults`) are applied
 inside the worker, keyed to its op counter and incarnation, so crash
 scenarios replay identically on every run.
+
+Replication: with ``replicas=1`` (worker-backed, supervised) each
+shard additionally owns a :class:`~repro.service.replication.
+StandbyReplica` — a warm standby worker fed every committed op as it
+is journaled (ship-on-commit with batched acks and a high-water mark).
+A dying primary is then *promoted over* instead of cold-restarted: the
+standby replays only the ops past its high-water mark, re-runs the
+interrupted batch, and becomes the new primary while a replacement
+standby catches up from the current recipe in the background.  Cold
+recovery remains the fallback whenever the standby is unusable (dead,
+wedged, or compaction outran a severed ship link).  Failovers never
+burn the ``max_restarts`` budget — only cold restores do.  The same
+snapshot + catch-up machinery backs
+:meth:`ShardedAdmissionService.rebalance`: live re-sharding that cuts
+over atomically between batches.
 """
 
 from __future__ import annotations
 
 import hashlib
+import signal
 import time
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
@@ -83,6 +99,7 @@ from repro.service.protocol import (
     ERR_UNAVAILABLE,
     Request,
 )
+from repro.service.replication import StandbyReplica, reassign_shard_states
 from repro.util.mp import mp_context
 
 
@@ -298,6 +315,12 @@ class _InlineShard:
             "restarts": 0,
             "journal_len": 0,
             "recovery_s_total": 0.0,
+            "replicas": 0,
+            "standby_alive": False,
+            "replication_lag_ops": 0,
+            "failovers": 0,
+            "failover_s_total": 0.0,
+            "cold_restores": 0,
         }
 
     def close(self) -> None:
@@ -322,6 +345,19 @@ def _shard_worker(
     Chrome-export track identity); the parent drains it with a
     ``("trace",)`` message.
     """
+    # Workers forked while the asyncio front end is live inherit its
+    # signal wakeup fd and Python-level handlers.  Left in place, a
+    # SIGTERM aimed at *this child* (standby teardown, rebalance close)
+    # would write into the shared wakeup socketpair and the parent's
+    # loop would read it as its own shutdown request.  Detach before
+    # serving; SIGINT is ignored so a terminal Ctrl-C reaches only the
+    # front end, which drains in-flight batches and closes us cleanly.
+    try:
+        signal.set_wakeup_fd(-1)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
     if telemetry_on:
         # Fork inherits the parent's registry *contents* too; start
         # from a clean one so the parent's pre-fork counts are not
@@ -429,11 +465,16 @@ class _ProcessShard:
         op_timeout: float | None = None,
         close_timeout: float = 5.0,
         flight_dir: str | None = None,
+        replicas: int = 0,
     ):
         if max_restarts < 0:
             raise ValueError("max_restarts must be >= 0")
         if journal_limit < 1:
             raise ValueError("journal_limit must be >= 1")
+        if replicas not in (0, 1):
+            raise ValueError("replicas must be 0 or 1 (one warm standby)")
+        if replicas and not supervise:
+            raise ValueError("replicas require supervise=True")
         self.shard_id = shard_id
         self._worker_args = (network, options, fast_reject, warm_start)
         self._supervise = bool(supervise)
@@ -445,6 +486,10 @@ class _ProcessShard:
         #: Directory for post-mortem flight records (None disables).
         self._flight_dir = flight_dir
         self._incarnation = 0
+        #: Monotone incarnation allocator: every spawned worker —
+        #: primary respawn or standby — takes the next number, so
+        #: telemetry/trace track identities never collide.
+        self._incarnations = 0
         self._restarts = 0
         self._recovery_s_total = 0.0
         #: Recovery recipe: state snapshot to restore first (None = a
@@ -453,6 +498,17 @@ class _ProcessShard:
         #: ... then this journal of committed state-changing ops
         #: (accepted admits, successful releases), replayed in order.
         self._journal: list[ShardOp] = []
+        #: Absolute committed-op sequence accounting: ``_seq`` counts
+        #: every op ever committed, the journal covers
+        #: ``[_journal_base, _seq)`` (the baseline covers the rest).
+        self._seq = 0
+        self._journal_base = 0
+        self._replicas = int(replicas)
+        self._standby: StandbyReplica | None = None
+        self._standby_generation = 0
+        self._failovers = 0
+        self._failover_s_total = 0.0
+        self._promotion_attempts = 0
         self._dead = False
         self._pending_ops: list[ShardOp] | None = None
         self._pending_traces: list | None = None
@@ -462,6 +518,8 @@ class _ProcessShard:
         self._last_snapshot: dict[str, Any] | None = None
         self._retired: _telemetry.Registry | None = None
         self._spawn()
+        if self._replicas:
+            self._spawn_standby()
 
     # -- lifecycle ------------------------------------------------------
     def _spawn(self) -> None:
@@ -484,6 +542,56 @@ class _ProcessShard:
         self._proc.start()
         child.close()
 
+    def _next_incarnation(self) -> int:
+        self._incarnations += 1
+        return self._incarnations
+
+    def _spawn_standby(self) -> None:
+        """Spawn a warm standby and start its background catch-up from
+        the current recovery recipe (non-blocking: the restore/replay
+        acks drain lazily while the primary keeps serving)."""
+        if not self._replicas or self._dead:
+            return
+        generation = self._standby_generation
+        self._standby_generation += 1
+        standby = StandbyReplica(
+            self._worker_args,
+            shard_id=self.shard_id,
+            incarnation=self._next_incarnation(),
+            generation=generation,
+            fault_plan=self._fault_plan,
+            op_timeout=self._op_timeout,
+        )
+        standby.catch_up(self._baseline, self._journal, self._journal_base)
+        self._standby = standby
+
+    def _drop_standby(self) -> None:
+        if self._standby is not None:
+            self._standby.destroy()
+            self._standby = None
+
+    def _repair_standby(self) -> None:
+        """Replace a dead standby (e.g. a ``kill_standby`` fault) so
+        the shard regains its warm failover target."""
+        if not self._replicas or self._dead:
+            return
+        standby = self._standby
+        if standby is not None and standby.alive:
+            return
+        self._drop_standby()
+        self._spawn_standby()
+
+    def _replication_gauge(self) -> None:
+        standby = self._standby
+        if standby is None:
+            return
+        reg = _telemetry.REGISTRY
+        if reg is not None:
+            reg.set_gauge(
+                f"service.shard.{self.shard_id}.replication.lag_ops",
+                float(self._seq - standby.applied),
+            )
+
     def _teardown(self, timeout: float = 1.0) -> None:
         """Force the current worker down: close pipe, terminate, kill."""
         try:
@@ -501,6 +609,7 @@ class _ProcessShard:
         self._flight("degraded")
         self._retire_telemetry()
         self._dead = True
+        self._drop_standby()
         self._teardown()
 
     def _retire_telemetry(self) -> None:
@@ -513,7 +622,7 @@ class _ProcessShard:
         self._retired.merge(self._last_snapshot)
         self._last_snapshot = None
 
-    def _flight(self, reason: str) -> None:
+    def _flight(self, reason: str, incarnation: int | None = None) -> None:
         """Write a post-mortem flight record (best effort, never raises)."""
         if self._flight_dir is None:
             return
@@ -527,7 +636,9 @@ class _ProcessShard:
                 self._flight_dir,
                 reason=reason,
                 shard=self.shard_id,
-                incarnation=self._incarnation,
+                incarnation=(
+                    self._incarnation if incarnation is None else incarnation
+                ),
                 restarts=self._restarts,
                 journal={
                     "len": len(self._journal),
@@ -577,14 +688,22 @@ class _ProcessShard:
         but the interrupted batch re-runs with its original contexts, so
         the respawned incarnation's spans join the retried requests'
         traces — the track split in the Chrome export.
+
+        With a live standby, **promotion** is tried first (see
+        :meth:`_promote`) — warm failover that replays only the ops
+        past the standby's high-water mark and never burns a restart.
+        The cold loop below is the fallback.
         """
         self._flight("worker_death")
         self._retire_telemetry()
+        payloads = self._promote(in_flight, traces)
+        if payloads is not None:
+            return payloads
         while self._restarts < self._max_restarts:
             self._restarts += 1
             start = time.perf_counter()
             self._teardown()
-            self._incarnation += 1
+            self._incarnation = self._next_incarnation()
             self._spawn()
             try:
                 if self._baseline is not None:
@@ -637,23 +756,137 @@ class _ProcessShard:
                     inc=self._incarnation,
                     tags={"restarts": float(self._restarts)},
                 )
+            # A cold restore invalidates whatever standby was left (it
+            # may hold state the failed promotion partially advanced);
+            # rebuild it from the recipe the new primary just replayed.
+            if self._replicas:
+                self._drop_standby()
+                self._spawn_standby()
             return payloads
         self._mark_dead()
         return None
 
+    def _promote(
+        self,
+        in_flight: Sequence[ShardOp],
+        traces: Sequence[Mapping[str, Any] | None] | None = None,
+    ) -> list[dict[str, Any]] | None:
+        """Warm failover: make the standby the new primary.
+
+        Barrier-syncs the ship link (drains every outstanding ack, so
+        the high-water mark is exact), replays only the journal ops past
+        it, re-runs the interrupted batch, and adopts the standby's
+        pipe/process.  Returns the in-flight payloads, or None when the
+        standby is unusable — dead (``kill_standby``), killed by an
+        injected ``kill:during=promotion``, wedged past the op timeout,
+        or stranded behind a compaction — in which case the cold
+        recovery loop takes over.  The promoted state is rebuilt from
+        exactly the recipe cold recovery uses (baseline + committed-op
+        journal), so promoted decisions are byte-identical to it.
+        """
+        standby = self._standby
+        if standby is None:
+            return None
+        self._standby = None
+        start = time.perf_counter()
+        if self._fault_plan is not None:
+            attempt = self._promotion_attempts
+            self._promotion_attempts += 1
+            if any(
+                f.at == attempt
+                for f in self._fault_plan.promotion_faults(self.shard_id)
+            ):
+                # Injected standby death mid-promotion: fall back cold.
+                standby.destroy()
+                return None
+        else:
+            self._promotion_attempts += 1
+        sync_timeout = (
+            self._op_timeout if self._op_timeout is not None else 30.0
+        )
+        if not standby.sync(sync_timeout):
+            standby.destroy()
+            return None
+        if standby.applied < self._journal_base:
+            # Compaction folded ops the severed ship link never
+            # delivered — the gap is no longer replayable.
+            standby.destroy()
+            return None
+        gap = self._journal[standby.applied - self._journal_base:]
+        self._teardown()
+        self._conn, self._proc = standby.detach()
+        self._incarnation = standby.incarnation
+        try:
+            if gap:
+                self._conn.send(("batch", list(gap)))
+                self._recv()
+            payloads: list[dict[str, Any]] = []
+            if in_flight:
+                if traces is not None:
+                    self._conn.send(("batch", list(in_flight), list(traces)))
+                    payloads, spans = self._recv()
+                    tr = _tracing.TRACER
+                    if tr is not None and spans:
+                        tr.extend(spans)
+                else:
+                    self._conn.send(("batch", list(in_flight)))
+                    payloads = self._recv()
+        except (BrokenPipeError, EOFError, OSError, TimeoutError):
+            # The promoted worker died too (e.g. a kill fault aimed at
+            # its incarnation): the cold loop tears it down and takes
+            # over from the unchanged recipe.
+            return None
+        elapsed = time.perf_counter() - start
+        self._failovers += 1
+        self._failover_s_total += elapsed
+        reg = _telemetry.REGISTRY
+        if reg is not None:
+            reg.add(f"service.shard.{self.shard_id}.failovers")
+            reg.observe(
+                f"service.shard.{self.shard_id}.failover_s", elapsed
+            )
+        tr = _tracing.TRACER
+        if tr is not None:
+            tr.record(
+                name="shard.failover",
+                trace=tr.mint_trace(),
+                ts=time.time() - elapsed,
+                dur=elapsed,
+                proc=f"shard{self.shard_id}",
+                inc=self._incarnation,
+                tags={
+                    "failovers": float(self._failovers),
+                    "replayed_ops": float(len(gap)),
+                },
+            )
+        # Replacement standby: spawned now, caught up in the background.
+        self._spawn_standby()
+        return payloads
+
     def _commit(
         self, ops: Sequence[ShardOp], payloads: Sequence[Mapping[str, Any]]
     ) -> None:
-        """Journal the batch's committed mutations; compact when due."""
+        """Journal the batch's committed mutations, ship them to the
+        standby (ship-on-commit: the standby is never ahead of the
+        journal), repair a dead standby, compact when due."""
         if not self._supervise:
             return
+        committed: list[ShardOp] = []
         for op, payload in zip(ops, payloads):
             if "error" in payload:
                 continue
             if op[0] == "request" and payload.get("accepted"):
-                self._journal.append(op)
+                committed.append(op)
             elif op[0] == "release":
-                self._journal.append(op)
+                committed.append(op)
+        if committed:
+            self._journal.extend(committed)
+            start_seq = self._seq
+            self._seq += len(committed)
+            if self._standby is not None:
+                self._standby.ship(committed, start_seq)
+        self._replication_gauge()
+        self._repair_standby()
         if len(self._journal) > self._journal_limit:
             self._compact()
 
@@ -674,6 +907,15 @@ class _ProcessShard:
             return
         self._baseline = snapshot
         self._journal = []
+        self._journal_base = self._seq
+        standby = self._standby
+        if standby is not None and standby.shipped < self._journal_base:
+            # A severed ship link (drop_journal) left the standby with a
+            # gap the compacted journal can no longer replay: it could
+            # never be promoted again.  Rebuild it from the fresh
+            # baseline instead.
+            self._drop_standby()
+            self._spawn_standby()
 
     # -- batch interface -------------------------------------------------
     def send_batch(
@@ -767,9 +1009,14 @@ class _ProcessShard:
         flows = tuple(flows)
         jitters = dict(jitters)
         if self._supervise:
-            # An explicit restore *is* the new recovery recipe.
+            # An explicit restore *is* the new recovery recipe.  The
+            # absolute op sequence stays monotone; the journal restarts
+            # empty at the new baseline.  A standby caught up to the
+            # *old* recipe is stale by definition — rebuild it.
             self._baseline = (flows, jitters)
             self._journal = []
+            self._journal_base = self._seq
+            self._drop_standby()
         try:
             self._conn.send(("restore", flows, jitters))
             self._recv()
@@ -780,6 +1027,8 @@ class _ProcessShard:
                 return
             self._mark_dead()
             raise RuntimeError(self.DEAD_ERROR) from None
+        if self._replicas:
+            self._spawn_standby()
 
     def telemetry_snapshot(self) -> dict[str, Any] | None:
         """Merged retired + current-incarnation registry snapshot.
@@ -833,6 +1082,7 @@ class _ProcessShard:
 
     # -- introspection / shutdown ----------------------------------------
     def health(self) -> dict[str, Any]:
+        standby = self._standby
         return {
             "backend": "process",
             # alive is the instantaneous process state (a supervised
@@ -845,7 +1095,34 @@ class _ProcessShard:
             "restarts": self._restarts,
             "journal_len": len(self._journal),
             "recovery_s_total": self._recovery_s_total,
+            "replicas": self._replicas,
+            "standby_alive": bool(standby is not None and standby.alive),
+            # Committed ops the standby is not yet known to hold
+            # (in-flight acks + anything a severed link never shipped).
+            "replication_lag_ops": (
+                self._seq - standby.applied if standby is not None else 0
+            ),
+            "failovers": self._failovers,
+            "failover_s_total": self._failover_s_total,
+            # Cold restores are exactly the PR 7 restart count;
+            # promotions never increment it.
+            "cold_restores": self._restarts,
         }
+
+    def graceful_close(self) -> None:
+        """Clean shutdown: drain the ship link, then write final
+        flight records for every live incarnation (primary and
+        standby) before the ordinary close escalation."""
+        standby = self._standby
+        if standby is not None:
+            standby.drain(timeout_s=self._close_timeout)
+        if not self._dead:
+            self._flight("clean_shutdown")
+            if standby is not None and standby.alive:
+                self._flight(
+                    "clean_shutdown_standby", incarnation=standby.incarnation
+                )
+        self.close()
 
     def close(self) -> None:
         """Shut the worker down, escalating if it does not cooperate.
@@ -855,6 +1132,9 @@ class _ProcessShard:
         escalate terminate → kill.  A wedged worker can therefore never
         hang ``close()`` longer than ~3 timeouts.
         """
+        if self._standby is not None:
+            self._standby.close(timeout=self._close_timeout)
+            self._standby = None
         if not self._dead:
             try:
                 self._conn.send(("close",))
@@ -925,10 +1205,19 @@ class ShardedAdmissionService:
         that triggers compaction into a fresh baseline, optional bound
         on every worker reply wait, and the shutdown-escalation
         timeout.
+    replicas:
+        ``1`` gives every worker-backed shard a warm standby worker fed
+        by the primary's journal (ship-on-commit): a dying primary is
+        promoted over instead of cold-restarted, and
+        :meth:`rebalance` gets its transfer machinery.  Requires
+        ``workers=True`` and ``supervise=True``.  ``0`` (default)
+        preserves the PR 7 cold-recovery behaviour exactly.
     fault_plan:
         Optional deterministic :class:`~repro.service.faults.FaultPlan`;
         its worker faults are injected inside the shard workers (and
-        therefore require ``workers=True``).
+        therefore require ``workers=True``); its replication faults
+        (``kill_standby`` / ``drop_journal`` / ``kill:during=promotion``)
+        additionally require ``replicas >= 1``.
     flight_dir:
         Directory for post-mortem flight records: on every dead-worker
         detection and on permanent shard degradation the supervisor
@@ -950,6 +1239,7 @@ class ShardedAdmissionService:
         supervise: bool = True,
         max_restarts: int = 5,
         journal_limit: int = 256,
+        replicas: int = 0,
         fault_plan: FaultPlan | None = None,
         op_timeout: float | None = None,
         close_timeout: float = 5.0,
@@ -959,7 +1249,10 @@ class ShardedAdmissionService:
         self.options = options or AnalysisOptions()
         self.workers = bool(workers)
         self.supervise = bool(supervise)
+        self.replicas = int(replicas)
         self.fault_plan = fault_plan
+        if self.replicas and not self.workers:
+            raise ValueError("replicas require workers=True")
         if (
             fault_plan is not None
             and fault_plan.worker_faults()
@@ -968,36 +1261,35 @@ class ShardedAdmissionService:
             raise ValueError(
                 "worker faults (kill/hang/slow_batch) require workers=True"
             )
+        if (
+            fault_plan is not None
+            and fault_plan.replication_faults()
+            and not (self.workers and self.replicas)
+        ):
+            raise ValueError(
+                "replication faults (kill_standby/drop_journal/"
+                "kill:during=promotion) require workers=True and "
+                "replicas >= 1"
+            )
         self.router = ShardRouter(network, n_shards, shard_map=shard_map)
-        if self.workers:
-            self._shards: list[Any] = [
-                _ProcessShard(
-                    network,
-                    self.options,
-                    fast_reject=fast_reject,
-                    warm_start=warm_start,
-                    shard_id=sid,
-                    supervise=supervise,
-                    max_restarts=max_restarts,
-                    journal_limit=journal_limit,
-                    fault_plan=fault_plan,
-                    op_timeout=op_timeout,
-                    close_timeout=close_timeout,
-                    flight_dir=flight_dir,
-                )
-                for sid in range(n_shards)
-            ]
-        else:
-            self._shards = [
-                _InlineShard(
-                    network,
-                    self.options,
-                    fast_reject=fast_reject,
-                    warm_start=warm_start,
-                    shard_id=sid,
-                )
-                for sid in range(n_shards)
-            ]
+        # Everything a shard backend needs besides its id — kept so
+        # rebalance() can build new-layout backends with identical
+        # resilience settings.
+        self._shard_kwargs: dict[str, Any] = dict(
+            fast_reject=fast_reject,
+            warm_start=warm_start,
+            supervise=supervise,
+            max_restarts=max_restarts,
+            journal_limit=journal_limit,
+            replicas=self.replicas,
+            fault_plan=fault_plan,
+            op_timeout=op_timeout,
+            close_timeout=close_timeout,
+            flight_dir=flight_dir,
+        )
+        self._shards: list[Any] = [
+            self._make_shard(sid) for sid in range(n_shards)
+        ]
         #: flow name -> shard ids holding it (insertion = admission order).
         self._flow_shards: dict[str, tuple[int, ...]] = {}
         self._counters = {
@@ -1009,7 +1301,25 @@ class ShardedAdmissionService:
             "cross_shard_offered": 0,
             "batches": 0,
             "rollbacks": 0,
+            "rebalances": 0,
         }
+
+    def _make_shard(self, sid: int) -> Any:
+        """Build one shard backend under the service's resilience knobs."""
+        if self.workers:
+            return _ProcessShard(
+                self.network,
+                self.options,
+                shard_id=sid,
+                **self._shard_kwargs,
+            )
+        return _InlineShard(
+            self.network,
+            self.options,
+            fast_reject=self._shard_kwargs["fast_reject"],
+            warm_start=self._shard_kwargs["warm_start"],
+            shard_id=sid,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -1034,6 +1344,85 @@ class ShardedAdmissionService:
         """Shut down shard backends (terminates worker processes)."""
         for shard in self._shards:
             shard.close()
+
+    def shutdown(self) -> None:
+        """Graceful close: every live shard (and its standby) finishes
+        its queued ops and writes a clean-shutdown flight record before
+        the workers come down — the counterpart of :meth:`close`, which
+        only guarantees termination."""
+        for shard in self._shards:
+            getattr(shard, "graceful_close", shard.close)()
+
+    # ------------------------------------------------------------------
+    # Live rebalancing (journal-driven state transfer, atomic cutover)
+    # ------------------------------------------------------------------
+    def rebalance(
+        self,
+        shard_map: Mapping[str, int] | None = None,
+        *,
+        n_shards: int | None = None,
+    ) -> dict[str, Any]:
+        """Move to a new shard layout without dropping a single flow.
+
+        Exactly the standby recipe, pointed at a new layout: the old
+        shards export their state (snapshot + implied journal position),
+        :func:`~repro.service.replication.reassign_shard_states`
+        re-routes every admitted flow (with its converged jitter
+        entries) under the new :class:`ShardRouter`, fresh backends are
+        built and caught up from the re-routed states, and the service
+        atomically cuts over — callers only ever see the old layout or
+        the new one, never a mix, because the swap happens between
+        batches (``process_batch`` treats the ``rebalance`` op as a
+        flush barrier).  Restoring afterwards is byte-identical to
+        restoring a snapshot into a service built with the new map.
+
+        Raises :class:`ValueError` for a bad map or when any admitted
+        flow is currently cross-shard (its per-shard states diverge by
+        design; release it first).
+        """
+        if shard_map is None and n_shards is None:
+            raise ValueError("rebalance needs shard_map or n_shards")
+        if n_shards is None:
+            if not shard_map:
+                raise ValueError("rebalance shard_map must be non-empty")
+            n_shards = max(int(s) for s in shard_map.values()) + 1
+        new_router = ShardRouter(self.network, n_shards, shard_map=shard_map)
+        states = self.export_shard_states()
+        new_states, new_flow_shards = reassign_shard_states(
+            states, self._flow_shards, new_router
+        )
+        old_shards = self._shards
+        old_router = self.router
+        self.router = new_router
+        try:
+            new_shards = [
+                self._make_shard(sid) for sid in range(new_router.n_shards)
+            ]
+        except Exception:
+            self.router = old_router
+            raise
+        for shard, (flows, jitters) in zip(new_shards, new_states):
+            shard.restore(flows, jitters)
+        moved = sum(
+            1
+            for name, sids in new_flow_shards.items()
+            if sids != self._flow_shards.get(name)
+        )
+        # Atomic cutover: swap the full layout in one step, then retire
+        # the old backends.
+        self._shards = new_shards
+        self._flow_shards = dict(new_flow_shards)
+        for shard in old_shards:
+            shard.close()
+        self._counters["rebalances"] += 1
+        _telemetry.add("service.rebalances")
+        return {
+            "rebalanced": True,
+            "n_shards": new_router.n_shards,
+            "moved_flows": moved,
+            "admitted": len(self._flow_shards),
+            "switch_shards": new_router.assignment(),
+        }
 
     # ------------------------------------------------------------------
     # Single-request interface (thin wrappers over one-op batches)
@@ -1074,9 +1463,11 @@ class ShardedAdmissionService:
         out = {
             # Response layout version: 2 added the optional merged
             # "telemetry" snapshot, 3 the supervisor totals
-            # ("restarts", "recovery_s_total").  Strictly additive, so
-            # older clients keep working unchanged.
-            "stats_version": 3,
+            # ("restarts", "recovery_s_total"), 4 the replication
+            # totals ("replicas", "failovers", "failover_s_total",
+            # "cold_restores").  Strictly additive, so older clients
+            # keep working unchanged.
+            "stats_version": 4,
             "n_shards": self.n_shards,
             "workers": self.workers,
             "admitted": len(self._flow_shards),
@@ -1085,6 +1476,10 @@ class ShardedAdmissionService:
             "switch_shards": self.router.assignment(),
             "restarts": health["restarts"],
             "recovery_s_total": health["recovery_s_total"],
+            "replicas": self.replicas,
+            "failovers": health["failovers"],
+            "failover_s_total": health["failover_s_total"],
+            "cold_restores": health["cold_restores"],
             **self._counters,
         }
         if _telemetry.enabled():
@@ -1110,8 +1505,14 @@ class ShardedAdmissionService:
             "n_shards": self.n_shards,
             "workers": self.workers,
             "supervise": self.supervise,
+            "replicas": self.replicas,
             "restarts": sum(s["restarts"] for s in shards),
             "recovery_s_total": sum(s["recovery_s_total"] for s in shards),
+            "failovers": sum(s.get("failovers", 0) for s in shards),
+            "failover_s_total": sum(
+                s.get("failover_s_total", 0.0) for s in shards
+            ),
+            "cold_restores": sum(s.get("cold_restores", 0) for s in shards),
             "dead_shards": dead,
             "shards": shards,
         }
@@ -1277,6 +1678,20 @@ class ShardedAdmissionService:
             elif req.op == "health":
                 flush()  # barrier: reflect every earlier op's recoveries
                 results[pos] = self.health()
+            elif req.op == "rebalance":
+                flush()  # barrier: cut over between batches, never mid-run
+                try:
+                    results[pos] = self.rebalance(
+                        req.shard_map, n_shards=req.n_shards
+                    )
+                except (KeyError, ValueError, RuntimeError) as exc:
+                    results[pos] = {
+                        "error": f"rebalance failed: {exc}",
+                        "code": ERR_BAD_REQUEST,
+                    }
+                    self._counters["errors"] += 1
+                else:
+                    planned = dict(self._flow_shards)
             else:  # pragma: no cover - Request.__post_init__ rejects
                 results[pos] = {"error": f"unknown op {req.op!r}"}
         flush()

@@ -11,10 +11,11 @@ with sorted keys) and reuses its network/flow/options codecs, so the
 embedded blocks are exactly the blocks scenario files carry::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "kind": "admission-service-state",
       "n_shards": 4,
       "workers": false,
+      "replicas": 0,                        # warm standbys per shard (v2)
       "shard_map": {"sw0": 0, ...},        # explicit switch assignment
       "network": {...},                     # repro.io network document
       "analysis": {...},                    # AnalysisOptions fields
@@ -28,6 +29,15 @@ embedded blocks are exactly the blocks scenario files carry::
 
 Jitter resources are the analysis' :data:`ResourceKey` tuples
 (``("link", N1, N2)`` / ``("in", N)``) flattened to JSON arrays.
+
+Schema v2 adds the ``replicas`` knob (absent = 0; v1 documents stay
+loadable) and the loader gains a **layout override**: passing
+``shard_map=`` / ``n_shards=`` to :func:`service_state_from_dict`
+restores the snapshot into a *different* shard layout by re-routing
+every admitted flow with
+:func:`repro.service.replication.reassign_shard_states` — the same
+helper ``ShardedAdmissionService.rebalance`` uses, which is exactly why
+live rebalancing and snapshot-restore-into-a-new-map are equivalent.
 """
 
 from __future__ import annotations
@@ -47,10 +57,12 @@ from repro.scenario.serialization import (
     analysis_options_from_dict,
     analysis_options_to_dict,
 )
+from repro.service.replication import reassign_shard_states
 from repro.service.sharding import ShardedAdmissionService
 
-#: Current service-state schema version.
-STATE_VERSION = 1
+#: Current service-state schema version (2 added ``replicas`` and the
+#: restore-time shard-layout override; v1 documents remain loadable).
+STATE_VERSION = 2
 
 #: Document discriminator (state files are not scenario files).
 STATE_KIND = "admission-service-state"
@@ -92,6 +104,7 @@ def service_state_to_dict(service: ShardedAdmissionService) -> dict[str, Any]:
         "kind": STATE_KIND,
         "n_shards": service.n_shards,
         "workers": service.workers,
+        "replicas": service.replicas,
         "shard_map": service.router.assignment(),
         "network": network_to_dict(service.network),
         "analysis": analysis_options_to_dict(service.options),
@@ -107,6 +120,8 @@ def service_state_from_dict(
     doc: Mapping[str, Any],
     *,
     workers: bool | None = None,
+    shard_map: Mapping[str, int] | None = None,
+    n_shards: int | None = None,
     **service_kwargs: Any,
 ) -> ShardedAdmissionService:
     """Rebuild a service from a state document.
@@ -114,11 +129,16 @@ def service_state_from_dict(
     ``workers`` overrides the snapshotted backend choice (a snapshot
     taken from a worker-backed service restores inline by passing
     ``workers=False``, and vice versa — the state is backend-agnostic).
-    Extra keyword arguments — ``supervise``, ``max_restarts``,
-    ``journal_limit``, ``fault_plan``, ``op_timeout``, ... — pass
-    straight to the :class:`ShardedAdmissionService` constructor, so a
-    restored service can run with full fault tolerance (or a fault
-    plan) without those runtime knobs living in the state document.
+    ``shard_map`` / ``n_shards`` override the snapshotted *layout*: the
+    admitted flows are re-routed under the new router (their converged
+    jitter entries travelling with them) before the restore, which is
+    byte-equivalent to live-rebalancing the original service to that
+    layout.  Extra keyword arguments — ``supervise``, ``max_restarts``,
+    ``journal_limit``, ``replicas``, ``fault_plan``, ``op_timeout``,
+    ... — pass straight to the :class:`ShardedAdmissionService`
+    constructor, so a restored service can run with full fault
+    tolerance (or a fault plan) without those runtime knobs living in
+    the state document.
     """
     version = doc.get("schema_version")
     if not isinstance(version, int) or version < 1:
@@ -141,19 +161,39 @@ def service_state_from_dict(
         if "analysis" in doc
         else None
     )
-    n_shards = int(doc["n_shards"])
+    doc_n_shards = int(doc["n_shards"])
     shard_docs = doc["shards"]
-    if len(shard_docs) != n_shards:
+    if len(shard_docs) != doc_n_shards:
         raise ScenarioError(
             f"service state: {len(shard_docs)} shard blocks for "
-            f"n_shards={n_shards}"
+            f"n_shards={doc_n_shards}"
         )
+    effective_workers = (
+        doc.get("workers", False) if workers is None else workers
+    )
+    if "replicas" not in service_kwargs:
+        # The snapshotted replication knob is honoured where it can be
+        # (replicas need worker backends); an explicit kwarg wins.
+        doc_replicas = int(doc.get("replicas", 0))
+        if effective_workers and doc_replicas:
+            service_kwargs["replicas"] = doc_replicas
+    relayout = shard_map is not None or n_shards is not None
+    if relayout:
+        if n_shards is None:
+            if not shard_map:
+                raise ScenarioError(
+                    "service state: layout override shard_map is empty"
+                )
+            n_shards = max(int(s) for s in shard_map.values()) + 1
+    else:
+        shard_map = doc.get("shard_map")
+        n_shards = doc_n_shards
     service = ShardedAdmissionService(
         network,
         n_shards=n_shards,
         options=options,
-        shard_map=doc.get("shard_map"),
-        workers=doc.get("workers", False) if workers is None else workers,
+        shard_map=shard_map,
+        workers=effective_workers,
         **service_kwargs,
     )
     try:
@@ -162,7 +202,15 @@ def service_state_from_dict(
             flows = tuple(flow_from_dict(f) for f in block.get("flows", []))
             jitters = _jitters_from_doc(block.get("jitters", []))
             states.append((flows, jitters))
-        service.import_shard_states(states, doc.get("flow_shards", {}))
+        flow_shards: Mapping[str, Any] = {
+            str(name): tuple(int(s) for s in sids)
+            for name, sids in doc.get("flow_shards", {}).items()
+        }
+        if relayout:
+            states, flow_shards = reassign_shard_states(
+                states, flow_shards, service.router
+            )
+        service.import_shard_states(states, flow_shards)
     except Exception:
         service.close()
         raise

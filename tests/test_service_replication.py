@@ -1,0 +1,624 @@
+"""Replicated shards: journal-shipped standbys, failover, rebalancing.
+
+The contract under test is the ISSUE-10 acceptance bar: with a warm
+standby per shard fed by the primary's journal (ship-on-commit), killing
+a primary at *any* op index yields decisions, query responses and an
+exported state document byte-identical to a fault-free run — promotion
+never loses a committed op and never invents one.  The same transfer
+recipe must make ``rebalance`` equivalent to restoring a snapshot into
+a service built with the new layout.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.io import ScenarioError
+from repro.service import (
+    ERR_BAD_REQUEST,
+    AdmissionServer,
+    ConnectError,
+    FaultPlan,
+    FaultSpec,
+    ProtocolError,
+    Request,
+    ShardedAdmissionService,
+    ShardRouter,
+    connect_with_backoff,
+    reassign_shard_states,
+    replay_service,
+    request_from_dict,
+    request_to_dict,
+    service_state_from_dict,
+    service_state_to_dict,
+    trace_from_scenario,
+)
+from repro.service.faults import DURING_PROMOTION, FaultError
+from test_service import call_flow, saturating_scenario, two_star_scenario
+
+
+TWO_STAR_MAP = {"sw0": 0, "sw1": 1}
+
+
+def _run_two_star(trace, *, plan=None, replicas=0, batch=8, **kwargs):
+    """One replay under the standard two-star layout; returns the full
+    comparison surface (decisions, queries, state doc, health)."""
+    sc = two_star_scenario()
+    with ShardedAdmissionService(
+        sc.network, n_shards=2, shard_map=TWO_STAR_MAP, workers=True,
+        replicas=replicas, fault_plan=plan, **kwargs,
+    ) as svc:
+        summary = replay_service(svc, trace, batch=batch)
+        queries = [svc.query(name) for name in sorted(svc.admitted_names)]
+        doc = service_state_to_dict(svc)
+        health = svc.health()
+    return summary, queries, doc, health
+
+
+# ----------------------------------------------------------------------
+# Fault plan: replication kinds
+# ----------------------------------------------------------------------
+class TestReplicationFaults:
+    def test_parse_round_trip(self):
+        spec = (
+            "kill_standby:shard=0,at=3;drop_journal:shard=1,at=40;"
+            "kill:shard=0,during=promotion,at=1;"
+            "kill_standby:shard=0,at=2,incarnation=1;seed=5"
+        )
+        plan = FaultPlan.parse(spec)
+        assert plan.seed == 5
+        assert len(plan.faults) == 4
+        assert plan == FaultPlan.from_dict(plan.to_dict())
+        assert json.dumps(plan.to_dict())  # JSON-able
+        kinds = sorted(f.kind for f in plan.faults)
+        assert kinds == ["drop_journal", "kill", "kill_standby",
+                         "kill_standby"]
+
+    def test_selectors(self):
+        plan = FaultPlan.parse(
+            "kill_standby:shard=0,at=3;kill_standby:shard=0,at=9,"
+            "incarnation=1;drop_journal:shard=1,at=40;"
+            "drop_journal:shard=1,at=20;kill:shard=0,during=promotion,at=0;"
+            "kill:shard=0,at=7"
+        )
+        assert {f.at for f in plan.standby_faults(shard=0)} == {3, 9}
+        assert {f.at for f in plan.standby_faults(shard=0, generation=0)} \
+            == {3}
+        assert {f.at for f in plan.standby_faults(shard=0, generation=1)} \
+            == {9}
+        assert plan.standby_faults(shard=1) == ()
+        assert plan.drop_journal_at(1) == 20, "earliest drop point wins"
+        assert plan.drop_journal_at(0) is None
+        promo = plan.promotion_faults(0)
+        assert len(promo) == 1 and promo[0].during == DURING_PROMOTION
+        # during=promotion kills are supervisor faults, never worker ops.
+        assert {f.at for f in plan.worker_faults(shard=0)} == {7}
+        assert len(plan.replication_faults()) == 5
+
+    def test_validation(self):
+        with pytest.raises(FaultError, match="needs shard"):
+            FaultPlan.parse("kill_standby:at=1")
+        with pytest.raises(FaultError, match="needs shard"):
+            FaultPlan.parse("drop_journal:at=1")
+        with pytest.raises(FaultError, match="during"):
+            FaultPlan.parse("kill_standby:shard=0,during=promotion,at=0")
+        with pytest.raises(FaultError, match="during"):
+            FaultPlan.parse("kill:shard=0,during=restore,at=0")
+
+    def test_replication_faults_require_replicas(self):
+        sc = two_star_scenario()
+        plan = FaultPlan.parse("kill_standby:shard=0,at=1")
+        with pytest.raises(ValueError, match="replicas"):
+            ShardedAdmissionService(sc.network, workers=True, fault_plan=plan)
+        with pytest.raises(ValueError, match="workers=True"):
+            ShardedAdmissionService(sc.network, replicas=1)
+
+
+# ----------------------------------------------------------------------
+# connect_with_backoff: deadline + attempt accounting
+# ----------------------------------------------------------------------
+class TestConnectError:
+    def test_max_attempts_bounds_the_loop(self):
+        async def run():
+            with pytest.raises(ConnectError) as err:
+                # Port 1: connects are refused instantly, so the loop
+                # is bounded by attempts, not the (long) deadline.
+                await connect_with_backoff(
+                    "127.0.0.1", 1, timeout=30.0, max_attempts=3,
+                )
+            return err.value
+
+        exc = asyncio.run(run())
+        assert isinstance(exc, OSError), "legacy catch-sites keep working"
+        assert exc.attempts == 3
+        assert exc.elapsed_s > 0.0
+        assert isinstance(exc.last_error, OSError)
+        assert "3 attempt(s)" in str(exc)
+
+    def test_deadline_reported_in_error(self):
+        async def run():
+            start = time.monotonic()
+            with pytest.raises(ConnectError) as err:
+                await connect_with_backoff("127.0.0.1", 1, timeout=0.25)
+            return err.value, time.monotonic() - start
+
+        exc, elapsed = asyncio.run(run())
+        assert exc.attempts >= 1
+        assert 0.2 <= exc.elapsed_s <= elapsed < 5.0
+
+
+# ----------------------------------------------------------------------
+# Warm failover: byte-identical decisions at every kill point
+# ----------------------------------------------------------------------
+class TestWarmFailover:
+    def test_failover_byte_identical_with_counters(self):
+        # The headline: both primaries killed mid-trace; promotions are
+        # warm (failovers, no cold restores) and the entire observable
+        # surface equals the fault-free run's.
+        sc = two_star_scenario()
+        trace = trace_from_scenario(
+            sc, n_requests=40, arrival="burst", burst_size=8, hold=10,
+            seed=2,
+        )
+        clean, clean_q, clean_doc, clean_h = _run_two_star(
+            trace, replicas=1
+        )
+        plan = FaultPlan.parse("kill:shard=0,at=5;kill:shard=1,at=7")
+        faulted, faulted_q, faulted_doc, faulted_h = _run_two_star(
+            trace, plan=plan, replicas=1
+        )
+
+        assert clean_h["failovers"] == 0
+        assert faulted_h["failovers"] == 2, "both kills must have fired"
+        assert faulted_h["cold_restores"] == 0, "no cold path taken"
+        assert faulted_h["restarts"] == 0
+        assert faulted_h["failover_s_total"] > 0.0
+        assert faulted_h["recovery_s_total"] == 0.0
+        assert faulted_h["status"] == "ok"
+        assert faulted.admit_decisions == clean.admit_decisions
+        assert faulted.errors == clean.errors
+        assert faulted_q == clean_q
+        assert faulted_doc == clean_doc
+        assert json.dumps(faulted_doc, sort_keys=True) == json.dumps(
+            clean_doc, sort_keys=True
+        )
+
+    def test_kill_sweep_every_op_is_lossless(self):
+        # The property test: killing the shard-0 primary at ANY op
+        # index k gives byte-identical results.  Full sweep at seed 0;
+        # spot checks at seeds 1-2 (and without a standby) below.
+        sc = two_star_scenario()
+        trace = trace_from_scenario(
+            sc, n_requests=12, arrival="burst", burst_size=4, hold=6,
+            seed=0,
+        )
+        clean = _run_two_star(trace, replicas=1)
+        fired = 0
+        for k in range(13):
+            plan = FaultPlan.parse(f"kill:shard=0,at={k}")
+            faulted = _run_two_star(trace, plan=plan, replicas=1)
+            assert faulted[0].admit_decisions == clean[0].admit_decisions, \
+                f"decisions diverged for kill at op {k}"
+            assert faulted[1] == clean[1], f"queries diverged at op {k}"
+            assert faulted[2] == clean[2], f"state doc diverged at op {k}"
+            assert faulted[3]["cold_restores"] == 0
+            fired += faulted[3]["failovers"]
+        assert fired >= 3, "the sweep must actually exercise failovers"
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_kill_spot_checks_other_seeds(self, seed):
+        sc = two_star_scenario()
+        trace = trace_from_scenario(
+            sc, n_requests=12, arrival="poisson", rate=500, hold=6,
+            seed=seed,
+        )
+        clean = _run_two_star(trace, replicas=1)
+        for k in (0, 3, 7):
+            plan = FaultPlan.parse(f"kill:shard=0,at={k}")
+            faulted = _run_two_star(trace, plan=plan, replicas=1)
+            assert faulted[0].admit_decisions == clean[0].admit_decisions
+            assert faulted[2] == clean[2]
+            assert faulted[3]["cold_restores"] == 0
+
+    def test_kill_spot_checks_without_standby(self):
+        # The same kills without a live standby take PR 7's cold path —
+        # still byte-identical, but as restarts, not failovers.
+        sc = two_star_scenario()
+        trace = trace_from_scenario(
+            sc, n_requests=12, arrival="burst", burst_size=4, hold=6,
+            seed=0,
+        )
+        clean = _run_two_star(trace, replicas=0)
+        for k in (0, 3, 7):
+            plan = FaultPlan.parse(f"kill:shard=0,at={k}")
+            faulted = _run_two_star(trace, plan=plan, replicas=0)
+            assert faulted[0].admit_decisions == clean[0].admit_decisions
+            assert faulted[2] == clean[2]
+            assert faulted[3]["failovers"] == 0
+
+    def test_replica_health_and_stats_surface(self):
+        sc = two_star_scenario()
+        with ShardedAdmissionService(
+            sc.network, n_shards=2, shard_map=TWO_STAR_MAP, workers=True,
+            replicas=1,
+        ) as svc:
+            assert svc.admit(
+                call_flow("a", ("sw0_a", "sw0", "sw0_b"))
+            ).accepted
+            health = svc.health()
+            stats = svc.stats()
+        assert health["replicas"] == 1
+        for shard_h in health["shards"]:
+            assert shard_h["standby_alive"] is True
+            assert shard_h["replication_lag_ops"] >= 0
+            assert shard_h["cold_restores"] == shard_h["restarts"]
+        assert stats["stats_version"] == 4
+        for key in ("replicas", "failovers", "failover_s_total",
+                    "cold_restores"):
+            assert key in stats
+
+
+# ----------------------------------------------------------------------
+# Replication chaos: standby kills, severed journals, promotion kills
+# ----------------------------------------------------------------------
+class TestReplicationChaos:
+    def _trace(self, sc):
+        return trace_from_scenario(
+            sc, n_requests=40, arrival="burst", burst_size=8, hold=10,
+            seed=2,
+        )
+
+    def test_standby_killed_then_repaired_before_primary_dies(self):
+        # The standby dies early; the primary notices on the next ship
+        # and spawns a replacement, so the later primary kill still
+        # promotes warm.
+        sc = two_star_scenario()
+        trace = self._trace(sc)
+        clean = _run_two_star(trace, replicas=1)
+        plan = FaultPlan.parse("kill_standby:shard=0,at=1;kill:shard=0,at=14")
+        faulted = _run_two_star(trace, plan=plan, replicas=1)
+        assert faulted[0].admit_decisions == clean[0].admit_decisions
+        assert faulted[1] == clean[1]
+        assert faulted[2] == clean[2]
+        assert faulted[3]["failovers"] == 1
+        assert faulted[3]["cold_restores"] == 0
+
+    def test_severed_journal_promotes_with_gap_replay(self):
+        # drop_journal leaves the standby's high-water mark behind the
+        # commit point; promotion must replay exactly the gap.
+        sc = two_star_scenario()
+        trace = self._trace(sc)
+        clean = _run_two_star(trace, replicas=1)
+        plan = FaultPlan.parse("drop_journal:shard=0,at=6;kill:shard=0,at=14")
+        faulted = _run_two_star(trace, plan=plan, replicas=1)
+        assert faulted[0].admit_decisions == clean[0].admit_decisions
+        assert faulted[2] == clean[2]
+        assert faulted[3]["failovers"] == 1
+        assert faulted[3]["cold_restores"] == 0
+
+    def test_kill_during_promotion_falls_back_cold(self):
+        # The standby dies at the start of the promotion attempt: the
+        # supervisor must fall back to cold recovery — slower, never
+        # wrong.
+        sc = two_star_scenario()
+        trace = self._trace(sc)
+        clean = _run_two_star(trace, replicas=1)
+        plan = FaultPlan.parse(
+            "kill:shard=0,during=promotion,at=0;kill:shard=0,at=9"
+        )
+        faulted = _run_two_star(trace, plan=plan, replicas=1)
+        assert faulted[0].admit_decisions == clean[0].admit_decisions
+        assert faulted[2] == clean[2]
+        assert faulted[3]["failovers"] == 0
+        assert faulted[3]["cold_restores"] == 1
+
+    def test_combined_chaos_keeps_parity(self):
+        sc = two_star_scenario()
+        trace = self._trace(sc)
+        clean = _run_two_star(trace, replicas=1)
+        plan = FaultPlan.parse(
+            "kill_standby:shard=1,at=2;drop_journal:shard=0,at=8;"
+            "kill:shard=0,at=15;kill:shard=1,at=12"
+        )
+        faulted = _run_two_star(trace, plan=plan, replicas=1)
+        assert faulted[0].admit_decisions == clean[0].admit_decisions
+        assert faulted[1] == clean[1]
+        assert faulted[2] == clean[2]
+        assert faulted[3]["failovers"] + faulted[3]["cold_restores"] >= 2
+
+    def test_journal_compaction_under_replication(self):
+        # Tight journal_limit forces compactions while shipping; the
+        # standby must stay consistent across baseline rebuilds.
+        sc = two_star_scenario()
+        trace = self._trace(sc)
+        clean = _run_two_star(trace, replicas=1)
+        plan = FaultPlan.parse("kill:shard=0,at=21;kill:shard=1,at=17")
+        faulted = _run_two_star(
+            trace, plan=plan, replicas=1, journal_limit=4
+        )
+        assert faulted[0].admit_decisions == clean[0].admit_decisions
+        assert faulted[2] == clean[2]
+        assert faulted[3]["cold_restores"] == 0
+
+
+# ----------------------------------------------------------------------
+# Rebalancing
+# ----------------------------------------------------------------------
+class TestRebalance:
+    def _replayed_service(self, sc, trace, **kwargs):
+        svc = ShardedAdmissionService(
+            sc.network, n_shards=2, shard_map=TWO_STAR_MAP, **kwargs
+        )
+        replay_service(svc, trace, batch=8)
+        return svc
+
+    def test_rebalance_equals_snapshot_restore(self):
+        # The equivalence claim: live rebalance to a new map produces
+        # exactly the state a snapshot restored into that map produces.
+        sc = two_star_scenario()
+        trace = trace_from_scenario(
+            sc, n_requests=30, arrival="burst", burst_size=6, hold=8,
+            seed=3,
+        )
+        swapped = {"sw0": 1, "sw1": 0}
+        with self._replayed_service(sc, trace) as svc:
+            before = service_state_to_dict(svc)
+            result = svc.rebalance(swapped)
+            live_doc = service_state_to_dict(svc)
+            live_queries = [
+                svc.query(name) for name in sorted(svc.admitted_names)
+            ]
+        assert result["rebalanced"] and result["n_shards"] == 2
+        with service_state_from_dict(before, shard_map=swapped) as restored:
+            restored_doc = service_state_to_dict(restored)
+            restored_queries = [
+                restored.query(name)
+                for name in sorted(restored.admitted_names)
+            ]
+        assert live_doc == restored_doc
+        assert live_queries == restored_queries
+        assert live_doc["shard_map"] == swapped
+
+    def test_rebalance_shrink_matches_native_layout(self):
+        # Shrinking to one shard mid-life must equal having served the
+        # whole trace on one shard from the start.
+        sc = two_star_scenario()
+        trace = trace_from_scenario(
+            sc, n_requests=30, arrival="burst", burst_size=6, hold=8,
+            seed=3,
+        )
+        with self._replayed_service(sc, trace) as svc:
+            svc.rebalance(n_shards=1)
+            shrunk_doc = service_state_to_dict(svc)
+            assert svc.stats()["rebalances"] == 1
+        with ShardedAdmissionService(sc.network, n_shards=1) as native:
+            replay_service(native, trace, batch=8)
+            native_doc = service_state_to_dict(native)
+        assert shrunk_doc == native_doc
+
+    def test_rebalance_with_worker_backends_and_replicas(self):
+        sc = two_star_scenario()
+        trace = trace_from_scenario(
+            sc, n_requests=20, arrival="burst", burst_size=4, hold=6,
+            seed=1,
+        )
+        with self._replayed_service(
+            sc, trace, workers=True, replicas=1
+        ) as svc:
+            inline_doc = None
+            with self._replayed_service(sc, trace) as ref:
+                ref.rebalance({"sw0": 1, "sw1": 0})
+                inline_doc = service_state_to_dict(ref)
+            svc.rebalance({"sw0": 1, "sw1": 0})
+            doc = service_state_to_dict(svc)
+            health = svc.health()
+        # Worker-backed rebalance agrees with the inline one on
+        # everything but the backend flag.
+        assert doc["shard_map"] == inline_doc["shard_map"]
+        assert doc["shards"] == inline_doc["shards"]
+        assert doc["flow_shards"] == inline_doc["flow_shards"]
+        assert health["replicas"] == 1
+        for shard_h in health["shards"]:
+            assert shard_h["standby_alive"] is True
+
+    def test_rebalance_refuses_cross_shard_admits(self):
+        flow = call_flow("x", ("sw0_a", "sw0", "sw0_b"))
+        sc = two_star_scenario()
+        router = ShardRouter(sc.network, 2, shard_map=TWO_STAR_MAP)
+        with pytest.raises(ValueError, match="cross-shard"):
+            reassign_shard_states(
+                [((flow,), {}), ((flow,), {})], {"x": (0, 1)}, router
+            )
+        with pytest.raises(ValueError, match="no shard state"):
+            reassign_shard_states([((), {}), ((), {})], {"ghost": (0,)},
+                                  router)
+
+    def test_rebalance_validation(self):
+        sc = two_star_scenario()
+        with ShardedAdmissionService(
+            sc.network, n_shards=2, shard_map=TWO_STAR_MAP
+        ) as svc:
+            with pytest.raises(ValueError, match="shard_map or n_shards"):
+                svc.rebalance()
+
+    def test_rebalance_via_protocol_is_a_barrier_op(self):
+        sc = two_star_scenario()
+        with ShardedAdmissionService(
+            sc.network, n_shards=2, shard_map=TWO_STAR_MAP
+        ) as svc:
+            assert svc.admit(
+                call_flow("a", ("sw0_a", "sw0", "sw0_b"))
+            ).accepted
+            payloads = svc.process_batch([
+                Request(op="admit", id=0,
+                        flow=call_flow("b", ("sw1_w", "sw1", "sw1_x"))),
+                Request(op="rebalance", id=1, n_shards=1),
+                Request(op="query", id=2, flow_name="a"),
+            ])
+            assert payloads[0]["accepted"]
+            assert payloads[1]["rebalanced"] and payloads[1]["n_shards"] == 1
+            assert payloads[2]["admitted"] is True
+            assert svc.n_shards == 1
+            # A bad target layout is a coded request error, not a crash.
+            bad = svc.process_batch([
+                Request(op="rebalance", id=3,
+                        shard_map={"no-such-switch": 0}),
+            ])[0]
+            assert not bad.get("rebalanced", False)
+            assert bad["code"] == ERR_BAD_REQUEST
+            assert svc.n_shards == 1, "failed rebalance changes nothing"
+
+
+# ----------------------------------------------------------------------
+# Protocol v3
+# ----------------------------------------------------------------------
+class TestProtocolV3:
+    def test_rebalance_round_trip(self):
+        req = Request(op="rebalance", id=7, shard_map={"sw0": 1, "sw1": 0},
+                      n_shards=2)
+        back = request_from_dict(request_to_dict(req))
+        assert back.op == "rebalance"
+        assert back.shard_map == {"sw0": 1, "sw1": 0}
+        assert back.n_shards == 2
+
+    def test_rebalance_needs_a_target(self):
+        with pytest.raises(ProtocolError, match="shard_map"):
+            Request(op="rebalance")
+        with pytest.raises(ProtocolError, match="n_shards"):
+            Request(op="rebalance", n_shards=0)
+
+    def test_malformed_shard_map_refused(self):
+        with pytest.raises(ProtocolError, match="shard_map"):
+            request_from_dict(
+                {"v": 3, "id": 1, "op": "rebalance", "shard_map": "sw0=0"}
+            )
+        with pytest.raises(ProtocolError, match="shard_map"):
+            request_from_dict(
+                {"v": 3, "id": 1, "op": "rebalance",
+                 "shard_map": {"sw0": "zero"}}
+            )
+
+    def test_older_requests_still_accepted(self):
+        assert request_from_dict({"v": 1, "id": 1, "op": "stats"}).op \
+            == "stats"
+        assert request_from_dict({"v": 2, "id": 1, "op": "health"}).op \
+            == "health"
+
+
+# ----------------------------------------------------------------------
+# State schema v2
+# ----------------------------------------------------------------------
+class TestStateV2:
+    def _doc(self):
+        sc = saturating_scenario()
+        with ShardedAdmissionService(sc.network) as svc:
+            svc.admit(sc.flows[0])
+            return service_state_to_dict(svc)
+
+    def test_v2_records_replicas(self):
+        sc = two_star_scenario()
+        with ShardedAdmissionService(
+            sc.network, n_shards=2, shard_map=TWO_STAR_MAP, workers=True,
+            replicas=1,
+        ) as svc:
+            doc = service_state_to_dict(svc)
+        assert doc["schema_version"] == 2
+        assert doc["replicas"] == 1
+
+    def test_restore_honours_snapshotted_replicas(self):
+        sc = two_star_scenario()
+        with ShardedAdmissionService(
+            sc.network, n_shards=2, shard_map=TWO_STAR_MAP, workers=True,
+            replicas=1,
+        ) as donor:
+            donor.admit(call_flow("keep", ("sw0_a", "sw0", "sw0_b")))
+            doc = service_state_to_dict(donor)
+        with service_state_from_dict(doc, workers=True) as svc:
+            assert svc.replicas == 1
+            assert svc.query("keep")["admitted"] is True
+        # Inline restores cannot run standbys; the knob degrades to 0.
+        with service_state_from_dict(doc, workers=False) as inline:
+            assert inline.replicas == 0
+            assert inline.query("keep")["admitted"] is True
+
+    def test_v1_documents_stay_loadable(self):
+        doc = self._doc()
+        doc["schema_version"] = 1
+        doc.pop("replicas")
+        with service_state_from_dict(doc) as svc:
+            assert svc.replicas == 0
+            assert len(svc.admitted_names) == 1
+
+    def test_newer_schema_refused(self):
+        doc = self._doc()
+        doc["schema_version"] = 3
+        with pytest.raises(ScenarioError, match="newer"):
+            service_state_from_dict(doc)
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown
+# ----------------------------------------------------------------------
+class TestGracefulShutdown:
+    def test_service_shutdown_writes_flight_records(self, tmp_path):
+        sc = two_star_scenario()
+        svc = ShardedAdmissionService(
+            sc.network, n_shards=2, shard_map=TWO_STAR_MAP, workers=True,
+            replicas=1, flight_dir=str(tmp_path),
+        )
+        assert svc.admit(call_flow("a", ("sw0_a", "sw0", "sw0_b"))).accepted
+        svc.shutdown()
+        reasons = sorted(
+            json.loads(p.read_text())["reason"]
+            for p in tmp_path.glob("*.json")
+        )
+        assert reasons.count("clean_shutdown") == 2, "one per primary"
+        assert reasons.count("clean_shutdown_standby") == 2, \
+            "one per live standby"
+
+    def test_server_shutdown_drains_before_closing(self):
+        sc = saturating_scenario()
+
+        async def run():
+            svc = ShardedAdmissionService(sc.network)
+            real = svc.process_batch
+
+            def slow(requests):
+                time.sleep(0.2)  # keep a batch in flight at shutdown
+                return real(requests)
+
+            svc.process_batch = slow
+            server = AdmissionServer(svc, port=0, batch_max=1)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                for i in range(3):
+                    writer.write(
+                        json.dumps({"v": 3, "id": i, "op": "stats"})
+                        .encode() + b"\n"
+                    )
+                await writer.drain()
+                # Let the connection handler queue all three requests;
+                # the dispatcher is then mid-batch in the executor and
+                # the drain marker trails the still-queued rest.
+                await asyncio.sleep(0.1)
+                await server.shutdown()
+                docs = [
+                    json.loads(await reader.readline()) for _ in range(3)
+                ]
+                assert await reader.readline() == b"", "EOF after drain"
+                writer.close()
+                # New connections are refused once shut down.
+                with pytest.raises(OSError):
+                    await asyncio.open_connection("127.0.0.1", server.port)
+                return docs
+            finally:
+                svc.close()
+
+        docs = asyncio.run(run())
+        assert [d["id"] for d in docs] == [0, 1, 2]
+        assert all(d["ok"] for d in docs)
